@@ -1,0 +1,99 @@
+// Command bdbench runs big data workloads on the modelled machines and
+// prints their micro-architectural characterization, one row per
+// workload — the per-workload view behind the paper's Figs. 1-5.
+//
+// Usage:
+//
+//	bdbench [-budget N] [-machine xeon|atom] [-set reps|mpi|all|roster] [id ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim/machine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	budget := flag.Int64("budget", 2_000_000, "instruction budget per workload")
+	mach := flag.String("machine", "xeon", "machine model: xeon or atom")
+	set := flag.String("set", "reps", "workload set: reps, mpi, all (reps+mpi) or roster")
+	flag.Parse()
+
+	var list []workloads.Workload
+	switch *set {
+	case "reps":
+		list = workloads.Representative17()
+	case "mpi":
+		list = workloads.MPI6()
+	case "all":
+		list = append(workloads.Representative17(), workloads.MPI6()...)
+	case "roster":
+		list = workloads.Roster77()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown set %q\n", *set)
+		os.Exit(2)
+	}
+	if ids := flag.Args(); len(ids) > 0 {
+		want := map[string]bool{}
+		for _, id := range ids {
+			want[strings.ToLower(id)] = true
+		}
+		var filtered []workloads.Workload
+		for _, w := range list {
+			if want[strings.ToLower(w.ID)] {
+				filtered = append(filtered, w)
+			}
+		}
+		list = filtered
+	}
+
+	cfg := machine.XeonE5645()
+	if *mach == "atom" {
+		cfg = machine.AtomD510()
+	}
+
+	fmt.Printf("%-18s %5s %6s %6s %6s %6s %6s %5s %6s %5s %5s %5s %5s %5s %6s %6s %6s %5s %6s %6s %6s %6s %6s\n",
+		"workload", "IPC", "L1I", "L1D", "L2", "L2I%", "L3", "brM%", "mCRI", "br%", "ld%", "st%", "int%", "fp%",
+		"ITLB", "DTLB", "codeKB", "fw%", "ILP", "MLP", "front%", "imS/KI", "mpS/KI")
+	type row struct {
+		id   string
+		v    metrics.Vector
+		fw   float64
+		mCRI string
+	}
+	rows := make([]row, 0, len(list))
+	for _, w := range list {
+		m := machine.New(cfg)
+		res := workloads.Run(w, m, *budget)
+		m.Finish()
+		v := metrics.Compute(m)
+		st := m.BP.Stats()
+		tot := float64(st.Mispredicts)
+		if tot == 0 {
+			tot = 1
+		}
+		mcri := fmt.Sprintf("%2.0f/%2.0f/%2.0f",
+			100*float64(st.MisCond)/tot, 100*float64(st.MisRet)/tot, 100*float64(st.MisInd)/tot)
+		rows = append(rows, row{id: w.ID, v: v, fw: res.FrameworkShare, mCRI: mcri})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return false }) // keep input order
+	for _, r := range rows {
+		v := r.v
+		fmt.Printf("%-18s %5.2f %6.1f %6.1f %6.1f %6.0f %6.2f %5.1f %6s %5.1f %5.1f %5.1f %5.1f %5.1f %6.3f %6.3f %6.0f %5.1f %6.1f %6.1f %6.1f %6.0f %6.0f\n",
+			r.id, v[metrics.IPC], v[metrics.L1IMPKI], v[metrics.L1DMPKI], v[metrics.L2MPKI],
+			v[metrics.L2InstShare]*100, v[metrics.L3MPKI],
+			v[metrics.BrMispredictRatio]*100, r.mCRI,
+			v[metrics.MixBranch]*100, v[metrics.MixLoad]*100, v[metrics.MixStore]*100,
+			v[metrics.MixInt]*100, v[metrics.MixFP]*100,
+			v[metrics.ITLBMPKI], v[metrics.DTLBMPKI],
+			v[metrics.CodeFootprintKB], r.fw*100, v[metrics.ILP], v[metrics.MLP],
+			v[metrics.FrontStallRatio]*100,
+			v[metrics.IMissStallPerKI], v[metrics.MispredictStallPerKI])
+	}
+}

@@ -1,0 +1,154 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation and writes ASCII renderings (and CSV curves for the
+// figure sweeps) to stdout or an output directory.
+//
+// Usage:
+//
+//	repro [-quick] [-out DIR] [item ...]
+//
+// Items: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
+// fig7 fig8 fig9 reduction stack. Default: all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced instruction budgets")
+	outDir := flag.String("out", "", "also write per-item files to this directory")
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	s := experiments.NewSession(opt)
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToLower(a)] = true
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	out := func(name string) (io.Writer, func()) {
+		if *outDir == "" {
+			fmt.Printf("\n")
+			return os.Stdout, func() {}
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*outDir, name+".txt"))
+		if err != nil {
+			fatal(err)
+		}
+		return io.MultiWriter(os.Stdout, f), func() { f.Close() }
+	}
+
+	if sel("table1") {
+		w, done := out("table1")
+		experiments.RenderTable1(w, experiments.Table1())
+		done()
+	}
+	if sel("table2") {
+		w, done := out("table2")
+		experiments.RenderTable2(w, experiments.Table2(s))
+		done()
+	}
+	if sel("table3") {
+		w, done := out("table3")
+		t := experiments.Table3()
+		t.Render(w)
+		done()
+	}
+	if sel("table4") {
+		w, done := out("table4")
+		r := experiments.Table4(s)
+		r.Mechanisms.Render(w)
+		r.PerWorkload.Render(w)
+		sum := report.Table{Headers: []string{"average misprediction", "measured", "paper"}}
+		sum.Add("Atom D510", r.AtomAvg*100, r.PaperAtomAvg*100)
+		sum.Add("Xeon E5645", r.XeonAvg*100, r.PaperXeonAvg*100)
+		sum.Render(w)
+		done()
+	}
+	if sel("fig1") {
+		w, done := out("fig1")
+		experiments.Fig1(s).Render(w)
+		done()
+	}
+	if sel("fig2") {
+		w, done := out("fig2")
+		experiments.Fig2(s).Render(w)
+		done()
+	}
+	if sel("fig3") {
+		w, done := out("fig3")
+		experiments.Fig3(s).Render(w)
+		done()
+	}
+	if sel("fig4") {
+		w, done := out("fig4")
+		experiments.Fig4(s).Render(w)
+		done()
+	}
+	if sel("fig5") {
+		w, done := out("fig5")
+		experiments.Fig5(s).Render(w)
+		done()
+	}
+	for _, fig := range []struct {
+		name string
+		run  func(*experiments.Session) experiments.SweepResult
+	}{
+		{"fig6", experiments.Fig6},
+		{"fig7", experiments.Fig7},
+		{"fig8", experiments.Fig8},
+		{"fig9", experiments.Fig9},
+	} {
+		if !sel(fig.name) {
+			continue
+		}
+		w, done := out(fig.name)
+		r := fig.run(s)
+		r.Render(w)
+		fmt.Fprintf(w, "knee(Hadoop, 0.2) = %d KB; knee(PARSEC, 0.2) = %d KB\n",
+			r.Knee("Hadoop-workloads", 0.2), r.Knee("PARSEC-workloads", 0.2))
+		done()
+	}
+	if sel("reduction") {
+		w, done := out("reduction")
+		r, err := experiments.Reduction(s)
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+		fmt.Fprintf(w, "PCA kept %d dimensions explaining %.1f%% of variance\n",
+			r.Reduction.Dimensions, r.Reduction.Explained*100)
+		done()
+	}
+	if sel("stack") {
+		w, done := out("stack")
+		r := experiments.StackImpact(s)
+		r.Table.Render(w)
+		fmt.Fprintf(w, "avg IPC: MPI %.2f vs Hadoop/Spark %.2f (paper: 1.4 vs 1.16)\n",
+			r.MPIAvgIPC, r.OtherAvgIPC)
+		fmt.Fprintf(w, "avg L1I MPKI: MPI %.1f vs Hadoop/Spark %.1f (paper: 3.4 vs 12.6)\n",
+			r.MPIAvgL1I, r.OtherAvgL1I)
+		done()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

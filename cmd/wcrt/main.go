@@ -1,0 +1,85 @@
+// Command wcrt is the workload characterization and reduction tool of
+// the paper's §2.2: it profiles a workload roster on the modelled Xeon
+// E5645, collects the 45-metric vectors, normalizes them, applies PCA,
+// clusters with K-means and prints the representative subset.
+//
+// Usage:
+//
+//	wcrt [-k N] [-budget N] [-set roster|reps] [-metrics] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/sim/machine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	k := flag.Int("k", 17, "cluster count (<= 0 selects k automatically)")
+	budget := flag.Int64("budget", 1_500_000, "instruction budget per workload")
+	set := flag.String("set", "roster", "workload set: roster (77) or reps (17)")
+	showMetrics := flag.Bool("metrics", false, "print the full 45-metric vector per workload")
+	asCSV := flag.Bool("csv", false, "emit metric vectors as CSV")
+	flag.Parse()
+
+	var list []workloads.Workload
+	switch *set {
+	case "roster":
+		list = workloads.Roster77()
+	case "reps":
+		list = workloads.Representative17()
+	default:
+		fmt.Fprintf(os.Stderr, "wcrt: unknown set %q\n", *set)
+		os.Exit(2)
+	}
+
+	prof := &core.Profiler{Machine: machine.XeonE5645(), Budget: *budget}
+	fmt.Fprintf(os.Stderr, "wcrt: profiling %d workloads (%d instructions each)...\n", len(list), *budget)
+	profiles := prof.ProfileAll(list)
+
+	if *showMetrics || *asCSV {
+		t := report.Table{Title: "45-metric characterization",
+			Headers: append([]string{"workload"}, metrics.Names()...)}
+		for _, p := range profiles {
+			cells := make([]interface{}, 0, metrics.NumMetrics+1)
+			cells = append(cells, p.Workload.ID)
+			for _, v := range p.Vector {
+				cells = append(cells, v)
+			}
+			t.Add(cells...)
+		}
+		if *asCSV {
+			t.CSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	a := &core.Analyzer{ExplainTarget: 0.9, Seed: 0x5EED}
+	red, err := a.Reduce(profiles, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcrt:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("PCA: kept %d of %d dimensions (%.1f%% variance)\n",
+		red.Dimensions, metrics.NumMetrics, red.Explained*100)
+	fmt.Printf("K-means: %d clusters\n\n", red.K)
+	t := report.Table{Headers: []string{"representative", "represents", "members"}}
+	for _, c := range red.Clusters {
+		names := ""
+		for i, m := range c.Members {
+			if i > 0 {
+				names += " "
+			}
+			names += red.Names[m]
+		}
+		t.Add(red.Names[c.Representative], len(c.Members), names)
+	}
+	t.Render(os.Stdout)
+}

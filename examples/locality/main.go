@@ -1,0 +1,20 @@
+// Locality: the paper's §5.4 footprint study (Figs. 6 and 9) — sweep
+// the L1 instruction cache from 16 KB to 8 MB under the Hadoop
+// representatives, PARSEC and the MPI implementations, and print the
+// miss-ratio curves whose knees give the instruction footprints
+// (Hadoop ≈ 1 MB, PARSEC and MPI ≈ 128 KB).
+package main
+
+import (
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	s := experiments.NewSession(experiments.Options{
+		Budget: 1_000_000, SweepBudget: 800_000, RosterBudget: 400_000,
+	})
+	r := experiments.Fig9(s)
+	r.Render(os.Stdout)
+}

@@ -1,0 +1,31 @@
+// Quickstart: run one big data workload (Spark WordCount) on the
+// modelled Xeon E5645 and print its headline micro-architectural
+// characterization — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var wc repro.Workload
+	for _, w := range repro.Representative17() {
+		if w.ID == "S-WordCount" {
+			wc = w
+		}
+	}
+	v := repro.Run(wc, repro.XeonE5645(), 2_000_000)
+	fmt.Println("S-WordCount on the modelled Xeon E5645:")
+	fmt.Printf("  IPC                 %6.2f\n", v[metrics.IPC])
+	fmt.Printf("  branch ratio        %6.1f %%\n", v[metrics.MixBranch]*100)
+	fmt.Printf("  integer ratio       %6.1f %%\n", v[metrics.MixInt]*100)
+	fmt.Printf("  L1I MPKI            %6.1f\n", v[metrics.L1IMPKI])
+	fmt.Printf("  L2 MPKI             %6.1f\n", v[metrics.L2MPKI])
+	fmt.Printf("  L3 MPKI             %6.2f\n", v[metrics.L3MPKI])
+	fmt.Printf("  mispredict ratio    %6.2f %%\n", v[metrics.BrMispredictRatio]*100)
+	fmt.Printf("  front-end stalls    %6.1f %% of cycles\n", v[metrics.FrontStallRatio]*100)
+	fmt.Printf("  code footprint      %6.0f KB\n", v[metrics.CodeFootprintKB])
+}

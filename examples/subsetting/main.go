@@ -1,0 +1,28 @@
+// Subsetting: the paper's §3 end-to-end — characterize the 77-workload
+// BigDataBench-like roster with 45 metrics each, normalize, run PCA
+// and K-means, and print the 17 representative workloads with the
+// cluster sizes they stand for (Table 2's parenthesized counts).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	roster := repro.Roster77()
+	fmt.Printf("characterizing %d workloads...\n", len(roster))
+	profiles := repro.Characterize(roster, repro.XeonE5645(), 600_000)
+	red, err := repro.Reduce(profiles, 17)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("PCA kept %d dimensions (%.1f%% of variance); %d clusters:\n\n",
+		red.Dimensions, red.Explained*100, red.K)
+	for i, r := range red.Representatives() {
+		fmt.Printf("%2d. %-22s represents %2d workloads\n", i+1, r.ID, r.Count)
+	}
+}

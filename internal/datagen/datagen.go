@@ -1,0 +1,231 @@
+// Package datagen provides seeded synthetic equivalents of the seven
+// BigDataBench datasets in the paper's Table 1, at simulation scale.
+//
+// It stands in for BDGS (the BigDataBench Data Generator Suite): each
+// generator keeps the documented record shape (64 KB-block Wikipedia
+// text, 52-byte e-commerce transactions, 1128-byte ProfSearch resumes,
+// the Google web graph's skewed degree distribution, ...) while scaling
+// the record count down to what a trace-driven micro-architecture
+// simulation needs. Every generated object carries both its real
+// content (ordinary Go values the kernels compute on) and a simulated
+// base address (so the cache models see the right access streams).
+package datagen
+
+import (
+	"repro/internal/sim/mem"
+	"repro/internal/xrand"
+)
+
+// Span is a half-open [Start, End) byte range into a buffer.
+type Span struct {
+	Start, End int32
+}
+
+// Len returns the span length.
+func (s Span) Len() int { return int(s.End - s.Start) }
+
+// Text is a corpus of newline-free text records ("lines"): the unit a
+// map function sees. Blocks of ~64 KB group lines into the K-V records
+// of the paper's Table 2.
+type Text struct {
+	// Base is the simulated address of Buf[0].
+	Base uint64
+	// Buf holds the raw bytes; words are separated by single spaces.
+	Buf []byte
+	// Lines are the record spans.
+	Lines []Span
+	// WordIDs[i] lists the vocabulary ids of line i's words, in order
+	// (kept so kernels avoid re-tokenizing when they only need ids).
+	WordIDs [][]int32
+	// Vocab is the vocabulary size.
+	Vocab int
+}
+
+// TextConfig sizes a Text corpus.
+type TextConfig struct {
+	Lines        int
+	WordsPerLine int
+	Vocab        int
+	ZipfS        float64
+	Seed         uint64
+}
+
+// DefaultWiki is the simulation-scale Wikipedia corpus shape.
+func DefaultWiki() TextConfig {
+	return TextConfig{Lines: 4000, WordsPerLine: 12, Vocab: 8000, ZipfS: 1.05, Seed: 0x57494B49}
+}
+
+// NewText builds a corpus, reserving simulated memory from l.
+func NewText(l *mem.Layout, cfg TextConfig) *Text {
+	r := xrand.New(cfg.Seed)
+	z := xrand.NewZipf(cfg.Vocab, cfg.ZipfS)
+	t := &Text{Vocab: cfg.Vocab}
+	t.Buf = make([]byte, 0, cfg.Lines*cfg.WordsPerLine*7)
+	t.Lines = make([]Span, 0, cfg.Lines)
+	t.WordIDs = make([][]int32, 0, cfg.Lines)
+	for i := 0; i < cfg.Lines; i++ {
+		start := int32(len(t.Buf))
+		nw := cfg.WordsPerLine/2 + r.Intn(cfg.WordsPerLine)
+		ids := make([]int32, 0, nw)
+		for w := 0; w < nw; w++ {
+			id := z.Sample(r)
+			ids = append(ids, int32(id))
+			if w > 0 {
+				t.Buf = append(t.Buf, ' ')
+			}
+			t.Buf = appendWord(t.Buf, id)
+		}
+		t.Lines = append(t.Lines, Span{Start: start, End: int32(len(t.Buf))})
+		t.WordIDs = append(t.WordIDs, ids)
+	}
+	t.Base = l.AllocArray(len(t.Buf), 1)
+	return t
+}
+
+// AddrOf returns the simulated address of byte offset off.
+func (t *Text) AddrOf(off int32) uint64 { return t.Base + uint64(off) }
+
+// Bytes returns the total corpus size in bytes.
+func (t *Text) Bytes() int { return len(t.Buf) }
+
+// appendWord derives a deterministic 3..11-letter word for id.
+func appendWord(buf []byte, id int) []byte {
+	h := xrand.Hash64(uint64(id) + 0x9E37)
+	n := 3 + int(h%9)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte('a'+(h>>(5*uint(i%10)))%26))
+	}
+	return buf
+}
+
+// Reviews is the Amazon-movie-reviews-like labelled corpus used by the
+// Bayes workloads: text plus a class label per record.
+type Reviews struct {
+	Text   *Text
+	Labels []int8 // class per line, 0..NumClasses-1
+	// NumClasses is the label cardinality (5 star ratings).
+	NumClasses int
+}
+
+// NewReviews builds a labelled corpus.
+func NewReviews(l *mem.Layout, cfg TextConfig, classes int) *Reviews {
+	t := NewText(l, cfg)
+	r := xrand.New(cfg.Seed ^ 0xBA7E5)
+	labels := make([]int8, len(t.Lines))
+	for i := range labels {
+		labels[i] = int8(r.Intn(classes))
+	}
+	return &Reviews{Text: t, Labels: labels, NumClasses: classes}
+}
+
+// Graph is a directed graph in CSR form; the Google-web-graph and
+// Facebook-social-network stand-ins. Generated with a preferential-
+// attachment process so the in-degree distribution is heavy-tailed
+// like the originals.
+type Graph struct {
+	N int
+	// Off and Adj are the CSR arrays; node i's out-edges are
+	// Adj[Off[i]:Off[i+1]].
+	Off []int32
+	Adj []int32
+	// OffBase and AdjBase are the simulated addresses of the arrays.
+	OffBase, AdjBase uint64
+	// RankBase and NextBase address the two float64 rank arrays used
+	// by PageRank-style kernels.
+	RankBase, NextBase uint64
+}
+
+// GraphConfig sizes a graph.
+type GraphConfig struct {
+	Nodes     int
+	AvgDegree int
+	Seed      uint64
+}
+
+// DefaultWebGraph is the Google-web-graph stand-in shape. The node
+// count keeps several full PageRank iterations inside one instruction
+// budget (the real graph's micro-architectural signature comes from
+// the skewed degrees and the scattered rank updates, not the node
+// count).
+func DefaultWebGraph() GraphConfig {
+	return GraphConfig{Nodes: 6000, AvgDegree: 7, Seed: 0x600617E}
+}
+
+// DefaultSocialGraph is the Facebook-social-network stand-in shape
+// (the original has 4039 nodes and 88234 edges, average degree ~22).
+func DefaultSocialGraph() GraphConfig {
+	return GraphConfig{Nodes: 4039, AvgDegree: 22, Seed: 0xFACEB0}
+}
+
+// NewGraph builds a preferential-attachment graph in CSR form.
+func NewGraph(l *mem.Layout, cfg GraphConfig) *Graph {
+	r := xrand.New(cfg.Seed)
+	n := cfg.Nodes
+	m := cfg.AvgDegree
+	// Endpoint pool for preferential attachment: targets are sampled
+	// from previously used endpoints with probability 1/2, uniformly
+	// otherwise, yielding a heavy-tailed in-degree distribution.
+	pool := make([]int32, 0, n*m)
+	edges := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		deg := 1 + r.Intn(2*m)
+		for e := 0; e < deg; e++ {
+			var tgt int32
+			if len(pool) > 0 && r.Bool(0.5) {
+				tgt = pool[r.Intn(len(pool))]
+			} else {
+				tgt = int32(r.Intn(n))
+			}
+			edges[v] = append(edges[v], tgt)
+			pool = append(pool, tgt, int32(v))
+		}
+	}
+	g := &Graph{N: n}
+	g.Off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		g.Off[v+1] = g.Off[v] + int32(len(edges[v]))
+	}
+	g.Adj = make([]int32, g.Off[n])
+	for v := 0; v < n; v++ {
+		copy(g.Adj[g.Off[v]:], edges[v])
+	}
+	g.OffBase = l.AllocArray(n+1, 4)
+	g.AdjBase = l.AllocArray(len(g.Adj), 4)
+	g.RankBase = l.AllocArray(n, 8)
+	g.NextBase = l.AllocArray(n, 8)
+	return g
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.Adj) }
+
+// Points is a dense vector dataset for clustering (the paper drives
+// K-means from the Facebook dataset; the micro-architectural behaviour
+// is that of dense float vectors scanned against k centroids).
+type Points struct {
+	N, Dim int
+	X      []float32
+	// Base addresses the row-major point array; CentBase the centroid
+	// array; AssignBase the per-point assignment array.
+	Base, CentBase, AssignBase uint64
+}
+
+// NewPoints builds n points in dim dimensions around k latent centers.
+func NewPoints(l *mem.Layout, seed uint64, n, dim, k int) *Points {
+	r := xrand.New(seed)
+	centers := make([]float32, k*dim)
+	for i := range centers {
+		centers[i] = float32(r.NormFloat64() * 5)
+	}
+	p := &Points{N: n, Dim: dim, X: make([]float32, n*dim)}
+	for i := 0; i < n; i++ {
+		c := r.Intn(k)
+		for d := 0; d < dim; d++ {
+			p.X[i*dim+d] = centers[c*dim+d] + float32(r.NormFloat64())
+		}
+	}
+	p.Base = l.AllocArray(n*dim, 4)
+	p.CentBase = l.AllocArray(k*dim, 4)
+	p.AssignBase = l.AllocArray(n, 4)
+	return p
+}

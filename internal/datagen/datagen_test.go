@@ -1,0 +1,181 @@
+package datagen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/mem"
+)
+
+func TestTextDeterministic(t *testing.T) {
+	a := NewText(mem.NewLayout(), DefaultWiki())
+	b := NewText(mem.NewLayout(), DefaultWiki())
+	if len(a.Buf) != len(b.Buf) || len(a.Lines) != len(b.Lines) {
+		t.Fatal("same-seed corpora differ in size")
+	}
+	for i := range a.Buf {
+		if a.Buf[i] != b.Buf[i] {
+			t.Fatalf("same-seed corpora differ at byte %d", i)
+		}
+	}
+}
+
+func TestTextSpansValid(t *testing.T) {
+	tx := NewText(mem.NewLayout(), DefaultWiki())
+	for i, sp := range tx.Lines {
+		if sp.Start > sp.End || int(sp.End) > len(tx.Buf) {
+			t.Fatalf("line %d span [%d,%d) invalid for %d bytes", i, sp.Start, sp.End, len(tx.Buf))
+		}
+		if len(tx.WordIDs[i]) == 0 {
+			t.Fatalf("line %d has no words", i)
+		}
+		for _, id := range tx.WordIDs[i] {
+			if id < 0 || int(id) >= tx.Vocab {
+				t.Fatalf("line %d word id %d out of vocab %d", i, id, tx.Vocab)
+			}
+		}
+	}
+}
+
+func TestTextZipfSkew(t *testing.T) {
+	tx := NewText(mem.NewLayout(), DefaultWiki())
+	counts := make([]int, tx.Vocab)
+	total := 0
+	for _, ids := range tx.WordIDs {
+		for _, id := range ids {
+			counts[id]++
+			total++
+		}
+	}
+	top := 0
+	for id := 0; id < 100; id++ {
+		top += counts[id]
+	}
+	if float64(top)/float64(total) < 0.2 {
+		t.Fatalf("top-100 words carry only %.1f%% of tokens; want Zipfian skew",
+			100*float64(top)/float64(total))
+	}
+}
+
+func TestGraphCSRWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewGraph(mem.NewLayout(), GraphConfig{Nodes: 500, AvgDegree: 5, Seed: seed})
+		if len(g.Off) != g.N+1 || g.Off[0] != 0 {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			if g.Off[v] > g.Off[v+1] {
+				return false
+			}
+		}
+		if int(g.Off[g.N]) != len(g.Adj) {
+			return false
+		}
+		for _, tgt := range g.Adj {
+			if tgt < 0 || int(tgt) >= g.N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphDegreeSkew(t *testing.T) {
+	g := NewGraph(mem.NewLayout(), DefaultWebGraph())
+	indeg := make([]int, g.N)
+	for _, tgt := range g.Adj {
+		indeg[tgt]++
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range indeg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	avg := float64(sum) / float64(g.N)
+	if float64(maxDeg) < 10*avg {
+		t.Fatalf("max in-degree %d vs avg %.1f: no heavy tail", maxDeg, avg)
+	}
+}
+
+func TestECommerceSchema(t *testing.T) {
+	ec := NewECommerce(mem.NewLayout(), 1, 1000, 4000)
+	if len(ec.Orders.Cols) != 4 {
+		t.Fatalf("order table has %d columns, want 4 (Table 1)", len(ec.Orders.Cols))
+	}
+	if len(ec.Items.Cols) != 6 {
+		t.Fatalf("item table has %d columns, want 6 (Table 1)", len(ec.Items.Cols))
+	}
+	fk := ec.Items.Col("order_id")
+	for i, v := range fk.Vals {
+		if v < 0 || v >= int64(ec.Orders.Rows) {
+			t.Fatalf("item %d references missing order %d", i, v)
+		}
+	}
+}
+
+func TestTPCDSStarIntegrity(t *testing.T) {
+	d := NewTPCDS(mem.NewLayout(), 2, 5000)
+	for _, ref := range []struct {
+		col *Column
+		dim *Table
+	}{
+		{d.StoreSales.Col("ss_sold_date_sk"), d.DateDim},
+		{d.StoreSales.Col("ss_item_sk"), d.Item},
+		{d.StoreSales.Col("ss_customer_sk"), d.Customer},
+	} {
+		for i, v := range ref.col.Vals {
+			if v < 0 || v >= int64(ref.dim.Rows) {
+				t.Fatalf("fact row %d: dangling %s = %d", i, ref.col.Name, v)
+			}
+		}
+	}
+}
+
+func TestKVStoreSortedKeys(t *testing.T) {
+	kv := NewKVStore(mem.NewLayout(), 3, 10000, 1128)
+	for i := 1; i < kv.N; i++ {
+		if kv.Keys[i] <= kv.Keys[i-1] {
+			t.Fatalf("keys not strictly ascending at %d", i)
+		}
+	}
+	if kv.ValBytes != 1128 {
+		t.Fatal("ProfSearch record size should be 1128 bytes (Table 2)")
+	}
+}
+
+func TestPointsShape(t *testing.T) {
+	p := NewPoints(mem.NewLayout(), 4, 1000, 8, 10)
+	if len(p.X) != 1000*8 {
+		t.Fatalf("points array %d, want %d", len(p.X), 8000)
+	}
+	// Clustered generation: variance should be well above noise.
+	var mean float64
+	for _, v := range p.X {
+		mean += float64(v)
+	}
+	mean /= float64(len(p.X))
+	var variance float64
+	for _, v := range p.X {
+		d := float64(v) - mean
+		variance += d * d
+	}
+	variance /= float64(len(p.X))
+	if variance < 2 {
+		t.Fatalf("points variance %.2f too small for clustered data", variance)
+	}
+}
+
+func TestTableColPanicsOnMissing(t *testing.T) {
+	ec := NewECommerce(mem.NewLayout(), 1, 100, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing column did not panic")
+		}
+	}()
+	ec.Orders.Col("nope")
+}

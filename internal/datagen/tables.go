@@ -1,0 +1,221 @@
+package datagen
+
+import (
+	"repro/internal/sim/mem"
+	"repro/internal/xrand"
+)
+
+// Column is one integer column of a columnar table, with real values
+// and a simulated base address. All relational kernels run on integer
+// columns; string predicates in the originals become dictionary-encoded
+// integer predicates here, which preserves the scan/compare/hash
+// behaviour the cache and branch models observe.
+type Column struct {
+	Name string
+	Vals []int64
+	Base uint64
+}
+
+// Addr returns the simulated address of row i.
+func (c *Column) Addr(i int) uint64 { return c.Base + uint64(i)*8 }
+
+// Table is a columnar table.
+type Table struct {
+	Name string
+	Rows int
+	Cols []*Column
+}
+
+// Col returns the named column; it panics if absent (schema errors are
+// programming errors in this repository).
+func (t *Table) Col(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	panic("datagen: table " + t.Name + " has no column " + name)
+}
+
+// Bytes returns the table's simulated size in bytes.
+func (t *Table) Bytes() int { return t.Rows * len(t.Cols) * 8 }
+
+func newTable(l *mem.Layout, name string, rows int, cols []string, gen func(r *xrand.Rand, col int, row int) int64, seed uint64) *Table {
+	r := xrand.New(seed)
+	t := &Table{Name: name, Rows: rows}
+	for ci, cn := range cols {
+		c := &Column{Name: cn, Vals: make([]int64, rows)}
+		for i := 0; i < rows; i++ {
+			c.Vals[i] = gen(r, ci, i)
+		}
+		c.Base = l.AllocArray(rows, 8)
+		t.Cols = append(t.Cols, c)
+	}
+	return t
+}
+
+// ECommerce is the paper's e-commerce transaction dataset: an ORDER
+// table with 4 columns and an order-ITEM table with 6 columns
+// (Table 1: 38658 and 242735 rows in the original; scaled here).
+type ECommerce struct {
+	Orders *Table
+	Items  *Table
+}
+
+// NewECommerce builds the two transaction tables; items references
+// orders with a skewed foreign key.
+func NewECommerce(l *mem.Layout, seed uint64, orderRows, itemRows int) *ECommerce {
+	orders := newTable(l, "order", orderRows,
+		[]string{"order_id", "buyer_id", "create_date", "amount"},
+		func(r *xrand.Rand, col, row int) int64 {
+			switch col {
+			case 0:
+				return int64(row)
+			case 1:
+				return int64(r.Intn(orderRows / 4))
+			case 2:
+				return int64(20120101 + r.Intn(720))
+			default:
+				return int64(r.Intn(100000)) // cents
+			}
+		}, seed)
+	z := xrand.NewZipf(orderRows, 0.8)
+	items := newTable(l, "item", itemRows,
+		[]string{"item_id", "order_id", "goods_id", "goods_number", "goods_price", "goods_amount"},
+		func(r *xrand.Rand, col, row int) int64 {
+			switch col {
+			case 0:
+				return int64(row)
+			case 1:
+				return int64(z.Sample(r))
+			case 2:
+				return int64(r.Intn(5000))
+			case 3:
+				return int64(1 + r.Intn(8))
+			case 4:
+				return int64(100 + r.Intn(20000))
+			default:
+				return int64(100 + r.Intn(160000))
+			}
+		}, seed^0x17EA5)
+	return &ECommerce{Orders: orders, Items: items}
+}
+
+// TPCDS is the TPC-DS web-table stand-in: a star schema with one fact
+// table and three dimensions — the subset exercised by the paper's
+// query workloads (Q3, Q8, Q10 in Table 2).
+type TPCDS struct {
+	StoreSales *Table // fact
+	DateDim    *Table
+	Item       *Table
+	Customer   *Table
+}
+
+// NewTPCDS builds the star schema at the given fact-table scale.
+func NewTPCDS(l *mem.Layout, seed uint64, factRows int) *TPCDS {
+	dateRows := 2000
+	itemRows := 4000
+	custRows := 8000
+	d := &TPCDS{}
+	d.DateDim = newTable(l, "date_dim", dateRows,
+		[]string{"d_date_sk", "d_year", "d_moy"},
+		func(r *xrand.Rand, col, row int) int64 {
+			switch col {
+			case 0:
+				return int64(row)
+			case 1:
+				return int64(1998 + row/366)
+			default:
+				return int64(1 + (row/30)%12)
+			}
+		}, seed)
+	d.Item = newTable(l, "item", itemRows,
+		[]string{"i_item_sk", "i_brand_id", "i_category_id", "i_manufact_id"},
+		func(r *xrand.Rand, col, row int) int64 {
+			switch col {
+			case 0:
+				return int64(row)
+			case 1:
+				return int64(r.Intn(500))
+			case 2:
+				return int64(r.Intn(10))
+			default:
+				return int64(r.Intn(200))
+			}
+		}, seed^0x1)
+	d.Customer = newTable(l, "customer", custRows,
+		[]string{"c_customer_sk", "c_birth_year", "c_county"},
+		func(r *xrand.Rand, col, row int) int64 {
+			switch col {
+			case 0:
+				return int64(row)
+			case 1:
+				return int64(1930 + r.Intn(70))
+			default:
+				return int64(r.Intn(50))
+			}
+		}, seed^0x2)
+	zi := xrand.NewZipf(itemRows, 0.9)
+	zc := xrand.NewZipf(custRows, 0.7)
+	d.StoreSales = newTable(l, "store_sales", factRows,
+		[]string{"ss_sold_date_sk", "ss_item_sk", "ss_customer_sk", "ss_quantity", "ss_sales_price"},
+		func(r *xrand.Rand, col, row int) int64 {
+			switch col {
+			case 0:
+				return int64(r.Intn(dateRows))
+			case 1:
+				return int64(zi.Sample(r))
+			case 2:
+				return int64(zc.Sample(r))
+			case 3:
+				return int64(1 + r.Intn(20))
+			default:
+				return int64(50 + r.Intn(30000))
+			}
+		}, seed^0x3)
+	return d
+}
+
+// KVStore is the ProfSearch-resume stand-in behind the cloud-OLTP
+// workloads: n records of ValBytes bytes each (1128 in Table 2),
+// addressable by key, with a sorted key index (the HBase block index)
+// and a Zipfian request popularity distribution.
+type KVStore struct {
+	N        int
+	ValBytes int
+	// Keys is sorted ascending; record i's value lives at
+	// ValBase + i*ValBytes.
+	Keys []uint64
+	// IndexBase addresses the key index; ValBase the value heap;
+	// MemBase the memstore hash table region.
+	IndexBase, ValBase, MemBase uint64
+	// MemBuckets is the memstore hash bucket count.
+	MemBuckets int
+	// Pop is the request popularity sampler.
+	Pop *xrand.Zipf
+}
+
+// NewKVStore builds the store with n records of valBytes each.
+func NewKVStore(l *mem.Layout, seed uint64, n, valBytes int) *KVStore {
+	r := xrand.New(seed)
+	kv := &KVStore{N: n, ValBytes: valBytes, MemBuckets: 4096}
+	kv.Keys = make([]uint64, n)
+	next := uint64(1000)
+	for i := 0; i < n; i++ {
+		next += 1 + r.Uint64n(97)
+		kv.Keys[i] = next
+	}
+	kv.IndexBase = l.AllocArray(n, 8)
+	kv.ValBase = l.AllocArray(n, uint64(valBytes))
+	kv.MemBase = l.AllocArray(kv.MemBuckets, 64)
+	kv.Pop = xrand.NewZipf(n, 1.1)
+	return kv
+}
+
+// ValAddr returns the simulated address of record i's value.
+func (kv *KVStore) ValAddr(i int) uint64 {
+	return kv.ValBase + uint64(i)*uint64(kv.ValBytes)
+}
+
+// Bytes returns the store's simulated size.
+func (kv *KVStore) Bytes() int { return kv.N * (kv.ValBytes + 8) }

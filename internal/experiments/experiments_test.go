@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sysmodel"
+	"repro/internal/workloads"
+)
+
+// quickSession is shared across the experiment tests (profiled runs are
+// cached inside).
+var quickSession = NewSession(Quick())
+
+func TestTable1SevenDatasets(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("%d datasets, want 7 (Table 1)", len(rows))
+	}
+	for _, r := range rows {
+		if r.SimRecords <= 0 || r.SimBytes <= 0 {
+			t.Fatalf("dataset %s not materialized", r.Name)
+		}
+	}
+	var sb strings.Builder
+	RenderTable1(&sb, rows)
+	if !strings.Contains(sb.String(), "Wikipedia") {
+		t.Fatal("render missing Wikipedia row")
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	rows := Table2(quickSession)
+	if len(rows) != 17 {
+		t.Fatalf("%d rows, want 17", len(rows))
+	}
+	byID := map[string]Table2Row{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	// The paper's headline classifications that must reproduce.
+	if byID["H-Read"].System != sysmodel.IOIntensive {
+		t.Errorf("H-Read classified %v, paper says IO-intensive", byID["H-Read"].System)
+	}
+	if byID["H-Grep"].System != sysmodel.CPUIntensive {
+		t.Errorf("H-Grep classified %v, paper says CPU-intensive", byID["H-Grep"].System)
+	}
+	if byID["H-NaiveBayes"].System != sysmodel.CPUIntensive {
+		t.Errorf("H-NaiveBayes classified %v, paper says CPU-intensive", byID["H-NaiveBayes"].System)
+	}
+	if byID["S-Kmeans"].System != sysmodel.CPUIntensive {
+		t.Errorf("S-Kmeans classified %v, paper says CPU-intensive", byID["S-Kmeans"].System)
+	}
+	if byID["S-PageRank"].System != sysmodel.CPUIntensive {
+		t.Errorf("S-PageRank classified %v, paper says CPU-intensive", byID["S-PageRank"].System)
+	}
+	if byID["I-SelectQuery"].System != sysmodel.IOIntensive {
+		t.Errorf("I-SelectQuery classified %v, paper says IO-intensive", byID["I-SelectQuery"].System)
+	}
+	// Data behaviours (Table 2 cells).
+	if byID["S-Sort"].OutVsIn != workloads.RatioEqual {
+		t.Errorf("S-Sort output %v, paper says Output=Input", byID["S-Sort"].OutVsIn)
+	}
+	if byID["H-Read"].OutVsIn != workloads.RatioEqual {
+		t.Errorf("H-Read output %v, paper says Output=Input", byID["H-Read"].OutVsIn)
+	}
+	if byID["S-PageRank"].OutVsIn != workloads.RatioMore {
+		t.Errorf("S-PageRank output %v, paper says Output>Input", byID["S-PageRank"].OutVsIn)
+	}
+	if byID["H-Grep"].OutVsIn != workloads.RatioNone {
+		t.Errorf("H-Grep output %v, paper says Output<<Input", byID["H-Grep"].OutVsIn)
+	}
+}
+
+func TestTable4PredictorGap(t *testing.T) {
+	r := Table4(quickSession)
+	if r.AtomAvg <= r.XeonAvg {
+		t.Fatalf("Atom misprediction %.3f <= Xeon %.3f; paper: 7.8%% vs 2.8%%",
+			r.AtomAvg, r.XeonAvg)
+	}
+	ratio := r.AtomAvg / r.XeonAvg
+	if ratio < 1.7 || ratio > 5 {
+		t.Fatalf("Atom/Xeon misprediction ratio %.2f far from the paper's ~2.8x", ratio)
+	}
+	if r.XeonAvg > 0.09 {
+		t.Fatalf("Xeon misprediction %.1f%% too high (paper: 2.8%%)", r.XeonAvg*100)
+	}
+}
+
+func TestFig1Headlines(t *testing.T) {
+	f := Fig1(quickSession)
+	if f.BigDataBranchAvg < 0.14 || f.BigDataBranchAvg > 0.26 {
+		t.Errorf("big data branch ratio %.1f%%, paper: 18.7%%", f.BigDataBranchAvg*100)
+	}
+	if f.BigDataIntAvg < 0.30 || f.BigDataIntAvg > 0.50 {
+		t.Errorf("big data integer ratio %.1f%%, paper: 38%%", f.BigDataIntAvg*100)
+	}
+	if f.WithBranches < 0.80 {
+		t.Errorf("data movement + branches %.1f%%, paper: ~92%%", f.WithBranches*100)
+	}
+	if f.AvgGFLOPS > 2 {
+		t.Errorf("big data GFLOPS %.2f; paper observes ~0.1 of a 57.6 peak", f.AvgGFLOPS)
+	}
+	// Branch ratio: big data above HPCC/SPECFP/PARSEC (paper's first
+	// observation).
+	suiteBranch := map[string]float64{}
+	for _, row := range f.Rows {
+		suiteBranch[row.Name] = row.Branch
+	}
+	for _, s := range []string{"HPCC", "SPECFP", "PARSEC"} {
+		if f.BigDataBranchAvg <= suiteBranch[s] {
+			t.Errorf("big data branch ratio %.3f not above %s %.3f",
+				f.BigDataBranchAvg, s, suiteBranch[s])
+		}
+	}
+}
+
+func TestFig2IntegerBreakdown(t *testing.T) {
+	f := Fig2(quickSession)
+	sum := f.IntAddr + f.FPAddr + f.Other
+	if sum < 0.98 || sum > 1.02 {
+		t.Fatalf("integer breakdown sums to %v", sum)
+	}
+	// Paper: 64% integer address / 18% fp address / 18% other — address
+	// calculation must dominate.
+	if f.IntAddr < 0.4 {
+		t.Errorf("int-address share %.2f, paper: 0.64", f.IntAddr)
+	}
+	if f.FPAddr <= 0.02 {
+		t.Errorf("fp-address share %.2f, paper: 0.18", f.FPAddr)
+	}
+}
+
+func TestFig3IPCShape(t *testing.T) {
+	f := Fig3(quickSession)
+	ipc := map[string]float64{}
+	for _, r := range f.Rows {
+		ipc[r.Name] = r.Values[0]
+	}
+	bd := f.Averages["big data (17 reps)"][0]
+	if bd < 0.9 || bd > 1.7 {
+		t.Errorf("big data average IPC %.2f, paper: 1.28", bd)
+	}
+	// The stack ordering of Fig. 3: MPI WordCount fastest, Hadoop in
+	// the middle, Spark slowest (paper: 1.8 / 1.1 / 0.9).
+	if !(ipc["M-WordCount"] > ipc["H-WordCount"] && ipc["H-WordCount"] > ipc["S-WordCount"]) {
+		t.Errorf("WordCount IPC ordering M(%.2f) > H(%.2f) > S(%.2f) violated",
+			ipc["M-WordCount"], ipc["H-WordCount"], ipc["S-WordCount"])
+	}
+	// H-Read is the paper's low-IPC service outlier (0.8).
+	if ipc["H-Read"] > bd {
+		t.Errorf("H-Read IPC %.2f above the big data average %.2f", ipc["H-Read"], bd)
+	}
+	// HPCC posts the highest suite IPC (1.5).
+	if ipc["HPCC"] < ipc["SPECINT"] {
+		t.Errorf("HPCC IPC %.2f below SPECINT %.2f", ipc["HPCC"], ipc["SPECINT"])
+	}
+}
+
+func TestFig4CacheShape(t *testing.T) {
+	f := Fig4(quickSession)
+	l1i := map[string]float64{}
+	l2 := map[string]float64{}
+	l3 := map[string]float64{}
+	for _, r := range f.Rows {
+		l1i[r.Name] = r.Values[0]
+		l2[r.Name] = r.Values[2]
+		l3[r.Name] = r.Values[3]
+	}
+	// Order-of-magnitude stack difference (paper: M-WC 2, H-WC 7, S-WC 17).
+	if l1i["M-WordCount"]*3 > l1i["H-WordCount"] {
+		t.Errorf("L1I: MPI %.2f not << Hadoop %.2f", l1i["M-WordCount"], l1i["H-WordCount"])
+	}
+	if l1i["S-WordCount"] <= l1i["H-WordCount"] {
+		t.Errorf("L1I: Spark %.1f not above Hadoop %.1f (paper: 17 vs 7)",
+			l1i["S-WordCount"], l1i["H-WordCount"])
+	}
+	// H-Read (service) has the highest representative L1I (paper: 51).
+	maxRep := 0.0
+	for _, p := range quickSession.Reps() {
+		if v := l1i[p.Workload.ID]; v > maxRep {
+			maxRep = v
+		}
+	}
+	if l1i["H-Read"] < maxRep {
+		t.Errorf("H-Read L1I %.1f is not the service maximum %.1f", l1i["H-Read"], maxRep)
+	}
+	// L2: the same stack ordering holds (paper: 0.8 / 8.4 / 16).
+	if !(l2["M-WordCount"] < l2["H-WordCount"] && l2["H-WordCount"] < l2["S-WordCount"]) {
+		t.Errorf("L2 stack ordering violated: M %.1f H %.1f S %.1f",
+			l2["M-WordCount"], l2["H-WordCount"], l2["S-WordCount"])
+	}
+	// L3: MPI below the JVM stacks (paper: 0.1 vs 1.9/2.7).
+	if l3["M-WordCount"] >= l3["S-WordCount"] {
+		t.Errorf("L3: MPI %.2f not below Spark %.2f", l3["M-WordCount"], l3["S-WordCount"])
+	}
+	// CloudSuite is the L1I-heaviest suite (paper: 32).
+	if l1i["CloudSuite"] < l1i["PARSEC"]*4 {
+		t.Errorf("CloudSuite L1I %.1f not >> PARSEC %.1f", l1i["CloudSuite"], l1i["PARSEC"])
+	}
+}
+
+func TestFig5TLBShape(t *testing.T) {
+	f := Fig5(quickSession)
+	itlb := map[string]float64{}
+	for _, r := range f.Rows {
+		itlb[r.Name] = r.Values[0]
+	}
+	// Service ITLB pressure is of the same order as the analytics
+	// classes. (Paper: service 0.2 vs data analysis 0.04; our stack
+	// model spreads per-record slow paths over more pages than the
+	// real Hadoop text layout, so the DA side runs high — recorded as
+	// a deviation in EXPERIMENTS.md.)
+	svc := f.Averages["service"][0]
+	da := f.Averages["data analysis"][0]
+	if svc < da*0.5 {
+		t.Errorf("service ITLB %.3f far below data analysis %.3f", svc, da)
+	}
+	// DTLB MPKI stays in a sane band (paper: ~0.9 average).
+	bd := f.Averages["big data (17 reps)"][1]
+	if bd > 8 {
+		t.Errorf("big data DTLB MPKI %.2f implausibly high", bd)
+	}
+}
+
+func TestFig6FootprintContrast(t *testing.T) {
+	r := Fig6(quickSession)
+	h := r.Curves["Hadoop-workloads"]
+	// Monotone non-increasing curves (LRU stack property; tolerate
+	// sliver noise from set-count changes).
+	for _, name := range r.Order {
+		c := r.Curves[name]
+		for i := 1; i < len(c); i++ {
+			if c[i] > c[i-1]*1.05+1e-9 {
+				t.Errorf("%s curve not monotone at %d KB", name, r.SizesKB[i])
+			}
+		}
+	}
+	// The paper's footprint reading: the Hadoop curve needs much more
+	// capacity to flatten (paper: ~1024 KB) than PARSEC (~128 KB).
+	hk := r.Knee("Hadoop-workloads", 0.15)
+	pk := r.Knee("PARSEC-workloads", 0.15)
+	if hk <= pk {
+		t.Errorf("Hadoop knee %d KB not beyond PARSEC knee %d KB", hk, pk)
+	}
+	if pk > 256 {
+		t.Errorf("PARSEC knee %d KB; paper: ~128 KB", pk)
+	}
+	// Hadoop still misses meaningfully at 128 KB (paper's curve is
+	// visibly above zero there).
+	if h[3] < 0.01 {
+		t.Errorf("Hadoop miss ratio at 128 KB = %.4f, want a visible residue", h[3])
+	}
+}
+
+func TestFig7DataCurvesConverge(t *testing.T) {
+	r := Fig7(quickSession)
+	h := r.Curves["Hadoop-workloads"]
+	p := r.Curves["PARSEC-workloads"]
+	// Paper: data curves are close after 64 KB: compare at 512 KB+.
+	for i, kb := range r.SizesKB {
+		if kb < 512 {
+			continue
+		}
+		if h[i]-p[i] > 0.02 && h[i] > p[i]*4 {
+			t.Errorf("at %d KB data miss ratios still far apart: %.4f vs %.4f", kb, h[i], p[i])
+		}
+	}
+}
+
+func TestFig9MPITracksPARSEC(t *testing.T) {
+	r := Fig9(quickSession)
+	m := r.Curves["MPI-workloads"]
+	h := r.Curves["Hadoop-workloads"]
+	// MPI's instruction footprint is PARSEC-like, far below Hadoop's
+	// at small caches (paper's §5.5 conclusion).
+	if m[0] > h[0]/2 {
+		t.Errorf("16 KB I-miss: MPI %.4f not well below Hadoop %.4f", m[0], h[0])
+	}
+}
+
+func TestReduction77To17(t *testing.T) {
+	r, err := Reduction(quickSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profiles) != 77 {
+		t.Fatalf("profiled %d workloads, want 77", len(r.Profiles))
+	}
+	if r.Reduction.K != 17 || len(r.Reduction.Clusters) != 17 {
+		t.Fatalf("reduced to %d clusters, want 17", r.Reduction.K)
+	}
+	total := 0
+	stacks := map[string]bool{}
+	for _, c := range r.Reduction.Clusters {
+		total += len(c.Members)
+		rep := r.Profiles[c.Representative].Workload
+		stacks[rep.Stack.Name] = true
+	}
+	if total != 77 {
+		t.Fatalf("cluster members sum to %d, want 77", total)
+	}
+	// The representatives must span several distinct software stacks,
+	// as Table 2's subset does.
+	if len(stacks) < 4 {
+		t.Errorf("representatives cover only %d stacks: %v", len(stacks), stacks)
+	}
+	if r.Reduction.Explained < 0.9 {
+		t.Errorf("PCA variance %.2f below target", r.Reduction.Explained)
+	}
+}
+
+func TestStackImpactHeadlines(t *testing.T) {
+	r := StackImpact(quickSession)
+	if r.MPIAvgIPC <= r.OtherAvgIPC {
+		t.Errorf("MPI IPC %.2f not above Hadoop/Spark %.2f (paper gap: 21%%)",
+			r.MPIAvgIPC, r.OtherAvgIPC)
+	}
+	if r.MPIAvgL1I*3 > r.OtherAvgL1I {
+		t.Errorf("L1I: MPI %.2f vs Hadoop/Spark %.2f — paper reports an order of magnitude",
+			r.MPIAvgL1I, r.OtherAvgL1I)
+	}
+}
+
+func TestFig1MixSumsToOne(t *testing.T) {
+	f := Fig1(quickSession)
+	for _, r := range f.Rows {
+		sum := r.Load + r.Store + r.Branch + r.Int + r.FP
+		if sum < 0.97 || sum > 1.03 {
+			t.Errorf("%s: mix sums to %.3f", r.Name, sum)
+		}
+	}
+}

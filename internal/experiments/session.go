@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Tables 1-4, Figures 1-9, the §3 reduction and the
+// §5.5 software-stack study). Each experiment returns structured rows
+// and can render itself; cmd/repro and the root bench harness drive
+// them.
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machineutil"
+	"repro/internal/metrics"
+	"repro/internal/sim/machine"
+	"repro/internal/suites"
+	"repro/internal/workloads"
+)
+
+// Options size the experiment runs.
+type Options struct {
+	// Budget is the instruction budget per workload run.
+	Budget int64
+	// SweepBudget is the budget per workload in the Fig. 6-9 cache
+	// sweeps (they simulate 30 caches per instruction).
+	SweepBudget int64
+	// RosterBudget is the budget per workload in the 77-workload
+	// reduction.
+	RosterBudget int64
+}
+
+// Default returns the full-fidelity options used by cmd/repro.
+func Default() Options {
+	return Options{Budget: 4_000_000, SweepBudget: 1_500_000, RosterBudget: 1_500_000}
+}
+
+// Quick returns reduced budgets for tests.
+func Quick() Options {
+	return Options{Budget: 400_000, SweepBudget: 200_000, RosterBudget: 150_000}
+}
+
+// Session caches profiled runs shared by several experiments.
+type Session struct {
+	Opt Options
+
+	mu        sync.Mutex
+	reps      []core.Profile
+	mpi       []core.Profile
+	suiteAvg  map[string]metrics.Vector
+	suiteRuns map[string][]core.Profile
+	atomReps  []core.Profile
+}
+
+// NewSession returns a session with the given options.
+func NewSession(opt Options) *Session {
+	return &Session{Opt: opt}
+}
+
+func (s *Session) profiler(cfg machine.Config) *core.Profiler {
+	return &core.Profiler{Machine: cfg, Budget: s.Opt.Budget}
+}
+
+// Reps returns the 17 representative workloads profiled on the Xeon.
+func (s *Session) Reps() []core.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reps == nil {
+		s.reps = s.profiler(machine.XeonE5645()).ProfileAll(workloads.Representative17())
+	}
+	return s.reps
+}
+
+// MPI returns the six MPI implementations profiled on the Xeon.
+func (s *Session) MPI() []core.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mpi == nil {
+		s.mpi = s.profiler(machine.XeonE5645()).ProfileAll(workloads.MPI6())
+	}
+	return s.mpi
+}
+
+// AtomReps returns the 17 representatives profiled on the Atom D510
+// model (used by Table 4's misprediction comparison).
+func (s *Session) AtomReps() []core.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.atomReps == nil {
+		s.atomReps = s.profiler(machine.AtomD510()).ProfileAll(workloads.Representative17())
+	}
+	return s.atomReps
+}
+
+// Suites returns the per-suite average vectors and the underlying runs
+// for SPECINT, SPECFP, PARSEC, HPCC, CloudSuite and TPC-C.
+func (s *Session) Suites() (map[string]metrics.Vector, map[string][]core.Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.suiteAvg == nil {
+		s.suiteAvg = map[string]metrics.Vector{}
+		s.suiteRuns = map[string][]core.Profile{}
+		p := s.profiler(machine.XeonE5645())
+		for name, list := range suites.All() {
+			profs := p.ProfileAll(list)
+			s.suiteRuns[name] = profs
+			s.suiteAvg[name] = machineutil.Average(profs)
+		}
+	}
+	return s.suiteAvg, s.suiteRuns
+}
+
+// BigDataAverage averages the 17 representatives' vectors.
+func (s *Session) BigDataAverage() metrics.Vector {
+	return machineutil.Average(s.Reps())
+}

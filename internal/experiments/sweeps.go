@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim/machine"
+	"repro/internal/suites"
+	"repro/internal/workloads"
+)
+
+// SweepResult is one of the Fig. 6-9 cache-size curves: average miss
+// ratio versus L1 capacity for groups of workloads.
+type SweepResult struct {
+	Title   string
+	SizesKB []int
+	// Curves maps group name to per-size average miss ratio.
+	Curves map[string][]float64
+	Order  []string
+}
+
+// sweepGroup runs each workload through a fresh machine.Sweep and
+// averages the requested view's miss ratios.
+func sweepGroup(list []workloads.Workload, budget int64, view func(*machine.Sweep) []float64) []float64 {
+	sizes := machine.DefaultSweepSizesKB
+	sum := make([]float64, len(sizes))
+	for _, w := range list {
+		sw := machine.NewSweep(sizes)
+		workloads.Run(w, sw, budget)
+		for i, v := range view(sw) {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(list))
+	}
+	return sum
+}
+
+// hadoopGroup returns the Hadoop-stack workloads the paper's §5.4 case
+// study sweeps.
+func hadoopGroup() []workloads.Workload {
+	var out []workloads.Workload
+	for _, w := range workloads.Representative17() {
+		if w.Stack.Name == "Hadoop" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func parsecGroup() []workloads.Workload { return suites.PARSEC() }
+
+// Fig6 reproduces Fig. 6: instruction-cache miss ratio vs cache size
+// for the Hadoop workloads and PARSEC. The paper's knees: Hadoop
+// ≈ 1024 KB, PARSEC ≈ 128 KB.
+func Fig6(s *Session) SweepResult {
+	b := s.Opt.SweepBudget
+	return SweepResult{
+		Title:   "Figure 6: instruction cache miss ratio vs cache size",
+		SizesKB: machine.DefaultSweepSizesKB,
+		Order:   []string{"Hadoop-workloads", "PARSEC-workloads"},
+		Curves: map[string][]float64{
+			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).InstMissRatios),
+			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).InstMissRatios),
+		},
+	}
+}
+
+// Fig7 reproduces Fig. 7: data-cache miss ratio vs cache size (the
+// curves converge after 64 KB).
+func Fig7(s *Session) SweepResult {
+	b := s.Opt.SweepBudget
+	return SweepResult{
+		Title:   "Figure 7: data cache miss ratio vs cache size",
+		SizesKB: machine.DefaultSweepSizesKB,
+		Order:   []string{"Hadoop-workloads", "PARSEC-workloads"},
+		Curves: map[string][]float64{
+			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).DataMissRatios),
+			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).DataMissRatios),
+		},
+	}
+}
+
+// Fig8 reproduces Fig. 8: unified cache miss ratio vs cache size (the
+// curves converge after 1024 KB).
+func Fig8(s *Session) SweepResult {
+	b := s.Opt.SweepBudget
+	return SweepResult{
+		Title:   "Figure 8: cache miss ratio vs cache size",
+		SizesKB: machine.DefaultSweepSizesKB,
+		Order:   []string{"Hadoop-workloads", "PARSEC-workloads"},
+		Curves: map[string][]float64{
+			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).UnifiedMissRatios),
+			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).UnifiedMissRatios),
+		},
+	}
+}
+
+// Fig9 reproduces Fig. 9: instruction miss ratio vs cache size with
+// the MPI implementations added (they track PARSEC, not Hadoop).
+func Fig9(s *Session) SweepResult {
+	b := s.Opt.SweepBudget
+	return SweepResult{
+		Title:   "Figure 9: instruction cache miss ratio vs cache size (with MPI)",
+		SizesKB: machine.DefaultSweepSizesKB,
+		Order:   []string{"Hadoop-workloads", "PARSEC-workloads", "MPI-workloads"},
+		Curves: map[string][]float64{
+			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).InstMissRatios),
+			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).InstMissRatios),
+			"MPI-workloads":    sweepGroup(workloads.MPI6(), b, (*machine.Sweep).InstMissRatios),
+		},
+	}
+}
+
+// Knee returns the smallest cache size (KB) at which a curve has
+// descended frac of the way from its 16 KB value to its floor — the
+// "footprint" reading the paper applies to Figs. 6-9. (Relative to the
+// curve's own range, so a compulsory-miss floor does not mask the
+// knee.)
+func (r SweepResult) Knee(curve string, frac float64) int {
+	c := r.Curves[curve]
+	if len(c) == 0 || c[0] == 0 {
+		return 0
+	}
+	lo := c[0]
+	for _, v := range c {
+		if v < lo {
+			lo = v
+		}
+	}
+	threshold := lo + (c[0]-lo)*frac
+	for i, v := range c {
+		if v <= threshold {
+			return r.SizesKB[i]
+		}
+	}
+	return r.SizesKB[len(r.SizesKB)-1]
+}
+
+// Render writes the curves as a table.
+func (r SweepResult) Render(w io.Writer) {
+	t := report.Table{Title: r.Title, Headers: append([]string{"cache KB"}, r.Order...)}
+	for i, kb := range r.SizesKB {
+		cells := []interface{}{kb}
+		for _, name := range r.Order {
+			cells = append(cells, r.Curves[name][i])
+		}
+		t.Add(cells...)
+	}
+	t.Render(w)
+}
+
+// ReductionResult is the §3 outcome: 77 workloads clustered to 17.
+type ReductionResult struct {
+	Reduction *core.Reduction
+	Profiles  []core.Profile
+}
+
+// Reduction runs the full WCRT pipeline over the 77-workload roster
+// with k=17, as the paper's final configuration.
+func Reduction(s *Session) (*ReductionResult, error) {
+	p := &core.Profiler{Machine: machine.XeonE5645(), Budget: s.Opt.RosterBudget}
+	profiles := p.ProfileAll(workloads.Roster77())
+	a := &core.Analyzer{ExplainTarget: 0.9, Seed: 0x5EED}
+	red, err := a.Reduce(profiles, 17)
+	if err != nil {
+		return nil, err
+	}
+	return &ReductionResult{Reduction: red, Profiles: profiles}, nil
+}
+
+// Render writes the reduction summary.
+func (r *ReductionResult) Render(w io.Writer) {
+	t := report.Table{Title: "Section 3: 77 workloads reduced to 17 representatives",
+		Headers: []string{"cluster", "representative", "size", "members (sample)"}}
+	for i, c := range r.Reduction.Clusters {
+		sample := ""
+		for j, m := range c.Members {
+			if j == 4 {
+				sample += " ..."
+				break
+			}
+			if j > 0 {
+				sample += " "
+			}
+			sample += r.Reduction.Names[m]
+		}
+		t.Add(i+1, r.Reduction.Names[c.Representative], len(c.Members), sample)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,173 @@
+// Package linalg provides the small dense linear algebra kit behind
+// the WCRT analyzer: matrices, covariance, and a symmetric Jacobi
+// eigensolver for the principal component analysis of §3.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero r-by-c matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes m * x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linalg: MulVec dimension mismatch %d != %d", len(x), m.Cols)
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Covariance returns the sample covariance matrix of the rows of X
+// (observations in rows, variables in columns).
+func Covariance(x *Matrix) *Matrix {
+	n, d := x.Rows, x.Cols
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := NewMatrix(d, d)
+	denom := float64(n - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for a := 0; a < d; a++ {
+			da := row[a] - mean[a]
+			for b := a; b < d; b++ {
+				cov.Data[a*d+b] += da * (row[b] - mean[b])
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.Data[a*d+b] / denom
+			cov.Data[a*d+b] = v
+			cov.Data[b*d+a] = v
+		}
+	}
+	return cov
+}
+
+// EigenSym computes the eigenvalues and eigenvectors of a symmetric
+// matrix with the cyclic Jacobi method. It returns the eigenvalues in
+// descending order and the corresponding eigenvectors as the COLUMNS
+// of the returned matrix.
+func EigenSym(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: EigenSym needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cos := 1 / math.Sqrt(t*t+1)
+				sin := t * cos
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, cos*akp-sin*akq)
+					w.Set(k, q, sin*akp+cos*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, cos*apk-sin*aqk)
+					w.Set(q, k, sin*apk+cos*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, cos*vkp-sin*vkq)
+					v.Set(k, q, sin*vkp+cos*vkq)
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue (stable selection).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[order[j]] > vals[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for i, oi := range order {
+		sortedVals[i] = vals[oi]
+		for k := 0; k < n; k++ {
+			sortedVecs.Set(k, i, v.At(k, oi))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}

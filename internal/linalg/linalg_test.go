@@ -1,0 +1,169 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randSym(n int, seed uint64) *Matrix {
+	r := xrand.New(seed)
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestEigenReconstruction(t *testing.T) {
+	a := randSym(8, 1)
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v_i = lambda_i v_i for each eigenpair.
+	for k := 0; k < 8; k++ {
+		v := make([]float64, 8)
+		for i := range v {
+			v[i] = vecs.At(i, k)
+		}
+		av, err := a.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range av {
+			if math.Abs(av[i]-vals[k]*v[i]) > 1e-8 {
+				t.Fatalf("eigenpair %d: (Av)[%d]=%v != lambda*v=%v", k, i, av[i], vals[k]*v[i])
+			}
+		}
+	}
+}
+
+func TestEigenOrthonormal(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := randSym(6, seed)
+		_, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				dot := 0.0
+				for k := 0; k < 6; k++ {
+					dot += vecs.At(k, i) * vecs.At(k, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenValuesDescending(t *testing.T) {
+	vals, _, err := EigenSym(randSym(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending at %d: %v > %v", i, vals[i], vals[i-1])
+		}
+	}
+}
+
+func TestEigenTraceInvariant(t *testing.T) {
+	a := randSym(9, 3)
+	trace := 0.0
+	for i := 0; i < 9; i++ {
+		trace += a.At(i, i)
+	}
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if math.Abs(sum-trace) > 1e-8 {
+		t.Fatalf("eigenvalue sum %v != trace %v", sum, trace)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two perfectly correlated columns.
+	x := NewMatrix(3, 2)
+	for i, v := range []float64{1, 2, 3} {
+		x.Set(i, 0, v)
+		x.Set(i, 1, 2*v)
+	}
+	c := Covariance(x)
+	if math.Abs(c.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("var(x0) = %v, want 1", c.At(0, 0))
+	}
+	if math.Abs(c.At(0, 1)-2) > 1e-12 {
+		t.Fatalf("cov = %v, want 2", c.At(0, 1))
+	}
+	if math.Abs(c.At(1, 1)-4) > 1e-12 {
+		t.Fatalf("var(x1) = %v, want 4", c.At(1, 1))
+	}
+}
+
+func TestCovarianceSymmetricPSD(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		x := NewMatrix(20, 5)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		c := Covariance(x)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if math.Abs(c.At(i, j)-c.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		vals, _, err := EigenSym(c)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecDimensionError(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.MulVec([]float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+}
+
+func TestEigenNonSquareError(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square matrix not rejected")
+	}
+}

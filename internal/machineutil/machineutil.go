@@ -1,0 +1,38 @@
+// Package machineutil holds small helpers over profiled runs shared by
+// the experiments and the root benchmark harness.
+package machineutil
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// Average returns the element-wise mean vector of the profiles.
+func Average(profiles []core.Profile) metrics.Vector {
+	var out metrics.Vector
+	if len(profiles) == 0 {
+		return out
+	}
+	for _, p := range profiles {
+		for i, v := range p.Vector {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(profiles))
+	}
+	return out
+}
+
+// AverageWhere averages the subset of profiles whose workload matches
+// pred.
+func AverageWhere(profiles []core.Profile, pred func(workloads.Workload) bool) metrics.Vector {
+	var sub []core.Profile
+	for _, p := range profiles {
+		if pred(p.Workload) {
+			sub = append(sub, p)
+		}
+	}
+	return Average(sub)
+}

@@ -1,0 +1,275 @@
+// Package metrics defines the 45-metric micro-architectural
+// characterization vector the paper's WCRT methodology is built on
+// (§3: "we choose 45 metrics from micro-architecture aspects, including
+// instruction mix, cache and TLB behaviors, branch execution, pipeline
+// behaviors, off-core requests and snoop response, parallelism, and
+// operation intensity").
+//
+// The concrete 45 metrics here follow that grouping; the exact list the
+// authors used was published only on the (now defunct) BigDataBench web
+// page, so this is our documented reconstruction.
+package metrics
+
+import (
+	"repro/internal/sim/isa"
+	"repro/internal/sim/machine"
+)
+
+// Metric indices into a Vector.
+const (
+	// Instruction mix (9).
+	MixLoad = iota
+	MixStore
+	MixBranch
+	MixInt
+	MixFP
+	IntAddrShare
+	IntFPAddrShare
+	IntOtherShare
+	MemPerKI
+
+	// Cache behaviour (10).
+	L1IMPKI
+	L1IMissRatio
+	L1DMPKI
+	L1DMissRatio
+	L2MPKI
+	L2MissRatio
+	L3MPKI
+	L3MissRatio
+	L2InstShare
+	L2TrafficBytesPerKI
+
+	// TLB behaviour (4).
+	ITLBMPKI
+	ITLBMissRatio
+	DTLBMPKI
+	DTLBMissRatio
+
+	// Branch execution (5).
+	BrMispredictRatio
+	BrMispredictMPKI
+	BrTakenRatio
+	BTBMissPerKI
+	IndirectShare
+
+	// Pipeline behaviour (6).
+	IPC
+	CPI
+	FrontStallRatio
+	BackStallRatio
+	IMissStallPerKI
+	MispredictStallPerKI
+
+	// Off-core requests and snoop responses (4).
+	OffcoreReqPerKI
+	SnoopRespPerKI
+	MemReadPerKI
+	MemWritePerKI
+
+	// Parallelism (2).
+	ILP
+	MLP
+
+	// Operation intensity (3).
+	FlopsPerByte
+	IntOpsPerByte
+	GFLOPS
+
+	// Footprint (2).
+	CodeFootprintKB
+	DataFootprintMB
+
+	// NumMetrics is the vector length (45).
+	NumMetrics
+)
+
+// Vector is one workload's characterization.
+type Vector [NumMetrics]float64
+
+var names = [NumMetrics]string{
+	"load ratio", "store ratio", "branch ratio", "integer ratio", "fp ratio",
+	"int-addr share", "fp-addr share", "int-other share", "mem refs/KI",
+	"L1I MPKI", "L1I miss ratio", "L1D MPKI", "L1D miss ratio",
+	"L2 MPKI", "L2 miss ratio", "L3 MPKI", "L3 miss ratio",
+	"L2 inst share", "L2 traffic B/KI",
+	"ITLB MPKI", "ITLB miss ratio", "DTLB MPKI", "DTLB miss ratio",
+	"br mispredict ratio", "br mispredict MPKI", "br taken ratio",
+	"BTB miss/KI", "indirect share",
+	"IPC", "CPI", "front-end stall ratio", "back-end stall ratio",
+	"I-miss stall/KI", "mispredict stall/KI",
+	"offcore req/KI", "snoop resp/KI", "mem read/KI", "mem write/KI",
+	"ILP", "MLP",
+	"flops/byte", "int-ops/byte", "GFLOPS",
+	"code footprint KB", "data footprint MB",
+}
+
+// Name returns the human-readable name of metric i.
+func Name(i int) string { return names[i] }
+
+// Names returns all 45 metric names in index order.
+func Names() []string {
+	out := make([]string, NumMetrics)
+	copy(out, names[:])
+	return out
+}
+
+// Group identifies the paper's eight metric groups.
+type Group int
+
+// Metric groups per §3 of the paper.
+const (
+	GroupMix Group = iota
+	GroupCache
+	GroupTLB
+	GroupBranch
+	GroupPipeline
+	GroupOffcore
+	GroupParallelism
+	GroupIntensity
+)
+
+var groupNames = []string{
+	"instruction mix", "cache", "TLB", "branch execution",
+	"pipeline", "off-core", "parallelism", "operation intensity",
+}
+
+// String names the group.
+func (g Group) String() string { return groupNames[g] }
+
+// GroupOf returns the group of metric i.
+func GroupOf(i int) Group {
+	switch {
+	case i <= MemPerKI:
+		return GroupMix
+	case i <= L2TrafficBytesPerKI:
+		return GroupCache
+	case i <= DTLBMissRatio:
+		return GroupTLB
+	case i <= IndirectShare:
+		return GroupBranch
+	case i <= MispredictStallPerKI:
+		return GroupPipeline
+	case i <= MemWritePerKI:
+		return GroupOffcore
+	case i <= MLP:
+		return GroupParallelism
+	default:
+		return GroupIntensity
+	}
+}
+
+// Compute derives the 45-metric vector from a finished machine run.
+func Compute(m *machine.Machine) Vector {
+	var v Vector
+	c := &m.C
+	n := float64(c.Insts)
+	if n == 0 {
+		return v
+	}
+	ki := n / 1000
+
+	// Instruction mix.
+	intOps := float64(c.ByOp[isa.IntAlu] + c.ByOp[isa.IntAddr] + c.ByOp[isa.FPAddr] +
+		c.ByOp[isa.IntMul] + c.ByOp[isa.IntDiv])
+	fpOps := float64(c.ByOp[isa.FPArith] + c.ByOp[isa.FPDiv])
+	v[MixLoad] = float64(c.ByOp[isa.Load]) / n
+	v[MixStore] = float64(c.ByOp[isa.Store]) / n
+	v[MixBranch] = float64(c.ByOp[isa.Branch]) / n
+	v[MixInt] = intOps / n
+	v[MixFP] = fpOps / n
+	if intOps > 0 {
+		v[IntAddrShare] = float64(c.ByOp[isa.IntAddr]) / intOps
+		v[IntFPAddrShare] = float64(c.ByOp[isa.FPAddr]) / intOps
+		v[IntOtherShare] = float64(c.ByOp[isa.IntAlu]+c.ByOp[isa.IntMul]+c.ByOp[isa.IntDiv]) / intOps
+	}
+	v[MemPerKI] = float64(c.ByOp[isa.Load]+c.ByOp[isa.Store]) / ki
+
+	// Cache behaviour.
+	h := m.H
+	v[L1IMPKI] = float64(h.L1I.Misses) / ki
+	v[L1IMissRatio] = h.L1I.MissRatio()
+	v[L1DMPKI] = float64(h.L1D.Misses) / ki
+	v[L1DMissRatio] = h.L1D.MissRatio()
+	v[L2MPKI] = float64(h.L2.Misses) / ki
+	v[L2MissRatio] = h.L2.MissRatio()
+	if h.L3 != nil {
+		v[L3MPKI] = float64(h.L3.Misses) / ki
+		v[L3MissRatio] = h.L3.MissRatio()
+	} else {
+		v[L3MPKI] = float64(h.L2.Misses) / ki
+		v[L3MissRatio] = h.L2.MissRatio()
+	}
+	if tot := h.L2IMiss + h.L2DMiss; tot > 0 {
+		v[L2InstShare] = float64(h.L2IMiss) / float64(tot)
+	}
+	v[L2TrafficBytesPerKI] = float64(h.L2.Misses*64) / ki
+
+	// TLB behaviour: the reported MPKI counts completed page walks
+	// (misses in both TLB levels), matching the DTLB_MISSES.WALK
+	// events perf reports on the testbed.
+	v[ITLBMPKI] = float64(c.ITLBWalks) / ki
+	if m.ITLB.Accesses > 0 {
+		v[ITLBMissRatio] = float64(c.ITLBWalks) / float64(m.ITLB.Accesses)
+	}
+	v[DTLBMPKI] = float64(c.DTLBWalks) / ki
+	if m.DTLB.Accesses > 0 {
+		v[DTLBMissRatio] = float64(c.DTLBWalks) / float64(m.DTLB.Accesses)
+	}
+
+	// Branch execution.
+	bs := m.BP.Stats()
+	if c.Branches > 0 {
+		v[BrMispredictRatio] = float64(c.Mispredict) / float64(c.Branches)
+		v[BrTakenRatio] = float64(c.Taken) / float64(c.Branches)
+		v[IndirectShare] = float64(bs.Indirect) / float64(c.Branches)
+	}
+	v[BrMispredictMPKI] = float64(c.Mispredict) / ki
+	v[BTBMissPerKI] = float64(bs.BTBMisses) / ki
+
+	// Pipeline behaviour.
+	p := m.Pipe
+	v[IPC] = p.IPC()
+	if v[IPC] > 0 {
+		v[CPI] = 1 / v[IPC]
+	}
+	v[FrontStallRatio] = p.FrontStall()
+	idealCPI := 1 / float64(p.Config().CommitWidth)
+	back := v[CPI] - idealCPI - v[FrontStallRatio]*v[CPI]
+	if back < 0 {
+		back = 0
+	}
+	if v[CPI] > 0 {
+		v[BackStallRatio] = back / v[CPI]
+	}
+	v[IMissStallPerKI] = float64(p.IMissStall) / ki
+	v[MispredictStallPerKI] = float64(p.MispredictStall) / ki
+
+	// Off-core requests and snoop responses. Off-core demand requests
+	// are L2 misses; every memory-bound request elicits one snoop
+	// response in the modelled two-socket home-snooped system.
+	v[OffcoreReqPerKI] = float64(h.L2IMiss+h.L2DMiss) / ki
+	v[SnoopRespPerKI] = float64(h.MemReads) / ki
+	v[MemReadPerKI] = float64(h.MemReads) / ki
+	v[MemWritePerKI] = float64(h.MemWrites) / ki
+
+	// Parallelism.
+	v[ILP] = p.ILP()
+	v[MLP] = p.MLP()
+
+	// Operation intensity.
+	memBytes := float64((h.MemReads + h.MemWrites) * 64)
+	if memBytes > 0 {
+		v[FlopsPerByte] = fpOps / memBytes
+		v[IntOpsPerByte] = intOps / memBytes
+	}
+	if p.Cycles > 0 {
+		v[GFLOPS] = fpOps * m.Cfg.FreqHz / float64(p.Cycles) / 1e9
+	}
+
+	// Footprint.
+	v[CodeFootprintKB] = float64(m.CodeFootprintBytes()) / 1024
+	v[DataFootprintMB] = float64(m.DataFootprintBytes()) / (1 << 20)
+
+	return v
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim/machine"
+	"repro/internal/workloads"
+)
+
+func TestNumMetricsIs45(t *testing.T) {
+	if NumMetrics != 45 {
+		t.Fatalf("NumMetrics = %d; the paper's methodology uses 45", NumMetrics)
+	}
+	if len(Names()) != 45 {
+		t.Fatal("Names() length != 45")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < NumMetrics; i++ {
+		n := Name(i)
+		if n == "" {
+			t.Fatalf("metric %d unnamed", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate metric name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestEightGroupsCovered(t *testing.T) {
+	// §3: "instruction mix, cache and TLB behaviors, branch execution,
+	// pipeline behaviors, off-core requests and snoop responses,
+	// parallelism, and operation intensity".
+	counts := map[Group]int{}
+	for i := 0; i < NumMetrics; i++ {
+		counts[GroupOf(i)]++
+	}
+	for g := GroupMix; g <= GroupIntensity; g++ {
+		if counts[g] == 0 {
+			t.Fatalf("metric group %v empty", g)
+		}
+		if g.String() == "" {
+			t.Fatalf("group %d unnamed", g)
+		}
+	}
+}
+
+func TestComputeSanity(t *testing.T) {
+	m := machine.New(machine.XeonE5645())
+	w := workloads.Representative17()[14] // H-WordCount
+	workloads.Run(w, m, 200_000)
+	m.Finish()
+	v := Compute(m)
+
+	mixSum := v[MixLoad] + v[MixStore] + v[MixBranch] + v[MixInt] + v[MixFP]
+	if mixSum < 0.98 || mixSum > 1.02 {
+		t.Fatalf("instruction mix sums to %v, want ~1", mixSum)
+	}
+	intSum := v[IntAddrShare] + v[IntFPAddrShare] + v[IntOtherShare]
+	if intSum < 0.98 || intSum > 1.02 {
+		t.Fatalf("integer breakdown sums to %v, want ~1", intSum)
+	}
+	if v[IPC] <= 0 || v[IPC] > 4 {
+		t.Fatalf("IPC %v out of (0,4]", v[IPC])
+	}
+	if v[CPI]*v[IPC] < 0.99 || v[CPI]*v[IPC] > 1.01 {
+		t.Fatalf("CPI*IPC = %v, want 1", v[CPI]*v[IPC])
+	}
+	if v[L1IMPKI] < 0 || v[L1IMissRatio] < 0 || v[L1IMissRatio] > 1 {
+		t.Fatal("L1I stats out of range")
+	}
+	if v[FrontStallRatio] < 0 || v[FrontStallRatio] > 1 {
+		t.Fatalf("front stall ratio %v out of [0,1]", v[FrontStallRatio])
+	}
+	if v[BrTakenRatio] <= 0 || v[BrTakenRatio] > 1 {
+		t.Fatalf("taken ratio %v out of (0,1]", v[BrTakenRatio])
+	}
+	if v[CodeFootprintKB] <= 0 || v[DataFootprintMB] <= 0 {
+		t.Fatal("footprints not measured")
+	}
+	if v[ILP] < 1 {
+		t.Fatalf("ILP %v < 1", v[ILP])
+	}
+	if v[MLP] < 1 {
+		t.Fatalf("MLP %v < 1", v[MLP])
+	}
+}
+
+func TestComputeEmptyMachine(t *testing.T) {
+	m := machine.New(machine.XeonE5645())
+	v := Compute(m)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("metric %s nonzero (%v) on an empty run", Name(i), x)
+		}
+	}
+}
+
+// TestL2HierarchyConsistency: L2 misses can never exceed L2 accesses,
+// and LLC misses can never exceed L2 misses plus prefetch effects.
+func TestHierarchyCounterConsistency(t *testing.T) {
+	m := machine.New(machine.XeonE5645())
+	workloads.Run(workloads.Representative17()[0], m, 150_000)
+	m.Finish()
+	h := m.H
+	if h.L2.Misses > h.L2.Accesses {
+		t.Fatal("L2 misses exceed accesses")
+	}
+	if h.L1I.Misses > h.L1I.Accesses || h.L1D.Misses > h.L1D.Accesses {
+		t.Fatal("L1 misses exceed accesses")
+	}
+	if h.L2IMiss+h.L2DMiss != h.L2.Misses {
+		t.Fatalf("L2 I/D split %d+%d != total %d", h.L2IMiss, h.L2DMiss, h.L2.Misses)
+	}
+}

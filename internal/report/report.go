@@ -1,0 +1,137 @@
+// Package report renders the experiment results as aligned ASCII
+// tables, horizontal bar charts and CSV series — the textual equivalent
+// of WCRT's "statistical and visual functions" (§2.2).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(width) {
+				parts[i] = pad(c, width[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Bars renders a labelled horizontal bar chart of values scaled to
+// maxWidth characters.
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if title != "" {
+		fmt.Fprintf(w, "== %s ==\n", title)
+	}
+	lw, maxV := 0, 0.0
+	for i, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	for i, l := range labels {
+		n := int(values[i] / maxV * float64(maxWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%s  %s %s\n", pad(l, lw), strings.Repeat("#", n), trimFloat(values[i]))
+	}
+}
+
+// Series writes an x/y CSV (the figure-curve format).
+func Series(w io.Writer, xName string, xs []float64, cols map[string][]float64, order []string) {
+	fmt.Fprintf(w, "%s", xName)
+	for _, name := range order {
+		fmt.Fprintf(w, ",%s", name)
+	}
+	fmt.Fprintln(w)
+	for i, x := range xs {
+		fmt.Fprintf(w, "%s", trimFloat(x))
+		for _, name := range order {
+			fmt.Fprintf(w, ",%s", trimFloat(cols[name][i]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a", "bee"}}
+	tb.Add("x", 1.5)
+	tb.Add("longer", 2)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T ==", "a", "bee", "x", "1.5", "longer", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.Add("x", 1.25)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	if sb.String() != "a,b\nx,1.25\n" {
+		t.Fatalf("CSV output %q", sb.String())
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2:      "2",
+		0.1234: "0.1234",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "B", []string{"one", "two"}, []float64{1, 2}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Fatalf("half bar missing:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "x", []float64{1, 2},
+		map[string][]float64{"y": {10, 20}}, []string{"y"})
+	want := "x,y\n1,10\n2,20\n"
+	if sb.String() != want {
+		t.Fatalf("Series output %q, want %q", sb.String(), want)
+	}
+}

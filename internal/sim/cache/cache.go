@@ -1,0 +1,293 @@
+// Package cache implements set-associative cache models with true-LRU
+// replacement, write-back/write-allocate policy, and a three-level
+// hierarchy matching the paper's Xeon E5645 testbed (Table 3:
+// 32 KB L1I + 32 KB L1D per core, 256 KB L2 per core, 12 MB shared L3).
+//
+// The hierarchy models demand accesses plus next-line instruction and
+// data prefetchers (every platform the paper measures has them); the
+// MPKI counters report demand misses only, matching what perf events
+// count. The footprint study (Fig. 6-9) uses bare caches without
+// prefetch, as MARSSx86 was configured in the paper.
+package cache
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in reports ("L1I", "L2", ...).
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// Ways is the associativity.
+	Ways int
+	// LineSize is the block size in bytes (64 throughout the paper).
+	LineSize int
+	// Latency is the hit latency in cycles, charged by the pipeline.
+	Latency int
+}
+
+// Valid reports whether the config describes a usable cache.
+func (c Config) Valid() bool {
+	return c.Size > 0 && c.Ways > 0 && c.LineSize > 0 &&
+		c.Size%(c.Ways*c.LineSize) == 0
+}
+
+// Cache is a single set-associative cache with true-LRU replacement.
+// The zero value is not usable; construct with New.
+type Cache struct {
+	cfg       Config
+	sets      uint64
+	lineShift uint
+	tags      []uint64 // sets*ways; 0 means invalid (tags stored as line+1)
+	stamp     []uint64 // LRU timestamps, parallel to tags
+	dirty     []bool
+	clock     uint64
+
+	// Accesses counts lookups; Misses counts fills; Writebacks counts
+	// dirty evictions (memory write traffic).
+	Accesses, Misses, Writebacks uint64
+}
+
+// New constructs a cache from cfg. It panics on an invalid geometry,
+// which always indicates a programming error in a machine preset.
+func New(cfg Config) *Cache {
+	if !cfg.Valid() {
+		panic("cache: invalid geometry for " + cfg.Name)
+	}
+	sets := cfg.Size / (cfg.Ways * cfg.LineSize)
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		sets:      uint64(sets),
+		lineShift: shift,
+		tags:      make([]uint64, n),
+		stamp:     make([]uint64, n),
+		dirty:     make([]bool, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, installing the line on a miss (evicting the
+// LRU way) and returns true on a hit. write marks the line dirty.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.Accesses++
+	line := addr >> c.lineShift
+	tag := line + 1 // 0 stays "invalid"
+	set := (line % c.sets) * uint64(c.cfg.Ways)
+	ways := c.tags[set : set+uint64(c.cfg.Ways)]
+	c.clock++
+	for w := range ways {
+		if ways[w] == tag {
+			idx := set + uint64(w)
+			c.stamp[idx] = c.clock
+			if write {
+				c.dirty[idx] = true
+			}
+			return true
+		}
+	}
+	c.Misses++
+	// Evict true-LRU way.
+	victim := set
+	oldest := c.stamp[set]
+	for w := uint64(1); w < uint64(c.cfg.Ways); w++ {
+		if c.stamp[set+w] < oldest {
+			oldest = c.stamp[set+w]
+			victim = set + w
+		}
+	}
+	if c.tags[victim] != 0 && c.dirty[victim] {
+		c.Writebacks++
+	}
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	c.dirty[victim] = write
+	return false
+}
+
+// Touch installs addr without affecting the demand counters; it is
+// the fill path used by the prefetcher. Returns true if the line was
+// already present.
+func (c *Cache) Touch(addr uint64, write bool) bool {
+	a, m, w := c.Accesses, c.Misses, c.Writebacks
+	hit := c.Access(addr, write)
+	c.Accesses, c.Misses, c.Writebacks = a, m, w
+	return hit
+}
+
+// MissRatio returns Misses/Accesses (0 when never accessed).
+func (c *Cache) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+		c.dirty[i] = false
+	}
+	c.clock = 0
+	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
+}
+
+// Hierarchy is the three-level structure of the modelled node: split
+// L1, unified L2, optional unified L3 (the Atom model has none). It
+// tracks instruction/data splits at the shared levels because the
+// paper's software-stack analysis (§5.5) attributes L2/LLC misses to
+// instruction footprint.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+	// MemLatency is the DRAM access latency in cycles.
+	MemLatency int
+
+	// Instruction-side and data-side access/miss splits at L2 and L3.
+	L2IAcc, L2IMiss, L2DAcc, L2DMiss uint64
+	L3IAcc, L3IMiss, L3DAcc, L3DMiss uint64
+	// MemReads counts demand fills from memory; MemWrites counts
+	// last-level writebacks.
+	MemReads, MemWrites uint64
+}
+
+// Level identifiers returned by Fetch and Data.
+const (
+	LvlL1  = 1
+	LvlL2  = 2
+	LvlL3  = 3
+	LvlMem = 4
+)
+
+// NewHierarchy builds a hierarchy; pass a zero Config for no L3.
+func NewHierarchy(l1i, l1d, l2, l3 Config, memLatency int) *Hierarchy {
+	h := &Hierarchy{
+		L1I:        New(l1i),
+		L1D:        New(l1d),
+		L2:         New(l2),
+		MemLatency: memLatency,
+	}
+	if l3.Size > 0 {
+		h.L3 = New(l3)
+	}
+	return h
+}
+
+// Fetch performs an instruction fetch of pc and returns the level that
+// hit (LvlL1..LvlMem). A demand miss triggers the next-line
+// instruction prefetcher (all modelled front ends have one), so
+// straight-line cold code pays one exposed fill per two lines.
+func (h *Hierarchy) Fetch(pc uint64) int {
+	if h.L1I.Access(pc, false) {
+		return LvlL1
+	}
+	level := LvlL2
+	h.L2IAcc++
+	if !h.L2.Access(pc, false) {
+		h.L2IMiss++
+		if h.L3 == nil {
+			level = LvlMem
+			h.MemReads++
+		} else {
+			h.L3IAcc++
+			if h.L3.Access(pc, false) {
+				level = LvlL3
+			} else {
+				h.L3IMiss++
+				h.MemReads++
+				level = LvlMem
+			}
+		}
+	}
+	h.prefetch(pc + 64)
+	return level
+}
+
+// prefetch quietly installs a line through the hierarchy.
+func (h *Hierarchy) prefetch(addr uint64) {
+	h.L1I.Touch(addr, false)
+	h.L2.Touch(addr, false)
+	if h.L3 != nil {
+		h.L3.Touch(addr, false)
+	}
+}
+
+// Data performs a data access and returns the level that hit. A demand
+// miss triggers the next-line data prefetcher (the DCU/L2 streamers of
+// the modelled Xeon), so sequential streams expose roughly one fill in
+// two.
+func (h *Hierarchy) Data(addr uint64, write bool) int {
+	if h.L1D.Access(addr, write) {
+		return LvlL1
+	}
+	level := LvlL2
+	h.L2DAcc++
+	if !h.L2.Access(addr, write) {
+		h.L2DMiss++
+		if h.L3 == nil {
+			level = LvlMem
+			h.MemReads++
+		} else {
+			h.L3DAcc++
+			if h.L3.Access(addr, write) {
+				level = LvlL3
+			} else {
+				h.L3DMiss++
+				h.MemReads++
+				level = LvlMem
+			}
+		}
+	}
+	// Degree-2 streamer: the L2/DCU prefetchers of the modelled
+	// platforms run ahead of sequential streams.
+	h.L1D.Touch(addr+64, false)
+	h.L1D.Touch(addr+128, false)
+	h.L2.Touch(addr+64, false)
+	h.L2.Touch(addr+128, false)
+	if h.L3 != nil {
+		h.L3.Touch(addr+64, false)
+		h.L3.Touch(addr+128, false)
+	}
+	return level
+}
+
+// Latency returns the access latency in cycles for a hit at level.
+func (h *Hierarchy) Latency(level int) int {
+	switch level {
+	case LvlL1:
+		return h.L1D.cfg.Latency
+	case LvlL2:
+		return h.L2.cfg.Latency
+	case LvlL3:
+		if h.L3 != nil {
+			return h.L3.cfg.Latency
+		}
+		return h.MemLatency
+	default:
+		return h.MemLatency
+	}
+}
+
+// FillLatency returns the extra cycles an instruction fetch stalls when
+// its line comes from the given level (0 for an L1 hit).
+func (h *Hierarchy) FillLatency(level int) int {
+	if level <= LvlL1 {
+		return 0
+	}
+	return h.Latency(level)
+}
+
+// FinishWritebacks accounts final memory write traffic (last-level
+// writebacks) into MemWrites. Call once at end of run.
+func (h *Hierarchy) FinishWritebacks() {
+	if h.L3 != nil {
+		h.MemWrites = h.L3.Writebacks
+	} else {
+		h.MemWrites = h.L2.Writebacks
+	}
+}

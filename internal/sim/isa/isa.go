@@ -1,0 +1,146 @@
+// Package isa defines the micro-operation vocabulary of the simulated
+// machine: the dynamic instruction record that instrumented workload
+// kernels emit and that the micro-architecture models consume.
+//
+// The vocabulary mirrors the categories the paper reports on: loads,
+// stores, branches, integer operations (further split into integer
+// address calculation, floating-point address calculation and other
+// integer computation, cf. Fig. 2 of the paper) and floating-point
+// arithmetic.
+package isa
+
+// Op is the class of a dynamic instruction.
+type Op uint8
+
+const (
+	// Nop is a scheduling bubble (rare; used for alignment padding).
+	Nop Op = iota
+	// Load reads Size bytes from Addr.
+	Load
+	// Store writes Size bytes to Addr.
+	Store
+	// Branch is any control transfer; see Kind.
+	Branch
+	// IntAlu is general integer computation (compare, logic, add).
+	IntAlu
+	// IntAddr is integer address calculation for an integer-array or
+	// pointer access. The paper's Fig. 2 reports 64% of integer
+	// instructions in big data workloads fall in this class.
+	IntAddr
+	// FPAddr is integer address calculation feeding a floating-point
+	// array access (18% of integer instructions in Fig. 2).
+	FPAddr
+	// IntMul is integer multiply.
+	IntMul
+	// IntDiv is integer divide.
+	IntDiv
+	// FPArith is floating point add/sub/mul (counted as FLOPs).
+	FPArith
+	// FPDiv is floating point divide/sqrt (counted as FLOPs).
+	FPDiv
+	numOps
+)
+
+// NumOps is the number of distinct op classes.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	"nop", "load", "store", "branch", "int", "int-addr", "fp-addr",
+	"int-mul", "int-div", "fp", "fp-div",
+}
+
+// String returns the lower-case mnemonic of the op class.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// IsInteger reports whether the op retires as an integer instruction
+// (the paper's "integer" mix class: ALU, address calculation, mul, div).
+func (o Op) IsInteger() bool {
+	switch o {
+	case IntAlu, IntAddr, FPAddr, IntMul, IntDiv:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether the op retires as a floating-point instruction.
+func (o Op) IsFP() bool { return o == FPArith || o == FPDiv }
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// BranchKind distinguishes control-transfer flavours; the branch
+// predictors treat them differently (cf. paper Table 4: conditional
+// jumps vs. indirect jumps and calls).
+type BranchKind uint8
+
+const (
+	// BrNone marks a non-branch instruction.
+	BrNone BranchKind = iota
+	// BrCond is a conditional direct branch.
+	BrCond
+	// BrUncond is an unconditional direct jump.
+	BrUncond
+	// BrCall is a direct call.
+	BrCall
+	// BrRet is a return.
+	BrRet
+	// BrIndirectCall is an indirect call (virtual dispatch).
+	BrIndirectCall
+	// BrIndirectJump is an indirect jump (switch tables).
+	BrIndirectJump
+)
+
+var brNames = []string{"none", "cond", "jmp", "call", "ret", "icall", "ijmp"}
+
+// String returns the mnemonic of the branch kind.
+func (k BranchKind) String() string {
+	if int(k) < len(brNames) {
+		return brNames[k]
+	}
+	return "br?"
+}
+
+// Reg identifies an architectural register in the dataflow model.
+// Register 0 is the hard-wired "no dependency" register: its value is
+// always ready, like the RISC zero register.
+type Reg uint8
+
+// NoReg is the always-ready register used when an operand carries no
+// dependency.
+const NoReg Reg = 0
+
+// NumRegs is the size of the register file tracked by the pipeline
+// models.
+const NumRegs = 256
+
+// Inst is one dynamic instruction. Emitters reuse a single Inst value;
+// consumers must not retain the pointer across calls.
+type Inst struct {
+	// PC is the instruction address. All instructions are 4 bytes.
+	PC uint64
+	// Addr is the data address for Load/Store.
+	Addr uint64
+	// Target is the branch target for Branch.
+	Target uint64
+	// Op is the instruction class.
+	Op Op
+	// Kind is the branch flavour (BrNone unless Op == Branch).
+	Kind BranchKind
+	// Taken is the architectural outcome of a conditional branch;
+	// unconditional transfers are always taken.
+	Taken bool
+	// Size is the access size in bytes for Load/Store.
+	Size uint8
+	// Dst is the destination register (NoReg for stores/branches).
+	Dst Reg
+	// Src1, Src2 are source registers (NoReg when absent).
+	Src1, Src2 Reg
+}
+
+// InstBytes is the (fixed) instruction encoding size in bytes.
+const InstBytes = 4

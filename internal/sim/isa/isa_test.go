@@ -1,0 +1,60 @@
+package isa
+
+import "testing"
+
+func TestOpClassification(t *testing.T) {
+	intOps := []Op{IntAlu, IntAddr, FPAddr, IntMul, IntDiv}
+	for _, op := range intOps {
+		if !op.IsInteger() {
+			t.Errorf("%v not classified as integer", op)
+		}
+		if op.IsFP() || op.IsMem() {
+			t.Errorf("%v misclassified as FP or mem", op)
+		}
+	}
+	for _, op := range []Op{FPArith, FPDiv} {
+		if !op.IsFP() || op.IsInteger() {
+			t.Errorf("%v FP classification wrong", op)
+		}
+	}
+	for _, op := range []Op{Load, Store} {
+		if !op.IsMem() || op.IsInteger() || op.IsFP() {
+			t.Errorf("%v mem classification wrong", op)
+		}
+	}
+	if Branch.IsInteger() || Branch.IsFP() || Branch.IsMem() {
+		t.Error("branch misclassified")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" || op.String() == "op?" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if Op(200).String() != "op?" {
+		t.Error("out-of-range op name")
+	}
+}
+
+func TestBranchKindStrings(t *testing.T) {
+	kinds := []BranchKind{BrNone, BrCond, BrUncond, BrCall, BrRet, BrIndirectCall, BrIndirectJump}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "br?" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNoRegIsZero(t *testing.T) {
+	if NoReg != 0 {
+		t.Fatal("NoReg must be register 0 (the always-ready register)")
+	}
+}

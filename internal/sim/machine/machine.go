@@ -1,0 +1,228 @@
+// Package machine composes the cache hierarchy, TLBs, branch predictor
+// and pipeline into a full per-core performance model that consumes an
+// instrumented instruction stream (trace.Probe) and exposes the raw
+// counters from which the 45-metric characterization vector is derived.
+package machine
+
+import (
+	"repro/internal/sim/branch"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/pipeline"
+	"repro/internal/sim/tlb"
+)
+
+// PredictorKind selects a branch predictor organization.
+type PredictorKind int
+
+const (
+	// PredHybrid is the Xeon-E5645-class hybrid predictor.
+	PredHybrid PredictorKind = iota
+	// PredTwoLevel is the Atom-D510-class two-level predictor.
+	PredTwoLevel
+)
+
+// Config describes a complete modelled node (one core of it is
+// simulated; Cores and FreqHz feed the system model and the GFLOPS
+// arithmetic).
+type Config struct {
+	// Name labels the machine model in reports.
+	Name string
+	// FreqHz is the core clock.
+	FreqHz float64
+	// Cores is the socket core count.
+	Cores int
+	// PeakFlopsPerCycle is the per-core FP issue capability used for
+	// the paper's peak-GFLOPS observation (§5.1 implications).
+	PeakFlopsPerCycle int
+
+	L1I, L1D, L2, L3 cache.Config
+	MemLatency       int
+	// ITLB and DTLB are the first-level TLBs; STLB the shared second
+	// level whose coverage is what keeps real-world TLB walk rates low.
+	ITLB, DTLB, STLB tlb.Config
+	Predictor        PredictorKind
+	Pipe             pipeline.Config
+}
+
+// Counters aggregates the per-run events not already counted inside
+// the sub-models.
+type Counters struct {
+	Insts      uint64
+	ByOp       [isa.NumOps]uint64
+	Branches   uint64
+	Taken      uint64
+	Mispredict uint64
+	LoadBytes  uint64
+	StoreBytes uint64
+	// ITLBWalks and DTLBWalks count translations that missed both TLB
+	// levels (completed page walks — the events behind Fig. 5's MPKI).
+	ITLBWalks, DTLBWalks uint64
+}
+
+// Machine is one modelled core plus its memory system. It implements
+// trace.Probe. Construct with New; one Machine serves one workload run.
+type Machine struct {
+	Cfg  Config
+	H    *cache.Hierarchy
+	ITLB *tlb.TLB
+	DTLB *tlb.TLB
+	STLB *tlb.TLB
+	BP   branch.Predictor
+	Pipe *pipeline.Model
+	C    Counters
+
+	codeLines bitmap // touched text-segment cache lines
+	dataPages bitmap // touched heap/stack pages
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	var bp branch.Predictor
+	switch cfg.Predictor {
+	case PredTwoLevel:
+		bp = branch.NewTwoLevel()
+	default:
+		bp = branch.NewHybrid()
+	}
+	stlb := cfg.STLB
+	if stlb.Entries == 0 {
+		stlb = tlb.Config{Name: "STLB", Entries: 512, Ways: 4, WalkLatency: 25}
+	}
+	m := &Machine{
+		Cfg:  cfg,
+		H:    cache.NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2, cfg.L3, cfg.MemLatency),
+		ITLB: tlb.New(cfg.ITLB),
+		DTLB: tlb.New(cfg.DTLB),
+		STLB: tlb.New(stlb),
+		BP:   bp,
+		Pipe: pipeline.New(cfg.Pipe),
+	}
+	m.codeLines = newBitmap((mem.CodeLimit - mem.CodeBase) / mem.LineSize)
+	m.dataPages = newBitmap((mem.HeapLimit - mem.HeapBase) / mem.PageSize)
+	return m
+}
+
+// SetPredictor swaps the branch predictor (used by the Table 4
+// experiment to run the same stream against both organizations).
+func (m *Machine) SetPredictor(p branch.Predictor) { m.BP = p }
+
+// Inst implements trace.Probe.
+func (m *Machine) Inst(i *isa.Inst) {
+	c := &m.C
+	c.Insts++
+	c.ByOp[i.Op]++
+
+	ilevel := m.H.Fetch(i.PC)
+	itlbExtra := 0
+	if m.ITLB.Access(i.PC) {
+		if m.STLB.Access(i.PC) {
+			itlbExtra = m.STLB.Config().WalkLatency
+			c.ITLBWalks++
+		} else {
+			itlbExtra = stlbHitLatency
+		}
+	}
+	if i.PC >= mem.CodeBase && i.PC < mem.CodeLimit {
+		m.codeLines.set((i.PC - mem.CodeBase) / mem.LineSize)
+	}
+
+	mispredict := false
+	frontExtra := itlbExtra
+	if i.Op == isa.Branch {
+		c.Branches++
+		if i.Taken {
+			c.Taken++
+		}
+		var redirect bool
+		mispredict, redirect = m.BP.Access(i)
+		if mispredict {
+			c.Mispredict++
+		}
+		if redirect {
+			frontExtra += btbRedirectCycles
+		}
+	}
+
+	dlevel := 0
+	dtlbExtra := 0
+	if i.Op == isa.Load || i.Op == isa.Store {
+		dlevel = m.H.Data(i.Addr, i.Op == isa.Store)
+		if m.DTLB.Access(i.Addr) {
+			if m.STLB.Access(i.Addr) {
+				dtlbExtra = m.STLB.Config().WalkLatency
+				c.DTLBWalks++
+			} else {
+				dtlbExtra = stlbHitLatency
+			}
+		}
+		if i.Op == isa.Load {
+			c.LoadBytes += uint64(i.Size)
+		} else {
+			c.StoreBytes += uint64(i.Size)
+		}
+		if i.Addr >= mem.HeapBase && i.Addr < mem.HeapLimit {
+			m.dataPages.set((i.Addr - mem.HeapBase) / mem.PageSize)
+		}
+	}
+
+	m.Pipe.Step(i, ilevel, dlevel, mispredict, frontExtra, dtlbExtra)
+}
+
+// stlbHitLatency is the extra latency of a first-level TLB miss that
+// hits the second-level TLB.
+const stlbHitLatency = 7
+
+// btbRedirectCycles is the decode-time fetch bubble when a taken
+// branch's target was absent from the BTB.
+const btbRedirectCycles = 3
+
+// Finish completes end-of-run accounting. Call once before reading
+// counters or deriving metrics.
+func (m *Machine) Finish() {
+	m.H.FinishWritebacks()
+}
+
+// CodeFootprintBytes returns the bytes of distinct text-segment cache
+// lines touched — the instruction footprint the paper discusses in
+// §5.4 (Hadoop ≈ 1 MB vs PARSEC ≈ 128 KB).
+func (m *Machine) CodeFootprintBytes() uint64 {
+	return m.codeLines.count() * mem.LineSize
+}
+
+// DataFootprintBytes returns the bytes of distinct data pages touched.
+func (m *Machine) DataFootprintBytes() uint64 {
+	return m.dataPages.count() * mem.PageSize
+}
+
+// bitmap is a fixed-size bit set.
+type bitmap []uint64
+
+func newBitmap(bits uint64) bitmap {
+	return make(bitmap, (bits+63)/64)
+}
+
+func (b bitmap) set(i uint64) {
+	w := i / 64
+	if w < uint64(len(b)) {
+		b[w] |= 1 << (i % 64)
+	}
+}
+
+func (b bitmap) count() uint64 {
+	var n uint64
+	for _, w := range b {
+		n += uint64(popcount(w))
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

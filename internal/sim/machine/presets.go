@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"repro/internal/sim/cache"
+	"repro/internal/sim/pipeline"
+	"repro/internal/sim/tlb"
+)
+
+// XeonE5645 returns the configuration of the paper's testbed node
+// (Table 3): a 6-core 2.40 GHz Westmere-EP Xeon with 32 KB L1I,
+// 32 KB L1D, 256 KB L2 per core and a 12 MB shared L3, the hybrid
+// branch predictor of Table 4, and a 4-wide out-of-order core.
+func XeonE5645() Config {
+	return Config{
+		Name:              "Intel Xeon E5645",
+		FreqHz:            2.40e9,
+		Cores:             6,
+		PeakFlopsPerCycle: 4, // 2 FP pipes x 128-bit SSE double
+
+		L1I: cache.Config{Name: "L1I", Size: 32 << 10, Ways: 4, LineSize: 64, Latency: 4},
+		L1D: cache.Config{Name: "L1D", Size: 32 << 10, Ways: 8, LineSize: 64, Latency: 4},
+		L2:  cache.Config{Name: "L2", Size: 256 << 10, Ways: 8, LineSize: 64, Latency: 10},
+		L3:  cache.Config{Name: "L3", Size: 12 << 20, Ways: 16, LineSize: 64, Latency: 38},
+
+		MemLatency: 190,
+
+		ITLB: tlb.Config{Name: "ITLB", Entries: 128, Ways: 4, WalkLatency: 20},
+		DTLB: tlb.Config{Name: "DTLB", Entries: 64, Ways: 4, WalkLatency: 25},
+
+		Predictor: PredHybrid,
+		Pipe: pipeline.Config{
+			Name:              "ooo-4w",
+			FetchWidth:        4,
+			CommitWidth:       4,
+			Window:            128,
+			MispredictPenalty: 12,
+			IntLat:            1,
+			MulLat:            3,
+			DivLat:            20,
+			FPLat:             4,
+			FPDivLat:          22,
+			LoadLat:           [5]int{0, 4, 10, 38, 190},
+			ITLBPenalty:       20,
+			DTLBPenalty:       25,
+		},
+	}
+}
+
+// AtomD510 returns the configuration of the paper's low-power
+// comparison platform (Table 4): a dual-core 1.66 GHz in-order Atom
+// with the simple two-level predictor, a 128-entry BTB and a 15-cycle
+// misprediction penalty. It has no L3.
+func AtomD510() Config {
+	return Config{
+		Name:              "Intel Atom D510",
+		FreqHz:            1.66e9,
+		Cores:             2,
+		PeakFlopsPerCycle: 1,
+
+		L1I: cache.Config{Name: "L1I", Size: 32 << 10, Ways: 8, LineSize: 64, Latency: 3},
+		L1D: cache.Config{Name: "L1D", Size: 24 << 10, Ways: 6, LineSize: 64, Latency: 3},
+		L2:  cache.Config{Name: "L2", Size: 512 << 10, Ways: 8, LineSize: 64, Latency: 15},
+
+		MemLatency: 170,
+
+		ITLB: tlb.Config{Name: "ITLB", Entries: 32, Ways: 4, WalkLatency: 30},
+		DTLB: tlb.Config{Name: "DTLB", Entries: 64, Ways: 4, WalkLatency: 30},
+
+		Predictor: PredTwoLevel,
+		Pipe: pipeline.Config{
+			Name:              "inorder-2w",
+			FetchWidth:        2,
+			CommitWidth:       2,
+			Window:            16,
+			InOrder:           true,
+			MispredictPenalty: 15,
+			IntLat:            1,
+			MulLat:            5,
+			DivLat:            30,
+			FPLat:             5,
+			FPDivLat:          32,
+			LoadLat:           [5]int{0, 3, 15, 170, 170},
+			ITLBPenalty:       30,
+			DTLBPenalty:       30,
+		},
+	}
+}

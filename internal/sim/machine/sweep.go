@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"repro/internal/sim/cache"
+	"repro/internal/sim/isa"
+)
+
+// Sweep reproduces the methodology of the paper's locality study
+// (§5.4, Fig. 6-9): an Atom-like in-order core with a two-level cache
+// whose L1 capacity is varied from 16 KB to 8192 KB while the miss
+// ratio is recorded. One Sweep evaluates all sizes in a single trace
+// pass by maintaining an independent cache per size for each of the
+// three views: instruction-only, data-only, and unified
+// (instructions + data, Fig. 8).
+//
+// Sweep implements trace.Probe.
+type Sweep struct {
+	// SizesKB lists the evaluated L1 capacities.
+	SizesKB []int
+
+	icaches []*cache.Cache
+	dcaches []*cache.Cache
+	ucaches []*cache.Cache
+
+	lastILine uint64
+}
+
+// DefaultSweepSizesKB are the paper's ten L1 capacities.
+var DefaultSweepSizesKB = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// NewSweep builds a sweep over the given sizes (8-way, 64-byte lines
+// per the paper's simulator configuration).
+func NewSweep(sizesKB []int) *Sweep {
+	s := &Sweep{SizesKB: sizesKB}
+	for _, kb := range sizesKB {
+		cfg := cache.Config{Size: kb << 10, Ways: 8, LineSize: 64, Latency: 1}
+		cfg.Name = "sweepI"
+		s.icaches = append(s.icaches, cache.New(cfg))
+		cfg.Name = "sweepD"
+		s.dcaches = append(s.dcaches, cache.New(cfg))
+		cfg.Name = "sweepU"
+		s.ucaches = append(s.ucaches, cache.New(cfg))
+	}
+	return s
+}
+
+// Inst implements trace.Probe.
+//
+// Instruction fetches are counted per fetched line (as MARSSx86's
+// cache statistics do), so sequential code issues one I-access per
+// 64-byte block; data references are counted per access.
+func (s *Sweep) Inst(i *isa.Inst) {
+	if line := i.PC >> 6; line != s.lastILine {
+		s.lastILine = line
+		for k := range s.icaches {
+			s.icaches[k].Access(i.PC, false)
+			s.ucaches[k].Access(i.PC, false)
+		}
+	}
+	if i.Op == isa.Load || i.Op == isa.Store {
+		wr := i.Op == isa.Store
+		for k := range s.dcaches {
+			s.dcaches[k].Access(i.Addr, wr)
+			s.ucaches[k].Access(i.Addr, wr)
+		}
+	}
+}
+
+// InstMissRatios returns the instruction-cache miss ratio per size.
+func (s *Sweep) InstMissRatios() []float64 { return ratios(s.icaches) }
+
+// DataMissRatios returns the data-cache miss ratio per size.
+func (s *Sweep) DataMissRatios() []float64 { return ratios(s.dcaches) }
+
+// UnifiedMissRatios returns the unified-cache miss ratio per size.
+func (s *Sweep) UnifiedMissRatios() []float64 { return ratios(s.ucaches) }
+
+func ratios(cs []*cache.Cache) []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.MissRatio()
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutSeparation(t *testing.T) {
+	l := NewLayout()
+	c := l.Code(1 << 20)
+	h := l.Alloc(1 << 20)
+	if c < CodeBase || c+1<<20 > CodeLimit {
+		t.Fatalf("code allocation %#x outside text segment", c)
+	}
+	if h < HeapBase || h+1<<20 > HeapLimit {
+		t.Fatalf("heap allocation %#x outside heap", h)
+	}
+}
+
+func TestAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		l := NewLayout()
+		type region struct{ base, size uint64 }
+		var regions []region
+		for _, s := range sizes {
+			size := uint64(s) + 1
+			base := l.Alloc(size)
+			for _, r := range regions {
+				if base < r.base+r.size && r.base < base+size {
+					return false
+				}
+			}
+			regions = append(regions, region{base, size})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeAllocationsDisjointAndAligned(t *testing.T) {
+	l := NewLayout()
+	a := l.Code(100)
+	b := l.Code(100)
+	if a%LineSize != 0 || b%LineSize != 0 {
+		t.Fatal("code allocations not line aligned")
+	}
+	if b < a+100 {
+		t.Fatal("code allocations overlap")
+	}
+}
+
+func TestAllocArrayAlignment(t *testing.T) {
+	l := NewLayout()
+	base := l.AllocArray(100, 8)
+	if base%LineSize != 0 {
+		t.Fatalf("array base %#x not line aligned", base)
+	}
+}
+
+func TestUsageCounters(t *testing.T) {
+	l := NewLayout()
+	l.Code(4096)
+	l.Alloc(8192)
+	if l.CodeUsed() < 4096 {
+		t.Fatalf("CodeUsed = %d", l.CodeUsed())
+	}
+	if l.HeapUsed() < 8192 {
+		t.Fatalf("HeapUsed = %d", l.HeapUsed())
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("text exhaustion did not panic")
+		}
+	}()
+	l := NewLayout()
+	l.Code(CodeLimit - CodeBase + 1)
+}
+
+func TestLineAndPageHelpers(t *testing.T) {
+	if LineOf(127) != 1 || LineOf(128) != 2 {
+		t.Fatal("LineOf wrong")
+	}
+	if PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+}

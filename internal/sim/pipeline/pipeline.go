@@ -1,0 +1,315 @@
+// Package pipeline implements a cycle-approximate processor timing
+// model driven by the dynamic instruction stream.
+//
+// The model is a greedy dataflow scheduler in the style of interval
+// analysis: each instruction is fetched subject to front-end bandwidth
+// and stalls (instruction-cache misses, ITLB walks, branch
+// misprediction redirects), dispatched subject to window (ROB)
+// occupancy, executed when its register operands are ready (loads pay
+// the latency of the cache level that served them), and committed
+// subject to commit bandwidth. Cycles are the final commit time; IPC,
+// front-end stall attribution, ILP and MLP fall out of the schedule.
+//
+// Two configurations reproduce the paper's platforms: a 4-wide
+// out-of-order Xeon-E5645-class core and a 2-wide in-order
+// Atom-D510-class core.
+package pipeline
+
+import "repro/internal/sim/isa"
+
+// Config describes a core.
+type Config struct {
+	// Name labels the core model.
+	Name string
+	// FetchWidth is instructions fetched per cycle.
+	FetchWidth int
+	// CommitWidth is instructions committed per cycle.
+	CommitWidth int
+	// Window is the reorder-buffer capacity; with InOrder it acts as a
+	// small in-flight buffer.
+	Window int
+	// InOrder forces program-order issue (execution may still overlap
+	// through latency, as on the dual-issue Atom).
+	InOrder bool
+	// MispredictPenalty is the redirect penalty in cycles.
+	MispredictPenalty int
+
+	// Execution latencies in cycles.
+	IntLat, MulLat, DivLat, FPLat, FPDivLat int
+	// LoadLat maps the hit level (1..4: L1, L2, L3, memory) to load
+	// latency; index 0 is unused.
+	LoadLat [5]int
+	// ITLBPenalty and DTLBPenalty are page-walk costs in cycles.
+	ITLBPenalty, DTLBPenalty int
+}
+
+// Model is the running pipeline state for one core. Construct with New;
+// one Model serves one workload run.
+type Model struct {
+	cfg Config
+
+	ready [isa.NumRegs]uint64 // register ready cycle
+	rob   []uint64            // ring buffer of commit cycles
+	robAt int
+
+	nextFetchCycle uint64
+	fetchedInCycle int
+
+	lastCommitCycle uint64
+	commitsInCycle  int
+
+	lastExecStart uint64 // in-order issue constraint
+
+	// dataflow chain depth (unit latency) for the windowed ILP metric
+	depth      [isa.NumRegs]uint64
+	maxDepth   uint64
+	winStart   uint64 // maxDepth at the start of the current window
+	winInsts   uint64
+	chainTotal uint64 // accumulated per-window critical-path lengths
+
+	// outstanding long-latency load tracking for the MLP metric
+	missEnds [16]uint64
+	missAt   int
+
+	// Statistics.
+	Insts  uint64
+	Cycles uint64
+	// Stall attribution in cycles.
+	IMissStall, ITLBStall, MispredictStall uint64
+	// MLP accumulators: sum of overlapping long-latency loads observed
+	// at each long-latency load issue, and their count.
+	MLPSum, MLPCount uint64
+}
+
+// New constructs a pipeline model.
+func New(cfg Config) *Model {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	return &Model{cfg: cfg, rob: make([]uint64, cfg.Window)}
+}
+
+// Config returns the core configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Step advances the model by one instruction.
+//
+// ilevel is the cache level that served the instruction fetch and
+// dlevel the level that served the data access (0 if none); mispredict
+// reports the branch outcome; itlbExtra and dtlbExtra are the extra
+// translation cycles (0 on a first-level TLB hit, small on an STLB
+// hit, the full walk on an STLB miss).
+func (m *Model) Step(i *isa.Inst, ilevel, dlevel int, mispredict bool, itlbExtra, dtlbExtra int) {
+	cfg := &m.cfg
+
+	// --- Fetch ---
+	if m.fetchedInCycle >= cfg.FetchWidth {
+		m.nextFetchCycle++
+		m.fetchedInCycle = 0
+	}
+	fc := m.nextFetchCycle
+	if ilevel > 1 {
+		// The decoupled fetch queue absorbs part of an instruction
+		// fill: decode keeps draining buffered instructions while the
+		// miss is outstanding, so only ~60% of the fill latency is
+		// exposed.
+		stall := uint64(fillLatency(cfg, ilevel)) * 3 / 5
+		fc += stall
+		m.IMissStall += stall
+		m.nextFetchCycle = fc
+		m.fetchedInCycle = 0
+	}
+	if itlbExtra > 0 {
+		stall := uint64(itlbExtra)
+		fc += stall
+		m.ITLBStall += stall
+		m.nextFetchCycle = fc
+		m.fetchedInCycle = 0
+	}
+	m.fetchedInCycle++
+
+	// --- Dispatch: window occupancy ---
+	oldest := m.rob[m.robAt]
+	dispatch := fc
+	if oldest > dispatch {
+		dispatch = oldest
+	}
+
+	// --- Execute: operand readiness ---
+	start := dispatch
+	if r := m.ready[i.Src1]; r > start {
+		start = r
+	}
+	if r := m.ready[i.Src2]; r > start {
+		start = r
+	}
+	if cfg.InOrder {
+		if m.lastExecStart > start {
+			start = m.lastExecStart
+		}
+		m.lastExecStart = start
+	}
+	lat := m.latency(i, dlevel, dtlbExtra)
+	done := start + lat
+
+	if i.Dst != isa.NoReg {
+		m.ready[i.Dst] = done
+		d := m.depth[i.Src1]
+		if m.depth[i.Src2] > d {
+			d = m.depth[i.Src2]
+		}
+		d++
+		m.depth[i.Dst] = d
+		if d > m.maxDepth {
+			m.maxDepth = d
+		}
+	}
+	m.winInsts++
+	if m.winInsts == ilpWindow {
+		grow := m.maxDepth - m.winStart
+		if grow == 0 {
+			grow = 1
+		}
+		m.chainTotal += grow
+		m.winStart = m.maxDepth
+		m.winInsts = 0
+	}
+
+	// MLP: long-latency loads overlapping in flight.
+	if i.Op == isa.Load && dlevel >= 3 {
+		overlap := uint64(1)
+		for _, end := range m.missEnds {
+			if end > start {
+				overlap++
+			}
+		}
+		m.missEnds[m.missAt] = done
+		m.missAt = (m.missAt + 1) % len(m.missEnds)
+		m.MLPSum += overlap
+		m.MLPCount++
+	}
+
+	// --- Branch resolution ---
+	if mispredict {
+		// The redirect waits for the branch to resolve, but a real
+		// out-of-order core hides most of a long resolution (branches
+		// resolve early out of the scheduler and wrong-path fetch
+		// overlaps), so the exposed wait beyond fetch is bounded; and
+		// the flush empties the window, so earlier back-pressure does
+		// not also charge the redirect.
+		resolve := done
+		const maxExposedResolution = 30
+		if resolve > fc+maxExposedResolution {
+			resolve = fc + maxExposedResolution
+		}
+		redirect := resolve + uint64(cfg.MispredictPenalty)
+		if redirect > m.nextFetchCycle {
+			m.MispredictStall += redirect - m.nextFetchCycle
+			m.nextFetchCycle = redirect
+			m.fetchedInCycle = 0
+		}
+		// Flush: the window is empty after a misprediction.
+		for k := range m.rob {
+			m.rob[k] = 0
+		}
+	}
+
+	// --- Commit ---
+	c := done
+	if c < m.lastCommitCycle {
+		c = m.lastCommitCycle
+	}
+	if c == m.lastCommitCycle {
+		m.commitsInCycle++
+		if m.commitsInCycle > cfg.CommitWidth {
+			c++
+			m.commitsInCycle = 1
+		}
+	} else {
+		m.commitsInCycle = 1
+	}
+	m.lastCommitCycle = c
+
+	m.rob[m.robAt] = c
+	m.robAt = (m.robAt + 1) % cfg.Window
+
+	m.Insts++
+	m.Cycles = c
+}
+
+func (m *Model) latency(i *isa.Inst, dlevel, dtlbExtra int) uint64 {
+	cfg := &m.cfg
+	var lat int
+	switch i.Op {
+	case isa.Load:
+		lat = cfg.LoadLat[dlevel] + dtlbExtra
+	case isa.Store:
+		// Stores retire through the store buffer; they occupy a slot
+		// but do not stall dependents in this model.
+		lat = 1 + dtlbExtra
+	case isa.IntMul:
+		lat = cfg.MulLat
+	case isa.IntDiv:
+		lat = cfg.DivLat
+	case isa.FPArith:
+		lat = cfg.FPLat
+	case isa.FPDiv:
+		lat = cfg.FPDivLat
+	default:
+		lat = cfg.IntLat
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	return uint64(lat)
+}
+
+func fillLatency(cfg *Config, level int) int {
+	if level <= 1 {
+		return 0
+	}
+	return cfg.LoadLat[level]
+}
+
+// IPC returns retired instructions per cycle.
+func (m *Model) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Insts) / float64(m.Cycles)
+}
+
+// FrontStall returns the fraction of cycles lost to front-end events
+// (instruction misses, ITLB walks, mispredict redirects).
+func (m *Model) FrontStall() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.IMissStall+m.ITLBStall+m.MispredictStall) / float64(m.Cycles)
+}
+
+// ilpWindow is the instruction window over which dataflow parallelism
+// is measured (matching the modelled ROB capacity).
+const ilpWindow = 128
+
+// ILP returns the windowed dataflow parallelism of the observed
+// stream: for each 128-instruction window, the window size divided by
+// the unit-latency critical-path growth inside it, averaged over the
+// run. This is the classic limit-study ILP bounded to a realistic
+// scheduling window.
+func (m *Model) ILP() float64 {
+	windows := m.Insts / ilpWindow
+	if windows == 0 || m.chainTotal == 0 {
+		return 1
+	}
+	return float64(windows) * ilpWindow / float64(m.chainTotal)
+}
+
+// MLP returns the mean number of overlapping long-latency loads
+// observed at long-latency load issue (1.0 if none overlapped).
+func (m *Model) MLP() float64 {
+	if m.MLPCount == 0 {
+		return 1
+	}
+	return float64(m.MLPSum) / float64(m.MLPCount)
+}

@@ -1,0 +1,85 @@
+// Package tlb models instruction and data translation look-aside
+// buffers. A TLB is structurally a small set-associative cache keyed by
+// page number; a miss charges a page-walk penalty in the pipeline and
+// is counted toward the ITLB/DTLB MPKI metrics of the paper's Fig. 5.
+package tlb
+
+import "repro/internal/sim/mem"
+
+// Config describes a TLB.
+type Config struct {
+	// Name labels the TLB ("ITLB"/"DTLB").
+	Name string
+	// Entries is the total entry count.
+	Entries int
+	// Ways is the associativity.
+	Ways int
+	// WalkLatency is the page-walk penalty in cycles on a miss.
+	WalkLatency int
+}
+
+// TLB is a set-associative translation buffer with true-LRU
+// replacement. Construct with New.
+type TLB struct {
+	cfg   Config
+	sets  uint64
+	tags  []uint64
+	stamp []uint64
+	clock uint64
+
+	// Accesses and Misses count translations.
+	Accesses, Misses uint64
+}
+
+// New constructs a TLB; it panics on an invalid geometry.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic("tlb: invalid geometry for " + cfg.Name)
+	}
+	n := cfg.Entries
+	return &TLB{
+		cfg:   cfg,
+		sets:  uint64(cfg.Entries / cfg.Ways),
+		tags:  make([]uint64, n),
+		stamp: make([]uint64, n),
+	}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Access translates addr, returning true on a TLB miss (page walk).
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	page := mem.PageOf(addr)
+	tag := page + 1
+	set := (page % t.sets) * uint64(t.cfg.Ways)
+	ways := t.tags[set : set+uint64(t.cfg.Ways)]
+	t.clock++
+	for w := range ways {
+		if ways[w] == tag {
+			t.stamp[set+uint64(w)] = t.clock
+			return false
+		}
+	}
+	t.Misses++
+	victim := set
+	oldest := t.stamp[set]
+	for w := uint64(1); w < uint64(t.cfg.Ways); w++ {
+		if t.stamp[set+w] < oldest {
+			oldest = t.stamp[set+w]
+			victim = set + w
+		}
+	}
+	t.tags[victim] = tag
+	t.stamp[victim] = t.clock
+	return true
+}
+
+// MissRatio returns Misses/Accesses (0 when never accessed).
+func (t *TLB) MissRatio() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

@@ -1,0 +1,402 @@
+// Package trace connects instrumented workload kernels to the
+// micro-architecture models.
+//
+// A kernel does its real computation on ordinary Go values, and in the
+// same pass narrates the machine-level work through an Emitter: one
+// call per dynamic instruction, carrying the instruction class, the
+// instruction address (from a simulated code Routine), the data address
+// (from the simulated heap) and the register dependencies. The stream
+// of isa.Inst records drives the cache, TLB, branch-predictor and
+// pipeline models, which implement the Probe interface.
+package trace
+
+import (
+	"repro/internal/sim/isa"
+	"repro/internal/sim/mem"
+)
+
+// Probe consumes a dynamic instruction stream. Implementations must not
+// retain the *isa.Inst across calls: emitters reuse the record.
+type Probe interface {
+	Inst(i *isa.Inst)
+}
+
+// MultiProbe fans one instruction stream out to several probes
+// (used by the cache-size sweep experiments).
+type MultiProbe []Probe
+
+// Inst implements Probe.
+func (m MultiProbe) Inst(i *isa.Inst) {
+	for _, p := range m {
+		p.Inst(i)
+	}
+}
+
+// CountProbe counts instructions by class; useful in tests.
+type CountProbe struct {
+	Total  uint64
+	ByOp   [isa.NumOps]uint64
+	Taken  uint64
+	Memory uint64
+}
+
+// Inst implements Probe.
+func (c *CountProbe) Inst(i *isa.Inst) {
+	c.Total++
+	c.ByOp[i.Op]++
+	if i.Op == isa.Branch && i.Taken {
+		c.Taken++
+	}
+	if i.Op.IsMem() {
+		c.Memory++
+	}
+}
+
+// Routine is a contiguous region of simulated code. Kernels and stack
+// models allocate Routines from a mem.Layout and emit instructions
+// whose PCs advance through the region, so the instruction-cache and
+// footprint models see realistic text-segment behaviour.
+type Routine struct {
+	// Name identifies the routine in reports and tests.
+	Name string
+	// Base is the first instruction address.
+	Base uint64
+	// Size is the region size in bytes.
+	Size uint64
+}
+
+// End returns one past the last valid instruction address.
+func (r *Routine) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether pc falls inside the routine.
+func (r *Routine) Contains(pc uint64) bool {
+	return pc >= r.Base && pc < r.Base+r.Size
+}
+
+// NewRoutine reserves a code region of size bytes from the layout.
+func NewRoutine(l *mem.Layout, name string, size uint64) *Routine {
+	if size < isa.InstBytes {
+		size = isa.InstBytes
+	}
+	return &Routine{Name: name, Base: l.Code(size), Size: size}
+}
+
+// Label is a recorded code position used as a branch target.
+type Label struct {
+	pc  uint64
+	rtn *Routine
+}
+
+type frame struct {
+	pc  uint64
+	rtn *Routine
+}
+
+// maxCallDepth bounds the simulated call stack; deeper calls are
+// treated as tail calls, which keeps runaway recursion in stack models
+// harmless.
+const maxCallDepth = 64
+
+// Emitter is the instrumentation DSL. It owns the current program
+// counter, a rotating register allocator for dataflow tracking, the
+// simulated call stack, and the remaining instruction budget.
+//
+// All emit methods send exactly one instruction to the probe and
+// advance the PC by isa.InstBytes (branches may relocate it).
+type Emitter struct {
+	p       Probe
+	inst    isa.Inst
+	pc      uint64
+	rtn     *Routine
+	stack   [maxCallDepth]frame
+	depth   int
+	budget  int64
+	emitted uint64
+	nextReg uint8
+}
+
+// NewEmitter returns an emitter feeding p with an instruction budget.
+// Kernels poll OK() and stop when the budget is exhausted, so every
+// workload run retires a comparable instruction count regardless of
+// dataset size.
+func NewEmitter(p Probe, budget int64) *Emitter {
+	return &Emitter{p: p, budget: budget, nextReg: 8}
+}
+
+// OK reports whether instruction budget remains.
+func (e *Emitter) OK() bool { return e.budget > 0 }
+
+// Emitted returns the number of instructions emitted so far.
+func (e *Emitter) Emitted() uint64 { return e.emitted }
+
+// PC returns the current program counter (mainly for tests).
+func (e *Emitter) PC() uint64 { return e.pc }
+
+// Routine returns the routine the emitter is currently inside.
+func (e *Emitter) Routine() *Routine { return e.rtn }
+
+// Enter positions the emitter at the start of r without emitting a
+// control transfer. Use it once at the top of a kernel; use Call for
+// modelled function calls.
+func (e *Emitter) Enter(r *Routine) {
+	e.rtn = r
+	e.pc = r.Base
+}
+
+// fresh returns the next rotating register. Registers 1..7 are reserved
+// for fixed accumulators (see Fixed); 0 is isa.NoReg.
+func (e *Emitter) fresh() isa.Reg {
+	r := e.nextReg
+	e.nextReg++
+	if e.nextReg == 0 { // wrapped past 255
+		e.nextReg = 8
+	}
+	return isa.Reg(r)
+}
+
+// Fixed returns one of seven fixed registers (i in 1..7), used for
+// serial accumulator chains (reductions), which bound instruction-level
+// parallelism exactly as a real dependent chain does.
+func (e *Emitter) Fixed(i int) isa.Reg {
+	if i < 1 || i > 7 {
+		panic("trace: Fixed register index out of range")
+	}
+	return isa.Reg(i)
+}
+
+func (e *Emitter) emit() {
+	e.inst.PC = e.pc
+	e.advance()
+	e.p.Inst(&e.inst)
+	e.budget--
+	e.emitted++
+}
+
+func (e *Emitter) advance() {
+	e.pc += isa.InstBytes
+	if e.rtn != nil && e.pc >= e.rtn.End() {
+		// Silent wrap keeps long straight-line emissions inside the
+		// routine; the instruction cache sees the region re-walked.
+		e.pc = e.rtn.Base
+	}
+}
+
+// Load emits a load of size bytes from addr. addrDep is the register
+// the address depends on (isa.NoReg if none). It returns the register
+// holding the loaded value.
+func (e *Emitter) Load(addr uint64, size uint8, addrDep isa.Reg) isa.Reg {
+	dst := e.fresh()
+	e.inst = isa.Inst{Op: isa.Load, Addr: addr, Size: size, Dst: dst, Src1: addrDep}
+	e.emit()
+	return dst
+}
+
+// LoadTo emits a load whose result lands in dst (used for accumulator
+// reloads).
+func (e *Emitter) LoadTo(dst isa.Reg, addr uint64, size uint8, addrDep isa.Reg) isa.Reg {
+	e.inst = isa.Inst{Op: isa.Load, Addr: addr, Size: size, Dst: dst, Src1: addrDep}
+	e.emit()
+	return dst
+}
+
+// Store emits a store of size bytes to addr. val is the stored value's
+// register, addrDep the address dependency.
+func (e *Emitter) Store(addr uint64, size uint8, val, addrDep isa.Reg) {
+	e.inst = isa.Inst{Op: isa.Store, Addr: addr, Size: size, Src1: val, Src2: addrDep}
+	e.emit()
+}
+
+// Int emits an integer operation of the given class (IntAlu, IntAddr,
+// FPAddr, IntMul, IntDiv) and returns the destination register.
+func (e *Emitter) Int(op isa.Op, s1, s2 isa.Reg) isa.Reg {
+	dst := e.fresh()
+	e.inst = isa.Inst{Op: op, Dst: dst, Src1: s1, Src2: s2}
+	e.emit()
+	return dst
+}
+
+// IntTo emits an integer operation into an explicit destination,
+// forming a serial chain when dst is also a source.
+func (e *Emitter) IntTo(dst isa.Reg, op isa.Op, s1, s2 isa.Reg) isa.Reg {
+	e.inst = isa.Inst{Op: op, Dst: dst, Src1: s1, Src2: s2}
+	e.emit()
+	return dst
+}
+
+// FP emits a floating-point operation (FPArith or FPDiv) and returns
+// the destination register.
+func (e *Emitter) FP(op isa.Op, s1, s2 isa.Reg) isa.Reg {
+	dst := e.fresh()
+	e.inst = isa.Inst{Op: op, Dst: dst, Src1: s1, Src2: s2}
+	e.emit()
+	return dst
+}
+
+// FPTo emits a floating-point operation into an explicit destination.
+func (e *Emitter) FPTo(dst isa.Reg, op isa.Op, s1, s2 isa.Reg) isa.Reg {
+	e.inst = isa.Inst{Op: op, Dst: dst, Src1: s1, Src2: s2}
+	e.emit()
+	return dst
+}
+
+// IntN emits n independent IntAlu operations (fixed-cost glue code).
+func (e *Emitter) IntN(n int) {
+	for i := 0; i < n; i++ {
+		e.Int(isa.IntAlu, isa.NoReg, isa.NoReg)
+	}
+}
+
+// Here records the current position as a branch target label.
+func (e *Emitter) Here() Label { return Label{pc: e.pc, rtn: e.rtn} }
+
+// Loop emits a conditional backward branch to l. When taken the PC
+// returns to the label (a loop iteration); otherwise execution falls
+// through. dep is the register the loop condition depends on.
+func (e *Emitter) Loop(l Label, taken bool, dep isa.Reg) {
+	e.inst = isa.Inst{
+		Op: isa.Branch, Kind: isa.BrCond, Taken: taken,
+		Target: l.pc, Src1: dep,
+	}
+	e.inst.PC = e.pc
+	e.p.Inst(&e.inst)
+	e.budget--
+	e.emitted++
+	if taken {
+		e.pc = l.pc
+		e.rtn = l.rtn
+	} else {
+		e.pc += isa.InstBytes
+	}
+}
+
+// If emits a conditional forward branch guarding a then-block of
+// exactly thenN instructions. When cond is false the branch is taken
+// and skips the block (then is not called); when cond is true the
+// branch falls through and then() must emit exactly thenN
+// instructions. This mirrors compiled if-statements and keeps the PCs
+// of the surrounding code identical on both paths, so the branch
+// predictors see stable branch addresses.
+func (e *Emitter) If(cond bool, thenN int, then func()) {
+	target := e.pc + uint64((thenN+1)*isa.InstBytes)
+	e.inst = isa.Inst{
+		Op: isa.Branch, Kind: isa.BrCond, Taken: !cond, Target: target,
+	}
+	e.inst.PC = e.pc
+	e.p.Inst(&e.inst)
+	e.budget--
+	e.emitted++
+	if cond {
+		e.pc += isa.InstBytes
+		before := e.emitted
+		then()
+		if got := int(e.emitted - before); got != thenN {
+			panic("trace: If block emitted wrong instruction count: " +
+				itoa(got) + " != " + itoa(thenN))
+		}
+	} else {
+		e.pc = target
+		if e.rtn != nil && e.pc >= e.rtn.End() {
+			e.pc = e.rtn.Base
+		}
+	}
+}
+
+// Branch emits a standalone conditional branch with an explicit
+// outcome; the fall-through and taken paths rejoin immediately (a
+// compare-and-skip of one instruction). Use it for data-dependent
+// comparisons whose arms are handled in Go code rather than emitted.
+func (e *Emitter) Branch(taken bool, dep isa.Reg) {
+	target := e.pc + 2*isa.InstBytes
+	e.inst = isa.Inst{
+		Op: isa.Branch, Kind: isa.BrCond, Taken: taken, Target: target,
+		Src1: dep,
+	}
+	e.emit()
+}
+
+// Call emits a direct call into r and moves the emitter there.
+func (e *Emitter) Call(r *Routine) {
+	e.call(r, isa.BrCall, isa.NoReg)
+}
+
+// CallIndirect emits an indirect call into r (virtual dispatch); the
+// indirect-branch predictor handles it differently from direct calls.
+func (e *Emitter) CallIndirect(r *Routine, dep isa.Reg) {
+	e.call(r, isa.BrIndirectCall, dep)
+}
+
+func (e *Emitter) call(r *Routine, kind isa.BranchKind, dep isa.Reg) {
+	e.inst = isa.Inst{Op: isa.Branch, Kind: kind, Taken: true, Target: r.Base, Src1: dep}
+	e.inst.PC = e.pc
+	e.p.Inst(&e.inst)
+	e.budget--
+	e.emitted++
+	ret := e.pc + isa.InstBytes
+	if e.depth < maxCallDepth {
+		e.stack[e.depth] = frame{pc: ret, rtn: e.rtn}
+		e.depth++
+	}
+	e.rtn = r
+	e.pc = r.Base
+}
+
+// Ret emits a return to the calling routine. With an empty call stack
+// it is a no-op jump to the current routine base.
+func (e *Emitter) Ret() {
+	var target frame
+	if e.depth > 0 {
+		e.depth--
+		target = e.stack[e.depth]
+	} else {
+		target = frame{pc: e.rtn.Base, rtn: e.rtn}
+	}
+	e.inst = isa.Inst{Op: isa.Branch, Kind: isa.BrRet, Taken: true, Target: target.pc}
+	e.inst.PC = e.pc
+	e.p.Inst(&e.inst)
+	e.budget--
+	e.emitted++
+	e.pc = target.pc
+	e.rtn = target.rtn
+}
+
+// Depth returns the current simulated call depth (for tests).
+func (e *Emitter) Depth() int { return e.depth }
+
+// Pos is a saved emitter code position.
+type Pos struct {
+	pc  uint64
+	rtn *Routine
+}
+
+// Pos captures the current code position so a framework interposer can
+// emit elsewhere and return (see Restore).
+func (e *Emitter) Pos() Pos { return Pos{pc: e.pc, rtn: e.rtn} }
+
+// Restore moves the emitter back to a saved position without emitting
+// a control transfer; pair with Pos around stream emissions.
+func (e *Emitter) Restore(p Pos) {
+	e.pc = p.pc
+	e.rtn = p.rtn
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,121 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/sim/isa"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+)
+
+func TestAllDescriptorsUsable(t *testing.T) {
+	for _, d := range []Descriptor{
+		MPI(), Hadoop(), Spark(), Hive(), Shark(), Impala(), HBase(), MySQL(), Native(),
+	} {
+		if d.Name == "" || d.CodeKB <= 0 {
+			t.Fatalf("descriptor %+v incomplete", d)
+		}
+		l := mem.NewLayout()
+		e := trace.NewEmitter(&trace.CountProbe{}, 50_000)
+		rt := NewRuntime(d, e, l, 1)
+		rt.TaskStart()
+		rt.ReadRecord(100)
+		rt.EmitKV(20)
+		rt.Request(256)
+		rt.Shuffle(1000)
+		rt.IterStart()
+		if d.TaskInsts > 0 && rt.FrameworkInsts == 0 {
+			t.Fatalf("%s: no framework instructions emitted", d.Name)
+		}
+	}
+}
+
+func TestThickStacksEmitMore(t *testing.T) {
+	run := func(d Descriptor) uint64 {
+		l := mem.NewLayout()
+		e := trace.NewEmitter(&trace.CountProbe{}, 1_000_000)
+		rt := NewRuntime(d, e, l, 1)
+		for i := 0; i < 100; i++ {
+			rt.ReadRecord(100)
+			rt.EmitKV(12)
+		}
+		return rt.FrameworkInsts
+	}
+	mpi, hadoop := run(MPI()), run(Hadoop())
+	if hadoop < mpi*10 {
+		t.Fatalf("Hadoop per-record overhead (%d) not >> MPI (%d)", hadoop, mpi)
+	}
+}
+
+func TestFrameworkPreservesKernelPosition(t *testing.T) {
+	l := mem.NewLayout()
+	e := trace.NewEmitter(&trace.CountProbe{}, 100_000)
+	rt := NewRuntime(Hadoop(), e, l, 1)
+	kernel := trace.NewRoutine(l, "k", 4096)
+	e.Enter(kernel)
+	e.Int(isa.IntAlu, isa.NoReg, isa.NoReg)
+	before := e.PC()
+	rt.ReadRecord(100)
+	// Each framework chunk is entered by a call instruction at the
+	// kernel call site, so the PC advances a few slots but must stay
+	// in the kernel routine just past the call sites.
+	if e.Routine() != kernel {
+		t.Fatalf("framework emission left the kernel routine")
+	}
+	if e.PC() < before || e.PC() > before+64 {
+		t.Fatalf("framework emission moved the kernel position: %#x -> %#x", before, e.PC())
+	}
+	if e.Depth() != 0 {
+		t.Fatalf("unbalanced framework call depth %d", e.Depth())
+	}
+}
+
+func TestCodeFootprintsOrdered(t *testing.T) {
+	// The stack models' text footprints drive the paper's L1I story:
+	// MPI < Impala < Spark < Hadoop < HBase.
+	sizes := []struct {
+		name string
+		kb   int
+	}{
+		{"MPI", MPI().CodeKB},
+		{"Impala", Impala().CodeKB},
+		{"Spark", Spark().CodeKB},
+		{"Hadoop", Hadoop().CodeKB},
+		{"HBase", HBase().CodeKB},
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i].kb <= sizes[i-1].kb {
+			t.Fatalf("footprint ordering violated: %s (%d KB) <= %s (%d KB)",
+				sizes[i].name, sizes[i].kb, sizes[i-1].name, sizes[i-1].kb)
+		}
+	}
+}
+
+func TestJVMStacksRunGC(t *testing.T) {
+	l := mem.NewLayout()
+	probe := &trace.CountProbe{}
+	e := trace.NewEmitter(probe, 3_000_000)
+	rt := NewRuntime(Spark(), e, l, 1)
+	for e.OK() {
+		rt.ReadRecord(100)
+		rt.EmitKV(12)
+	}
+	if rt.sinceGC == 0 && rt.FrameworkInsts < uint64(rt.D.GCPeriod) {
+		t.Skip("budget too small to trigger GC")
+	}
+	// GC emission happened if framework instructions exceeded a period.
+	if rt.FrameworkInsts > uint64(rt.D.GCPeriod)*2 && rt.gcWalk == nil {
+		t.Fatal("no GC walk configured for a JVM stack")
+	}
+}
+
+func TestBatchDefaults(t *testing.T) {
+	d := Descriptor{}
+	if d.Batch() != 1 {
+		t.Fatal("zero BatchRows should mean 1")
+	}
+	imp := Impala()
+	if imp.Batch() != 1024 {
+		t.Fatalf("Impala batch = %d, want 1024", imp.Batch())
+	}
+}

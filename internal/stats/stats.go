@@ -1,0 +1,276 @@
+// Package stats implements the statistical functions of the WCRT
+// performance-data analyzer (§2.2 and §3 of the paper): Gaussian
+// normalization of metric columns, principal component analysis, and
+// K-means clustering with deterministic k-means++ seeding.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/xrand"
+)
+
+// Normalize z-scores each column of x in place ("we normalize these
+// metric values to a Gaussian distribution", §3). Columns with zero
+// variance become all-zero. It returns the per-column means and
+// standard deviations.
+func Normalize(x *linalg.Matrix) (mean, std []float64) {
+	n, d := x.Rows, x.Cols
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(max(n-1, 1)))
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			if std[j] > 1e-12 {
+				row[j] = (row[j] - mean[j]) / std[j]
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	return mean, std
+}
+
+// PCAResult is the outcome of a principal component analysis.
+type PCAResult struct {
+	// Components holds the principal directions as columns (d x k).
+	Components *linalg.Matrix
+	// EigenValues are the variances along each kept component.
+	EigenValues []float64
+	// Explained is the fraction of total variance kept.
+	Explained float64
+	// Projected is the input projected onto the kept components (n x k).
+	Projected *linalg.Matrix
+}
+
+// PCA projects the rows of x onto the smallest set of principal
+// components whose cumulative variance reaches explainTarget
+// (e.g. 0.9). x should already be normalized.
+func PCA(x *linalg.Matrix, explainTarget float64) (*PCAResult, error) {
+	if x.Rows < 2 {
+		return nil, fmt.Errorf("stats: PCA needs at least 2 observations, got %d", x.Rows)
+	}
+	cov := linalg.Covariance(x)
+	vals, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	k := 0
+	acc := 0.0
+	for k < len(vals) {
+		if vals[k] > 0 {
+			acc += vals[k]
+		}
+		k++
+		if total > 0 && acc/total >= explainTarget {
+			break
+		}
+	}
+	if k == 0 {
+		k = 1
+	}
+	comp := linalg.NewMatrix(x.Cols, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < x.Cols; i++ {
+			comp.Set(i, j, vecs.At(i, j))
+		}
+	}
+	proj := linalg.NewMatrix(x.Rows, k)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j := 0; j < k; j++ {
+			s := 0.0
+			for a := 0; a < x.Cols; a++ {
+				s += row[a] * comp.At(a, j)
+			}
+			proj.Set(i, j, s)
+		}
+	}
+	explained := 1.0
+	if total > 0 {
+		explained = acc / total
+	}
+	return &PCAResult{Components: comp, EigenValues: vals[:k], Explained: explained, Projected: proj}, nil
+}
+
+// KMeansResult is a clustering outcome.
+type KMeansResult struct {
+	// K is the cluster count.
+	K int
+	// Assign maps each observation to its cluster.
+	Assign []int
+	// Centroids holds the cluster centers (k x d).
+	Centroids *linalg.Matrix
+	// WCSS is the within-cluster sum of squares.
+	WCSS float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeans clusters the rows of x into k clusters using k-means++
+// seeding and Lloyd iteration, deterministically from seed.
+func KMeans(x *linalg.Matrix, k int, seed uint64) (*KMeansResult, error) {
+	n, d := x.Rows, x.Cols
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("stats: KMeans k=%d out of range for %d observations", k, n)
+	}
+	rng := xrand.New(seed)
+	cent := linalg.NewMatrix(k, d)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	copy(cent.Row(0), x.Row(first))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(x.Row(i), cent.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, dv := range dist {
+			total += dv
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			for i, dv := range dist {
+				acc += dv
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cent.Row(c), x.Row(pick))
+		for i := range dist {
+			if dd := sqDist(x.Row(i), cent.Row(c)); dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	const maxIter = 200
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if dd := sqDist(x.Row(i), cent.Row(c)); dd < bestD {
+					bestD = dd
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; reseed empty clusters with the point
+		// farthest from its centroid.
+		counts := make([]int, k)
+		next := linalg.NewMatrix(k, d)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := next.Row(c)
+			for j, v := range x.Row(i) {
+				row[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if dd := sqDist(x.Row(i), cent.Row(assign[i])); dd > farD {
+						farD = dd
+						far = i
+					}
+				}
+				copy(next.Row(c), x.Row(far))
+				counts[c] = 1
+				assign[far] = c
+				continue
+			}
+			row := next.Row(c)
+			for j := range row {
+				row[j] /= float64(counts[c])
+			}
+		}
+		cent = next
+	}
+	wcss := 0.0
+	for i := 0; i < n; i++ {
+		wcss += sqDist(x.Row(i), cent.Row(assign[i]))
+	}
+	return &KMeansResult{K: k, Assign: assign, Centroids: cent, WCSS: wcss, Iterations: iter + 1}, nil
+}
+
+// ChooseK selects a cluster count via the Bayesian-information-style
+// criterion the WCRT analyzer uses: it evaluates k in [kMin, kMax] and
+// returns the k minimizing WCSS + penalty*k*d*log(n).
+func ChooseK(x *linalg.Matrix, kMin, kMax int, penalty float64, seed uint64) (int, error) {
+	if kMin < 1 || kMax < kMin {
+		return 0, fmt.Errorf("stats: ChooseK invalid range [%d, %d]", kMin, kMax)
+	}
+	bestK, bestScore := kMin, math.Inf(1)
+	for k := kMin; k <= kMax && k <= x.Rows; k++ {
+		res, err := KMeans(x, k, seed)
+		if err != nil {
+			return 0, err
+		}
+		score := res.WCSS + penalty*float64(k*x.Cols)*math.Log(float64(x.Rows))
+		if score < bestScore {
+			bestScore = score
+			bestK = k
+		}
+	}
+	return bestK, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/xrand"
+)
+
+func clustered(n, d, k int, seed uint64) (*linalg.Matrix, []int) {
+	r := xrand.New(seed)
+	centers := linalg.NewMatrix(k, d)
+	for i := range centers.Data {
+		centers.Data[i] = r.NormFloat64() * 20
+	}
+	x := linalg.NewMatrix(n, d)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		truth[i] = c
+		for j := 0; j < d; j++ {
+			x.Set(i, j, centers.At(c, j)+r.NormFloat64())
+		}
+	}
+	return x, truth
+}
+
+func TestNormalizeZScores(t *testing.T) {
+	r := xrand.New(1)
+	x := linalg.NewMatrix(100, 4)
+	for i := range x.Data {
+		x.Data[i] = 5 + 3*r.NormFloat64()
+	}
+	Normalize(x)
+	for j := 0; j < 4; j++ {
+		var mean, variance float64
+		for i := 0; i < 100; i++ {
+			mean += x.At(i, j)
+		}
+		mean /= 100
+		for i := 0; i < 100; i++ {
+			dv := x.At(i, j) - mean
+			variance += dv * dv
+		}
+		variance /= 99
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("column %d mean %v != 0", j, mean)
+		}
+		if math.Abs(variance-1) > 1e-9 {
+			t.Fatalf("column %d variance %v != 1", j, variance)
+		}
+	}
+}
+
+func TestNormalizeConstantColumn(t *testing.T) {
+	x := linalg.NewMatrix(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, 7)
+		x.Set(i, 1, float64(i))
+	}
+	Normalize(x)
+	for i := 0; i < 10; i++ {
+		if x.At(i, 0) != 0 {
+			t.Fatal("zero-variance column not zeroed")
+		}
+	}
+}
+
+func TestPCARecoversLowRank(t *testing.T) {
+	// Data living on a 2-dimensional subspace of R^6.
+	r := xrand.New(2)
+	x := linalg.NewMatrix(200, 6)
+	for i := 0; i < 200; i++ {
+		a, b := r.NormFloat64(), r.NormFloat64()
+		for j := 0; j < 6; j++ {
+			x.Set(i, j, a*float64(j+1)+b*float64((j*j)%5))
+		}
+	}
+	Normalize(x)
+	res, err := PCA(x, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Projected.Cols > 3 {
+		t.Fatalf("PCA kept %d dims for rank-2 data", res.Projected.Cols)
+	}
+	if res.Explained < 0.99 {
+		t.Fatalf("explained %v < target", res.Explained)
+	}
+}
+
+func TestPCAErrorOnTooFewRows(t *testing.T) {
+	if _, err := PCA(linalg.NewMatrix(1, 3), 0.9); err == nil {
+		t.Fatal("PCA accepted a single observation")
+	}
+}
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	x, truth := clustered(120, 4, 3, 5)
+	res, err := KMeans(x, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-truth pairs must map to the same cluster (check a sample).
+	for i := 0; i < 117; i += 3 {
+		for j := i + 3; j < i+12 && j < 120; j += 3 {
+			if truth[i] == truth[j] && res.Assign[i] != res.Assign[j] {
+				t.Fatalf("points %d,%d in same true cluster split apart", i, j)
+			}
+		}
+	}
+}
+
+func TestKMeansAssignsNearestCentroid(t *testing.T) {
+	f := func(seed uint64) bool {
+		x, _ := clustered(60, 3, 4, seed)
+		res, err := KMeans(x, 4, seed^1)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 60; i++ {
+			own := sqDist(x.Row(i), res.Centroids.Row(res.Assign[i]))
+			for c := 0; c < 4; c++ {
+				if sqDist(x.Row(i), res.Centroids.Row(c)) < own-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	x, _ := clustered(80, 4, 5, 9)
+	a, _ := KMeans(x, 5, 7)
+	b, _ := KMeans(x, 5, 7)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same-seed K-means runs differ")
+		}
+	}
+}
+
+func TestKMeansNoEmptyClusters(t *testing.T) {
+	x, _ := clustered(40, 3, 2, 11)
+	res, err := KMeans(x, 8, 3) // k much larger than natural clusters
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+	}
+}
+
+func TestKMeansWCSSDecreasesWithK(t *testing.T) {
+	x, _ := clustered(150, 4, 6, 13)
+	var last float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := KMeans(x, k, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WCSS > last*1.02 {
+			t.Fatalf("WCSS grew from %v to %v at k=%d", last, res.WCSS, k)
+		}
+		last = res.WCSS
+	}
+}
+
+func TestKMeansRangeErrors(t *testing.T) {
+	x, _ := clustered(10, 2, 2, 1)
+	if _, err := KMeans(x, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(x, 11, 1); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestChooseKFindsStructure(t *testing.T) {
+	x, _ := clustered(150, 4, 5, 21)
+	k, err := ChooseK(x, 2, 10, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 3 || k > 8 {
+		t.Fatalf("ChooseK = %d for 5 well-separated clusters", k)
+	}
+}
+
+func TestIdenticalVectorsCluster(t *testing.T) {
+	x := linalg.NewMatrix(10, 3) // all zero
+	res, err := KMeans(x, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCSS != 0 {
+		t.Fatalf("WCSS %v for identical points", res.WCSS)
+	}
+}

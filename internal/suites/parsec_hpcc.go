@@ -1,0 +1,233 @@
+package suites
+
+import (
+	"repro/internal/sim/isa"
+	"repro/internal/sim/trace"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// PARSEC returns the CMP suite model (§4.3: PARSEC 3.0 with native
+// inputs): small-footprint data-parallel kernels whose instruction
+// working sets fit the L1I — the contrast the paper's §5.4 footprint
+// study draws against Hadoop. Average IPC near 1.28.
+func PARSEC() []workloads.Workload {
+	return []workloads.Workload{
+		native("blackscholes", func(c *workloads.Ctx) {
+			// Per-option closed-form pricing: independent FP chains
+			// with divides, plus the surrounding phase code.
+			opts := c.L.AllocArray(1<<20, 8)
+			ph := newPhaseCode(c, 96)
+			e := c.E
+			top := e.Here()
+			for i := 0; e.OK(); i++ {
+				s := e.Load(opts+uint64(i%(1<<20))*8, 8, isa.NoReg)
+				d1 := e.FP(isa.FPArith, s, isa.NoReg)
+				d1 = e.FP(isa.FPArith, d1, isa.NoReg)
+				d2 := e.FP(isa.FPDiv, d1, isa.NoReg)
+				p := e.FP(isa.FPArith, d2, isa.NoReg)
+				e.Store(opts+uint64(i%(1<<20))*8, 8, p, isa.NoReg)
+				e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+				if i%96 == 95 {
+					ph.emit(c, 180)
+				}
+				e.Loop(top, true, p)
+			}
+		}),
+		native("canneal", func(c *workloads.Ctx) {
+			// Simulated annealing of a netlist: random swaps over a
+			// large graph — cache-hostile pointer chasing — plus the
+			// surrounding bookkeeping phases.
+			base := c.L.Alloc(32 << 20)
+			ph := newPhaseCode(c, 96)
+			e := c.E
+			idx := 0
+			prev := isa.NoReg
+			top := e.Here()
+			for n := 0; e.OK(); n++ {
+				a := e.Int(isa.IntAddr, prev, isa.NoReg)
+				prev = e.Load(base+uint64(idx)*64, 8, a)
+				e.Int(isa.IntAlu, prev, isa.NoReg)
+				e.Int(isa.IntAlu, prev, isa.NoReg)
+				idx = int(xrand.Hash64(uint64(idx)+1) % uint64((32<<20)/64))
+				if n%160 == 159 {
+					ph.emit(c, 160)
+				}
+				e.Loop(top, true, prev)
+			}
+		}),
+		native("streamcluster", func(c *workloads.Ctx) {
+			// Online clustering: distance computation loops (the same
+			// shape as the K-means kernel, native scale).
+			pts := c.L.AllocArray(1<<19, 8)
+			ctr := c.L.AllocArray(1024, 8)
+			ph := newPhaseCode(c, 96)
+			e := c.E
+			acc := e.Fixed(1)
+			top := e.Here()
+			for i := 0; e.OK(); i++ {
+				a := e.Load(pts+uint64(i%(1<<19))*8, 8, isa.NoReg)
+				b := e.Load(ctr+uint64(i%1024)*8, 8, isa.NoReg)
+				d := e.FP(isa.FPArith, a, b)
+				e.FPTo(acc, isa.FPArith, acc, d)
+				better := xrand.Hash64(uint64(i))%7 == 0
+				e.Branch(better, acc)
+				if i%128 == 127 {
+					ph.emit(c, 140)
+				}
+				e.Loop(top, true, d)
+			}
+		}),
+		native("fluidanimate", func(c *workloads.Ctx) {
+			// SPH fluid: neighbour-grid FP with moderate branches.
+			mixKernel(c, trace.Mix{
+				Load: 0.27, Store: 0.1, Branch: 0.12, IntAddr: 0.04,
+				FPAddr: 0.14, FPArith: 0.24, Taken: 0.5, Noise: 0.04,
+				Chain: 0.35,
+			}, 16<<10, false)
+		}),
+		native("bodytrack", func(c *workloads.Ctx) {
+			mixKernel(c, trace.Mix{
+				Load: 0.26, Store: 0.09, Branch: 0.14, IntAddr: 0.1,
+				FPAddr: 0.08, FPArith: 0.18, Taken: 0.45, Noise: 0.05,
+				Chain: 0.4,
+			}, 8<<10, false)
+		}),
+		native("swaptions", func(c *workloads.Ctx) {
+			// Monte-Carlo HJM: FP with multiplies, high ILP, plus the
+			// path-setup phase code.
+			a := c.L.AllocArray(4096, 8)
+			b := c.L.AllocArray(4096, 8)
+			ph := newPhaseCode(c, 80)
+			e := c.E
+			accs := [2]isa.Reg{e.Fixed(1), e.Fixed(2)}
+			top := e.Here()
+			for i := 0; e.OK(); i++ {
+				ar := e.Load(a+uint64(i%4096)*8, 8, isa.NoReg)
+				br := e.Load(b+uint64((i*17)%4096)*8, 8, isa.NoReg)
+				m := e.FP(isa.FPArith, ar, br)
+				e.FPTo(accs[i%2], isa.FPArith, accs[i%2], m)
+				e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+				if i%112 == 111 {
+					ph.emit(c, 150)
+				}
+				e.Loop(top, true, m)
+			}
+		}),
+		native("dedup", func(c *workloads.Ctx) {
+			// Content-defined chunking: rolling hash + hash-table
+			// probes — integer heavy.
+			mixKernel(c, trace.Mix{
+				Load: 0.3, Store: 0.12, Branch: 0.15, IntAddr: 0.2,
+				IntMul: 0.05, Taken: 0.4, Noise: 0.05, Chain: 0.45,
+			}, 1024, false)
+		}),
+		native("x264-like", func(c *workloads.Ctx) {
+			// Motion estimation SAD loops: sequential integer loads,
+			// very predictable, plus encoder phase code.
+			frame := c.L.Alloc(4 << 20)
+			ph := newPhaseCode(c, 96)
+			e := c.E
+			acc := e.Fixed(1)
+			top := e.Here()
+			i := 0
+			for off := 0; e.OK(); off += 8 {
+				a := e.Load(frame+uint64(off%(4<<20)), 8, isa.NoReg)
+				b := e.Load(frame+uint64((off+1<<19)%(4<<20)), 8, isa.NoReg)
+				d := e.Int(isa.IntAlu, a, b)
+				e.IntTo(acc, isa.IntAlu, acc, d)
+				if i%144 == 143 {
+					ph.emit(c, 130)
+				}
+				i++
+				e.Loop(top, true, d)
+			}
+		}),
+	}
+}
+
+// HPCC returns the HPC suite model (§4.3: all seven HPCC 1.4 kernels).
+// FP-dominated dense kernels with the highest average IPC (~1.5) —
+// except RandomAccess, which is the canonical cache-hostile GUPS loop.
+func HPCC() []workloads.Workload {
+	return []workloads.Workload{
+		native("HPL", func(c *workloads.Ctx) {
+			a := c.L.AllocArray(16384, 8)
+			b := c.L.AllocArray(16384, 8)
+			dgemmLoop(c, a, b, 16384)
+		}),
+		native("DGEMM", func(c *workloads.Ctx) {
+			a := c.L.AllocArray(8192, 8)
+			b := c.L.AllocArray(8192, 8)
+			dgemmLoop(c, a, b, 8192)
+		}),
+		native("STREAM", func(c *workloads.Ctx) {
+			buf := c.L.Alloc(64 << 20)
+			for c.E.OK() {
+				streamLoop(c, buf, 64<<20, 1)
+			}
+		}),
+		native("PTRANS", func(c *workloads.Ctx) {
+			// Blocked transpose: strided loads, sequential stores.
+			src := c.L.Alloc(32 << 20)
+			dst := c.L.Alloc(32 << 20)
+			e := c.E
+			n := uint64(2048) // 2048x2048 doubles
+			top := e.Here()
+			for i := uint64(0); e.OK(); i++ {
+				r, cc := (i/n)%n, i%n
+				v := e.Load(src+(cc*n+r)*8, 8, isa.NoReg)
+				e.Store(dst+(r*n+cc)*8, 8, v, isa.NoReg)
+				e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+				e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+				e.Loop(top, true, v)
+			}
+		}),
+		native("RandomAccess", func(c *workloads.Ctx) {
+			// GUPS: random 8-byte read-modify-writes over a huge table.
+			tbl := c.L.Alloc(256 << 20)
+			e := c.E
+			top := e.Here()
+			for i := uint64(1); e.OK(); i++ {
+				addr := tbl + (xrand.Hash64(i)%(256<<20))&^7
+				v := e.Load(addr, 8, isa.NoReg)
+				v = e.IntTo(v, isa.IntAlu, v, isa.NoReg)
+				e.Store(addr, 8, v, isa.NoReg)
+				e.Int(isa.IntAddr, isa.NoReg, isa.NoReg)
+				e.Loop(top, true, v)
+			}
+		}),
+		native("FFT", func(c *workloads.Ctx) {
+			// Butterfly passes: strided FP loads/stores.
+			buf := c.L.Alloc(16 << 20)
+			e := c.E
+			stride := uint64(64)
+			top := e.Here()
+			for i := uint64(0); e.OK(); i++ {
+				a := e.Load(buf+(i*8)%(16<<20), 8, isa.NoReg)
+				b := e.Load(buf+(i*8+stride*8)%(16<<20), 8, isa.NoReg)
+				s := e.FP(isa.FPArith, a, b)
+				d := e.FP(isa.FPArith, a, b)
+				e.Store(buf+(i*8)%(16<<20), 8, s, isa.NoReg)
+				e.Store(buf+(i*8+stride*8)%(16<<20), 8, d, isa.NoReg)
+				e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+				e.Loop(top, true, s)
+				if i%1024 == 0 {
+					stride = 8 << (i / 1024 % 10)
+				}
+			}
+		}),
+		native("b_eff", func(c *workloads.Ctx) {
+			// Bandwidth/latency microbenchmark: message packing loops.
+			buf := c.L.Alloc(8 << 20)
+			e := c.E
+			top := e.Here()
+			for off := 0; e.OK(); off += 16 {
+				v := e.Load(buf+uint64(off%(8<<20)), 8, isa.NoReg)
+				e.Store(buf+uint64((off+4<<20)%(8<<20)), 8, v, isa.NoReg)
+				e.Int(isa.IntAddr, v, isa.NoReg)
+				e.Loop(top, true, v)
+			}
+		}),
+	}
+}

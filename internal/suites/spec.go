@@ -1,0 +1,135 @@
+package suites
+
+import (
+	"repro/internal/sim/isa"
+	"repro/internal/sim/trace"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// SPECINT returns the integer half of the SPEC CPU2006 model: pointer
+// chasing (mcf), compression state machines (bzip2), integer dynamic
+// programming (hmmer), branchy evaluation (gobmk), virtual dispatch
+// (xalancbmk) and string hashing (perlbench). The blend lands near the
+// paper's SPECINT operating point: integer-dominated, moderate
+// branches, IPC around 0.9.
+func SPECINT() []workloads.Workload {
+	return []workloads.Workload{
+		native("mcf-like", func(c *workloads.Ctx) {
+			// Network simplex: dependent pointer chase over 48 MB.
+			base := c.L.Alloc(48 << 20)
+			chaseLoop(c, base, (48<<20)/64, 4)
+		}),
+		native("bzip2-like", func(c *workloads.Ctx) {
+			// Move-to-front + histogram over a buffer: sequential loads,
+			// table stores, data-dependent branches.
+			buf := c.L.Alloc(8 << 20)
+			tbl := c.L.AllocArray(4096, 8)
+			e := c.E
+			hist := make([]int, 4096)
+			top := e.Here()
+			for off := 0; e.OK(); off += 8 {
+				v := e.Load(buf+uint64(off%(8<<20)), 8, isa.NoReg)
+				h := int(xrand.Hash64(uint64(off)) % 4096)
+				tv := e.Load(tbl+uint64(h)*8, 8, v)
+				tv = e.IntTo(tv, isa.IntAlu, tv, isa.NoReg)
+				e.Store(tbl+uint64(h)*8, 8, tv, isa.NoReg)
+				hist[h]++
+				rare := hist[h]%61 == 0
+				e.Branch(rare, tv)
+				e.Int(isa.IntAlu, v, tv)
+				e.Loop(top, true, tv)
+			}
+		}),
+		native("hmmer-like", func(c *workloads.Ctx) {
+			// Integer DP over a row: independent max/add operations,
+			// very high ILP, predictable branches.
+			row := c.L.AllocArray(4096, 8)
+			e := c.E
+			top := e.Here()
+			for i := 0; e.OK(); i++ {
+				a := e.Load(row+uint64(i%4096)*8, 8, isa.NoReg)
+				b := e.Load(row+uint64((i+1)%4096)*8, 8, isa.NoReg)
+				m1 := e.Int(isa.IntAlu, a, isa.NoReg)
+				m2 := e.Int(isa.IntAlu, b, isa.NoReg)
+				mx := e.Int(isa.IntAlu, m1, m2)
+				e.Store(row+uint64(i%4096)*8, 8, mx, isa.NoReg)
+				e.Int(isa.IntAddr, isa.NoReg, isa.NoReg)
+				e.Loop(top, true, mx)
+			}
+		}),
+		native("gobmk-like", func(c *workloads.Ctx) {
+			// Board evaluation: table lookups with many data-dependent
+			// branches (high misprediction).
+			mixKernel(c, trace.Mix{
+				Load: 0.24, Store: 0.08, Branch: 0.24, IntAddr: 0.2,
+				IntMul: 0.01, Taken: 0.4, Noise: 0.25, Chain: 0.4,
+			}, 512, true)
+		}),
+		native("xalancbmk-like", func(c *workloads.Ctx) {
+			// XSLT processing: virtual dispatch over a large code image.
+			big := trace.NewRoutine(c.L, "xalanc/code", 768<<10)
+			base := c.L.Alloc(8 << 20)
+			st := trace.Stream{
+				Mix: trace.Mix{Load: 0.27, Store: 0.1, Branch: 0.19,
+					IntAddr: 0.23, Taken: 0.3, Noise: 0.03, Chain: 0.35,
+					CallEvery: 40},
+				Pri: trace.NewRandomWalk(base, 6<<20),
+				Rng: c.Rng,
+			}
+			for c.E.OK() {
+				off := uint64(c.Rng.Intn(16)) * (big.Size / 16)
+				st.Emit(c.E, big, off, 2048)
+			}
+		}),
+		native("perlbench-like", func(c *workloads.Ctx) {
+			// Interpreter dispatch + string hashing.
+			mixKernel(c, trace.Mix{
+				Load: 0.28, Store: 0.11, Branch: 0.22, IntAddr: 0.21,
+				IntMul: 0.02, Taken: 0.45, Noise: 0.08, Chain: 0.45,
+			}, 2048, true)
+		}),
+	}
+}
+
+// SPECFP returns the floating-point half of the SPEC CPU2006 model:
+// lattice-Boltzmann streaming (lbm), dense molecular kernels (namd),
+// sparse linear programming (soplex) and branchy ray shading (povray).
+// FP-dominated with larger basic blocks, IPC around 1.1.
+func SPECFP() []workloads.Workload {
+	return []workloads.Workload{
+		native("lbm-like", func(c *workloads.Ctx) {
+			grid := c.L.Alloc(48 << 20)
+			for c.E.OK() {
+				streamLoop(c, grid, 48<<20, 3)
+			}
+		}),
+		native("namd-like", func(c *workloads.Ctx) {
+			a := c.L.AllocArray(8192, 8)
+			b := c.L.AllocArray(8192, 8)
+			dgemmLoop(c, a, b, 8192)
+		}),
+		native("soplex-like", func(c *workloads.Ctx) {
+			// Sparse FP gather: indexed loads into FP accumulation.
+			idxB := c.L.AllocArray(1<<20, 4)
+			valB := c.L.AllocArray(1<<21, 8)
+			e := c.E
+			acc := e.Fixed(1)
+			top := e.Here()
+			for i := 0; e.OK(); i++ {
+				iv := e.Load(idxB+uint64(i%(1<<20))*4, 4, isa.NoReg)
+				a := e.Int(isa.FPAddr, iv, isa.NoReg)
+				v := e.Load(valB+(xrand.Hash64(uint64(i))%(1<<21))*8, 8, a)
+				e.FPTo(acc, isa.FPArith, acc, v)
+				e.Loop(top, true, v)
+			}
+		}),
+		native("povray-like", func(c *workloads.Ctx) {
+			mixKernel(c, trace.Mix{
+				Load: 0.24, Store: 0.08, Branch: 0.14, IntAddr: 0.05,
+				FPAddr: 0.12, FPArith: 0.3, Taken: 0.4, Noise: 0.06,
+				Chain: 0.4,
+			}, 1024, false)
+		}),
+	}
+}

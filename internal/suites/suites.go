@@ -1,0 +1,167 @@
+// Package suites models the comparator benchmark suites the paper
+// measures against the representative big data workloads (§4.3):
+// SPEC CPU2006 (integer and floating point halves), PARSEC 3.0,
+// HPCC 1.4, CloudSuite 1.0 and TPC-C.
+//
+// Each suite is a set of mini-kernels that reproduces the dominant
+// micro-architectural pattern of the original benchmark — dense FP
+// loops for HPCC, pointer chasing and branchy state machines for
+// SPECINT, stencils for SPECFP, small-footprint data-parallel loops for
+// PARSEC, request-driven large-code services for CloudSuite, and B-tree
+// transactions for TPC-C. They only need to sit in the right region of
+// the 45-metric space; none of them claims cycle fidelity to the
+// original programs.
+package suites
+
+import (
+	"repro/internal/sim/isa"
+	"repro/internal/sim/trace"
+	"repro/internal/stack"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// Suite names as used in the paper's figures.
+const (
+	NameSPECINT    = "SPECINT"
+	NameSPECFP     = "SPECFP"
+	NamePARSEC     = "PARSEC"
+	NameHPCC       = "HPCC"
+	NameCloudSuite = "CloudSuite"
+	NameTPCC       = "TPC-C"
+)
+
+// All returns every comparator suite keyed by name.
+func All() map[string][]workloads.Workload {
+	return map[string][]workloads.Workload{
+		NameSPECINT:    SPECINT(),
+		NameSPECFP:     SPECFP(),
+		NamePARSEC:     PARSEC(),
+		NameHPCC:       HPCC(),
+		NameCloudSuite: CloudSuite(),
+		NameTPCC:       TPCC(),
+	}
+}
+
+// Names returns the suite names in the paper's figure order.
+func Names() []string {
+	return []string{NameSPECINT, NameSPECFP, NamePARSEC, NameHPCC, NameCloudSuite, NameTPCC}
+}
+
+func native(id string, f func(*workloads.Ctx)) workloads.Workload {
+	return workloads.Workload{
+		ID:     id,
+		Kernel: workloads.KernelFunc{KernelName: id, F: f},
+		Stack:  stack.Native(),
+	}
+}
+
+// streamLoop emits a sequential load->FP->store streaming loop over a
+// region (the STREAM/lbm pattern).
+func streamLoop(c *workloads.Ctx, base uint64, bytesN int, fpOps int) {
+	e := c.E
+	top := e.Here()
+	for off := 0; off < bytesN && e.OK(); off += 8 {
+		v := e.Load(base+uint64(off), 8, isa.NoReg)
+		last := v
+		for f := 0; f < fpOps; f++ {
+			last = e.FP(isa.FPArith, last, isa.NoReg)
+		}
+		e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+		e.Store(base+uint64(off), 8, last, isa.NoReg)
+		e.Loop(top, off+8 < bytesN, last)
+	}
+}
+
+// chaseLoop emits a dependent pointer chase: each load's address
+// depends on the previous load (the mcf/canneal pattern that caps IPC
+// near the memory latency).
+func chaseLoop(c *workloads.Ctx, base uint64, entries int, work int) {
+	e := c.E
+	r := c.Rng
+	idx := r.Intn(entries)
+	prev := isa.NoReg
+	top := e.Here()
+	for n := 0; e.OK(); n++ {
+		a := e.Int(isa.IntAddr, prev, isa.NoReg)
+		prev = e.Load(base+uint64(idx)*64, 8, a)
+		for w := 0; w < work; w++ {
+			e.Int(isa.IntAlu, prev, isa.NoReg)
+		}
+		idx = int(xrand.Hash64(uint64(idx)+1) % uint64(entries))
+		e.Loop(top, true, prev)
+	}
+}
+
+// dgemmLoop emits a register-blocked dense matrix-multiply inner loop:
+// long independent FP chains with high ILP (the HPL/DGEMM pattern).
+func dgemmLoop(c *workloads.Ctx, aBase, bBase uint64, n int) {
+	e := c.E
+	accs := [4]isa.Reg{e.Fixed(1), e.Fixed(2), e.Fixed(3), e.Fixed(4)}
+	top := e.Here()
+	for i := 0; e.OK(); i++ {
+		ar := e.Load(aBase+uint64(i%n)*8, 8, isa.NoReg)
+		br := e.Load(bBase+uint64((i*17)%n)*8, 8, isa.NoReg)
+		m := e.FP(isa.FPArith, ar, br)
+		e.FPTo(accs[i%4], isa.FPArith, accs[i%4], m)
+		m2 := e.FP(isa.FPArith, ar, br)
+		e.FPTo(accs[(i+1)%4], isa.FPArith, accs[(i+1)%4], m2)
+		e.Int(isa.FPAddr, isa.NoReg, isa.NoReg)
+		e.Loop(top, true, m)
+	}
+}
+
+// mixKernel emits a Stream with the given mix over a dedicated code
+// image walked through eight phase entry points — the generic model
+// for branchy codes whose working set is a few dozen to a few hundred
+// kilobytes of text.
+func mixKernel(c *workloads.Ctx, m trace.Mix, dataKB int, random bool) {
+	base := c.L.Alloc(uint64(dataKB) << 10)
+	var w *trace.Walk
+	if random {
+		w = trace.NewRandomWalk(base, uint64(dataKB)<<10)
+	} else {
+		w = trace.NewWalk(base, uint64(dataKB)<<10, 16)
+	}
+	code := trace.NewRoutine(c.L, "mix/code", 96<<10)
+	st := trace.Stream{Mix: m, Pri: w, Rng: c.Rng}
+	// The working phase changes slowly: long warm stretches in one
+	// 12 KB region, with the full 96 KB image covered over a run.
+	for n := uint64(0); c.E.OK(); n++ {
+		slot := (n / 16) % 8
+		st.Emit(c.E, code, slot*(code.Size/8), 4096)
+	}
+}
+
+// phaseCode models the rest of a benchmark's working code (the phases
+// around the hot loop): kernels call emit() periodically to walk a
+// ~100 KB text image at stable entry points, which is what gives the
+// PARSEC-class workloads their ~128 KB instruction footprint (paper
+// §5.4).
+type phaseCode struct {
+	rtn  *trace.Routine
+	st   trace.Stream
+	slot uint64
+}
+
+func newPhaseCode(c *workloads.Ctx, kb int) *phaseCode {
+	base := c.L.Alloc(256 << 10)
+	return &phaseCode{
+		rtn: trace.NewRoutine(c.L, "phase/code", uint64(kb)<<10),
+		st: trace.Stream{
+			Mix: trace.Mix{Load: 0.26, Store: 0.1, Branch: 0.16, IntAddr: 0.24,
+				FPArith: 0.06, Taken: 0.3, Noise: 0.01, Chain: 0.35},
+			Pri: trace.NewWalk(base, 256<<10, 16),
+			Rng: c.Rng,
+		},
+	}
+}
+
+func (p *phaseCode) emit(c *workloads.Ctx, n int) {
+	pos := c.E.Pos()
+	c.E.Call(p.rtn)
+	p.st.Emit(c.E, p.rtn, (p.slot%16)*(p.rtn.Size/16), n)
+	c.E.Ret()
+	c.E.Restore(pos)
+	p.slot++
+}

@@ -1,0 +1,111 @@
+package suites
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/machine"
+	"repro/internal/sim/trace"
+	"repro/internal/workloads"
+)
+
+func TestAllSuitesPresent(t *testing.T) {
+	all := All()
+	want := map[string]int{
+		NameSPECINT: 6, NameSPECFP: 4, NamePARSEC: 8,
+		NameHPCC: 7, NameCloudSuite: 6, NameTPCC: 1,
+	}
+	for name, n := range want {
+		if len(all[name]) != n {
+			t.Errorf("%s has %d workloads, want %d", name, len(all[name]), n)
+		}
+	}
+	if len(Names()) != 6 {
+		t.Fatal("Names() must list the paper's six comparators")
+	}
+}
+
+func TestEverySuiteWorkloadRuns(t *testing.T) {
+	for name, list := range All() {
+		for _, w := range list {
+			w := w
+			t.Run(name+"/"+w.ID, func(t *testing.T) {
+				t.Parallel()
+				var c trace.CountProbe
+				res := workloads.Run(w, &c, 40_000)
+				if res.Insts < 30_000 {
+					t.Fatalf("emitted only %d instructions", res.Insts)
+				}
+			})
+		}
+	}
+}
+
+func run(t *testing.T, w workloads.Workload, budget int64) metrics.Vector {
+	t.Helper()
+	m := machine.New(machine.XeonE5645())
+	workloads.Run(w, m, budget)
+	m.Finish()
+	return metrics.Compute(m)
+}
+
+func avg(t *testing.T, list []workloads.Workload, idx int, budget int64) float64 {
+	t.Helper()
+	s := 0.0
+	for _, w := range list {
+		s += run(t, w, budget)[idx]
+	}
+	return s / float64(len(list))
+}
+
+func TestSuiteOperatingPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite characterization is slow")
+	}
+	const budget = 400_000
+	// HPCC is FP-dominated; SPECINT is not (paper Fig. 1).
+	hpccFP := avg(t, HPCC(), metrics.MixFP, budget)
+	intFP := avg(t, SPECINT(), metrics.MixFP, budget)
+	if hpccFP < 0.1 {
+		t.Errorf("HPCC fp share %.2f too low", hpccFP)
+	}
+	if intFP > 0.05 {
+		t.Errorf("SPECINT fp share %.2f too high", intFP)
+	}
+	// CloudSuite has by far the largest L1I MPKI (paper Fig. 4: 32).
+	csL1I := avg(t, CloudSuite(), metrics.L1IMPKI, budget)
+	parsecL1I := avg(t, PARSEC(), metrics.L1IMPKI, budget)
+	if csL1I < parsecL1I*5 {
+		t.Errorf("CloudSuite L1I %.1f not >> PARSEC %.1f", csL1I, parsecL1I)
+	}
+	// TPC-C's branch ratio is the outlier the paper calls out (30%).
+	tpccBr := avg(t, TPCC(), metrics.MixBranch, budget)
+	if tpccBr < 0.2 {
+		t.Errorf("TPC-C branch ratio %.2f, want >= 0.2 (paper: 0.30)", tpccBr)
+	}
+	// HPCC posts the highest IPC of the comparators (paper Fig. 3).
+	hpccIPC := avg(t, HPCC(), metrics.IPC, budget)
+	specintIPC := avg(t, SPECINT(), metrics.IPC, budget)
+	if hpccIPC <= specintIPC {
+		t.Errorf("HPCC IPC %.2f <= SPECINT %.2f", hpccIPC, specintIPC)
+	}
+}
+
+func TestPARSECSmallInstructionFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fp := avg(t, PARSEC(), metrics.CodeFootprintKB, 300_000)
+	if fp > 256 {
+		t.Errorf("PARSEC code footprint %.0f KB; the paper's §5.4 contrast needs ~128 KB", fp)
+	}
+}
+
+func TestNativeKernelsEmitMemOps(t *testing.T) {
+	var c trace.CountProbe
+	workloads.Run(HPCC()[2], &c, 30_000) // STREAM
+	if c.ByOp[isa.Load] == 0 || c.ByOp[isa.Store] == 0 {
+		t.Fatal("STREAM emitted no loads/stores")
+	}
+}

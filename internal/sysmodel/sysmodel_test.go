@@ -1,0 +1,109 @@
+package sysmodel
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stack"
+	"repro/internal/workloads"
+)
+
+func mkResult(insts, in, inter, out uint64, factor float64, cw float64) *workloads.Result {
+	return &workloads.Result{
+		Workload: workloads.Workload{
+			Stack: stack.Descriptor{Name: "t", SysCPUFactor: factor},
+		},
+		Insts: insts, InBytes: in, InterBytes: inter, OutBytes: out,
+		CPUWeight: cw,
+	}
+}
+
+func vecWithIPC(ipc float64) metrics.Vector {
+	var v metrics.Vector
+	v[metrics.IPC] = ipc
+	return v
+}
+
+func TestComputeHeavyIsCPUIntensive(t *testing.T) {
+	// 2000 insts/byte at IPC 1.3: compute dwarfs I/O.
+	b := Analyze(DefaultCluster(), mkResult(2_000_000, 1000, 10, 10, 1, 1), vecWithIPC(1.3))
+	if b.Class != CPUIntensive {
+		t.Fatalf("class = %v, want CPU-intensive (util %.2f)", b.Class, b.CPUUtil)
+	}
+	if b.CPUUtil <= 0.85 {
+		t.Fatalf("CPU utilization %.2f should exceed the paper's 85%% rule", b.CPUUtil)
+	}
+}
+
+func TestScanIsIOIntensive(t *testing.T) {
+	// 2 insts/byte: a pure scan is disk-bound.
+	b := Analyze(DefaultCluster(), mkResult(2_000, 1000, 0, 10, 1, 1), vecWithIPC(1.5))
+	if b.Class != IOIntensive {
+		t.Fatalf("class = %v, want IO-intensive (util %.2f, iowait %.2f, wio %.2f)",
+			b.Class, b.CPUUtil, b.IOWait, b.WeightedIOTime)
+	}
+}
+
+func TestShuffleHeavyRaisesWeightedIO(t *testing.T) {
+	light := Analyze(DefaultCluster(), mkResult(50_000, 1000, 0, 0, 1, 1), vecWithIPC(1.2))
+	heavy := Analyze(DefaultCluster(), mkResult(50_000, 1000, 2000, 1000, 1, 1), vecWithIPC(1.2))
+	if heavy.WeightedIOTime <= light.WeightedIOTime {
+		t.Fatalf("shuffle-heavy weighted I/O %.2f <= light %.2f",
+			heavy.WeightedIOTime, light.WeightedIOTime)
+	}
+}
+
+func TestSysFactorScalesCPU(t *testing.T) {
+	lo := Analyze(DefaultCluster(), mkResult(20_000, 1000, 0, 10, 1, 1), vecWithIPC(1.2))
+	hi := Analyze(DefaultCluster(), mkResult(20_000, 1000, 0, 10, 40, 1), vecWithIPC(1.2))
+	if hi.CPUSeconds <= lo.CPUSeconds {
+		t.Fatal("SysCPUFactor did not scale CPU seconds")
+	}
+	if hi.CPUUtil <= lo.CPUUtil {
+		t.Fatal("SysCPUFactor did not raise utilization")
+	}
+}
+
+func TestCPUWeightScalesCPU(t *testing.T) {
+	one := Analyze(DefaultCluster(), mkResult(20_000, 1000, 0, 10, 1, 1), vecWithIPC(1.2))
+	fifteen := Analyze(DefaultCluster(), mkResult(20_000, 1000, 0, 10, 1, 15), vecWithIPC(1.2))
+	if fifteen.CPUSeconds < one.CPUSeconds*10 {
+		t.Fatal("CPUWeight did not scale CPU seconds")
+	}
+}
+
+func TestDegenerateInputsAreHybrid(t *testing.T) {
+	b := Analyze(DefaultCluster(), mkResult(1000, 0, 0, 0, 1, 1), vecWithIPC(1))
+	if b.Class != Hybrid {
+		t.Fatal("zero-input run should classify as hybrid")
+	}
+	b = Analyze(DefaultCluster(), mkResult(1000, 100, 0, 0, 1, 1), vecWithIPC(0))
+	if b.Class != Hybrid {
+		t.Fatal("zero-IPC run should classify as hybrid")
+	}
+}
+
+func TestClassifyRuleBoundaries(t *testing.T) {
+	if classify(Behaviour{CPUUtil: 0.86}) != CPUIntensive {
+		t.Fatal("util > 85% must be CPU-intensive")
+	}
+	if classify(Behaviour{CPUUtil: 0.5, WeightedIOTime: 11}) != IOIntensive {
+		t.Fatal("weighted I/O > 10 must be IO-intensive")
+	}
+	if classify(Behaviour{CPUUtil: 0.5, IOWait: 0.25}) != IOIntensive {
+		t.Fatal("iowait > 20% with util < 60% must be IO-intensive")
+	}
+	if classify(Behaviour{CPUUtil: 0.7, IOWait: 0.25, WeightedIOTime: 5}) != Hybrid {
+		t.Fatal("util 70% with moderate iowait must be hybrid")
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	b := Analyze(DefaultCluster(), mkResult(10_000_000, 100, 0, 0, 50, 20), vecWithIPC(0.5))
+	if b.CPUUtil > 1 {
+		t.Fatalf("CPU utilization %v > 1", b.CPUUtil)
+	}
+	if b.IOWait < 0 {
+		t.Fatalf("negative iowait %v", b.IOWait)
+	}
+}

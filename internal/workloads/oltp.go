@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/sim/isa"
+)
+
+// KVScale sizes the ProfSearch-resume key-value store behind the cloud
+// OLTP workloads (Table 1 dataset 6: 1128-byte records).
+type KVScale struct {
+	Records  int
+	ValBytes int
+	Seed     uint64
+}
+
+// DefaultKV is the simulation-scale ProfSearch shape.
+func DefaultKV() KVScale {
+	return KVScale{Records: 60000, ValBytes: 1128, Seed: 0x4856}
+}
+
+// copyValue emits the byte-copy of one stored value (load+store per
+// 8 bytes, closed by a loop branch).
+func copyValue(c *Ctx, src uint64, n int) {
+	e := c.E
+	dst := c.L.Alloc(uint64(n))
+	top := e.Here()
+	for off := 0; off < n; off += 16 {
+		v := e.Load(src+uint64(off), 8, isa.NoReg)
+		e.Store(dst+uint64(off), 8, v, isa.NoReg)
+		e.Loop(top, off+16 < n, v)
+	}
+}
+
+// HBaseRead is the basic read operation of the non-relational store
+// (H-Read, the sole service workload among the 17 representatives):
+// per request, a memstore probe, a block-index binary search, a block
+// scan and the value copy — wrapped in the region server's fat
+// request path.
+type HBaseRead struct {
+	Scale KVScale
+}
+
+// Name implements Kernel.
+func (k *HBaseRead) Name() string { return "HBase-Read" }
+
+// Run implements Kernel.
+func (k *HBaseRead) Run(c *Ctx) {
+	kv := datagen.NewKVStore(c.L, k.Scale.Seed, k.Scale.Records, k.Scale.ValBytes)
+	memstore := newHashTable(c.L, 8192)
+	e, rt := c.E, c.RT
+	reqTop := e.Here()
+	for e.OK() {
+		idx := kv.Pop.Sample(c.Rng)
+		key := kv.Keys[idx]
+		rt.Request(kv.ValBytes)
+		c.Records++
+		// Memstore probe (usually misses: most data is in store files).
+		memstore.probe(e, int64(key))
+		// Block index binary search: the classic unpredictable-branch
+		// pattern of index lookups.
+		at := bsearchEmit(e, kv.IndexBase, kv.Keys, key)
+		// Block scan: walk up to 16 cells to the exact key.
+		blockStart := at &^ 15
+		scanTop := e.Here()
+		for i := blockStart; i <= at; i++ {
+			kr := loadIdx(e, kv.IndexBase, i, 8, isa.NoReg)
+			found := i == at
+			e.Branch(found, kr)
+			e.Loop(scanTop, i < at, kr)
+		}
+		copyValue(c, kv.ValAddr(at%kv.N), kv.ValBytes)
+		c.InBytes += uint64(kv.ValBytes)
+		c.OutBytes += uint64(kv.ValBytes)
+		e.Loop(reqTop, true, isa.NoReg)
+	}
+}
+
+// HBaseWrite appends records: memstore insert plus a sequential
+// write-ahead-log append.
+type HBaseWrite struct {
+	Scale KVScale
+}
+
+// Name implements Kernel.
+func (k *HBaseWrite) Name() string { return "HBase-Write" }
+
+// Run implements Kernel.
+func (k *HBaseWrite) Run(c *Ctx) {
+	kv := datagen.NewKVStore(c.L, k.Scale.Seed^0x77, k.Scale.Records, k.Scale.ValBytes)
+	memstore := newHashTable(c.L, 1<<16)
+	walBase := c.L.Alloc(64 << 20)
+	walOff := uint64(0)
+	e, rt := c.E, c.RT
+	n := 0
+	reqTop := e.Here()
+	for e.OK() {
+		key := kv.Keys[c.Rng.Intn(kv.N)] + uint64(n)
+		rt.Request(kv.ValBytes)
+		c.Records++
+		memstore.add(e, int64(key), int64(n))
+		// WAL append: sequential stores of the value.
+		top := e.Here()
+		for off := 0; off < kv.ValBytes; off += 16 {
+			v := e.Int(isa.IntAlu, isa.NoReg, isa.NoReg)
+			e.Store(walBase+walOff+uint64(off), 8, v, isa.NoReg)
+			e.Loop(top, off+16 < kv.ValBytes, v)
+		}
+		walOff = (walOff + uint64(kv.ValBytes)) % (60 << 20)
+		c.InBytes += uint64(kv.ValBytes)
+		c.OutBytes += uint64(kv.ValBytes)
+		n++
+		// Periodic memstore flush: sorted run emission.
+		if n%4096 == 0 {
+			rt.TaskStart()
+			rt.Shuffle(4096 * kv.ValBytes / 64)
+			c.InterBytes += uint64(4096 * kv.ValBytes / 64)
+		}
+		e.Loop(reqTop, true, isa.NoReg)
+	}
+}
+
+// HBaseScan reads a contiguous range of records per request.
+type HBaseScan struct {
+	Scale KVScale
+	Range int
+}
+
+// Name implements Kernel.
+func (k *HBaseScan) Name() string { return "HBase-Scan" }
+
+// Run implements Kernel.
+func (k *HBaseScan) Run(c *Ctx) {
+	kv := datagen.NewKVStore(c.L, k.Scale.Seed^0x5C, k.Scale.Records, k.Scale.ValBytes)
+	rng := k.Range
+	if rng == 0 {
+		rng = 32
+	}
+	e, rt := c.E, c.RT
+	reqTop := e.Here()
+	for e.OK() {
+		idx := kv.Pop.Sample(c.Rng)
+		rt.Request(rng * kv.ValBytes / 4)
+		c.Records++
+		at := bsearchEmit(e, kv.IndexBase, kv.Keys, kv.Keys[idx])
+		for i := 0; i < rng && e.OK(); i++ {
+			copyValue(c, kv.ValAddr((at+i)%kv.N), kv.ValBytes/4)
+			c.InBytes += uint64(kv.ValBytes)
+			c.OutBytes += uint64(kv.ValBytes)
+		}
+		e.Loop(reqTop, true, isa.NoReg)
+	}
+}

@@ -1,0 +1,393 @@
+package workloads
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/sim/isa"
+)
+
+// ECommerceScale sizes the transaction tables for the relational
+// kernels (the paper's Table 1 dataset 5, scaled).
+type ECommerceScale struct {
+	OrderRows, ItemRows int
+	Seed                uint64
+}
+
+// DefaultECommerce is the simulation-scale e-commerce shape.
+func DefaultECommerce() ECommerceScale {
+	return ECommerceScale{OrderRows: 40000, ItemRows: 120000, Seed: 0xEC0}
+}
+
+func (s ECommerceScale) build(c *Ctx) *datagen.ECommerce {
+	return datagen.NewECommerce(c.L, s.Seed, s.OrderRows, s.ItemRows)
+}
+
+// readRows charges the stack's record-reader overhead for n rows of
+// rowBytes each, honouring the engine's batch size.
+func readRows(c *Ctx, n, rowBytes int) {
+	batch := c.RT.D.Batch()
+	c.InBytes += uint64(n * rowBytes)
+	for n > 0 {
+		take := batch
+		if take > n {
+			take = n
+		}
+		c.RT.ReadRecord(take * rowBytes)
+		n -= take
+	}
+}
+
+// Select is the relational filter ("one of the five basic operators
+// from relational algebra" — Table 2): a predicate scan over the item
+// table with a selective output.
+type Select struct {
+	Scale ECommerceScale
+	// PriceCut is the predicate threshold (goods_price > PriceCut).
+	PriceCut int64
+}
+
+// Name implements Kernel.
+func (k *Select) Name() string { return "Select" }
+
+// Run implements Kernel.
+func (k *Select) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	price := ec.Items.Col("goods_price")
+	amount := ec.Items.Col("goods_amount")
+	cut := k.PriceCut
+	if cut == 0 {
+		cut = 18000 // ~10% selectivity of the generated distribution
+	}
+	e, rt := c.E, c.RT
+	rowBytes := 52
+	vectorized := rt.D.Batch() > 1
+	for e.OK() {
+		rt.TaskStart()
+		scanTop := e.Here()
+		for i := 0; i < ec.Items.Rows && e.OK(); i++ {
+			if i%4096 == 0 {
+				readRows(c, 4096, rowBytes)
+			}
+			v := loadIdx(e, price.Base, i, 8, isa.NoReg)
+			match := price.Vals[i] > cut
+			if vectorized {
+				// Vectorized engines evaluate the predicate into a
+				// selection mask without a per-row branch.
+				e.Int(isa.IntAlu, v, isa.NoReg)
+			} else {
+				e.Branch(match, v)
+			}
+			if match {
+				a := loadIdx(e, amount.Base, i, 8, v)
+				rt.EmitKV(rowBytes)
+				c.OutBytes += uint64(rowBytes)
+				_ = a
+			}
+			e.Loop(scanTop, i+1 < ec.Items.Rows, v)
+			c.Records++
+		}
+	}
+}
+
+// Project copies a column subset — almost pure sequential loads and
+// stores with near-zero branches, which is why S-Project posts one of
+// the highest IPCs in the paper's Fig. 3 (1.6).
+type Project struct {
+	Scale ECommerceScale
+}
+
+// Name implements Kernel.
+func (k *Project) Name() string { return "Project" }
+
+// Run implements Kernel.
+func (k *Project) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	c1 := ec.Items.Col("order_id")
+	c2 := ec.Items.Col("goods_amount")
+	outBase := c.L.AllocArray(ec.Items.Rows*2, 8)
+	e, rt := c.E, c.RT
+	rowBytes := 52
+	for e.OK() {
+		rt.TaskStart()
+		copyTop := e.Here()
+		for i := 0; i < ec.Items.Rows && e.OK(); i++ {
+			if i%4096 == 0 {
+				readRows(c, 4096, rowBytes)
+			}
+			a := loadIdx(e, c1.Base, i, 8, isa.NoReg)
+			b := loadIdx(e, c2.Base, i, 8, isa.NoReg)
+			storeIdx(e, outBase, i*2, 8, a)
+			storeIdx(e, outBase, i*2+1, 8, b)
+			e.Loop(copyTop, i+1 < ec.Items.Rows, b)
+			c.Records++
+			c.OutBytes += 16
+		}
+		rt.EmitKV(1024)
+	}
+}
+
+// OrderBy sorts the item table by a key column (Table 2: "a
+// fundamental operation from relational algebra and extensively used").
+type OrderBy struct {
+	Scale ECommerceScale
+}
+
+// Name implements Kernel.
+func (k *OrderBy) Name() string { return "OrderBy" }
+
+// Run implements Kernel.
+func (k *OrderBy) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	col := ec.Orders.Col("amount")
+	n := ec.Orders.Rows
+	aBase := c.L.AllocArray(n, 8)
+	bBase := c.L.AllocArray(n, 8)
+	rowBytes := 52
+	e, rt := c.E, c.RT
+	for e.OK() {
+		rt.TaskStart()
+		readRows(c, n, rowBytes)
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = col.Vals[i]<<20 | int64(i)
+		}
+		c.Records += uint64(n)
+		c.CPUWeight = 2.5 // full-scale sorts run more merge passes
+		rt.Shuffle(n * rowBytes / 8)
+		c.InterBytes += uint64(n * rowBytes)
+		mergeSortEmit(e, keys, aBase, bBase)
+		rt.EmitKV(4096)
+		c.OutBytes += uint64(n * rowBytes)
+	}
+}
+
+// Aggregation groups the item table by order and sums a money column
+// in floating point (Hive-style SUM(double)).
+type Aggregation struct {
+	Scale ECommerceScale
+}
+
+// Name implements Kernel.
+func (k *Aggregation) Name() string { return "Aggregation" }
+
+// Run implements Kernel.
+func (k *Aggregation) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	fk := ec.Items.Col("order_id")
+	val := ec.Items.Col("goods_amount")
+	tbl := newHashTable(c.L, k.Scale.OrderRows*2)
+	rowBytes := 52
+	e, rt := c.E, c.RT
+	for e.OK() {
+		rt.TaskStart()
+		rowTop := e.Here()
+		for i := 0; i < ec.Items.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			kr := loadIdx(e, fk.Base, i, 8, isa.NoReg)
+			loadIdx(e, val.Base, i, 8, kr)
+			tbl.addFP(e, fk.Vals[i], float64(val.Vals[i]))
+			c.Records++
+			e.Loop(rowTop, i+1 < ec.Items.Rows, kr)
+		}
+		rt.Shuffle(tbl.Entries * 16)
+		c.InterBytes += uint64(tbl.Entries * 16)
+		c.OutBytes = uint64(tbl.Entries * 16)
+	}
+}
+
+// Join hash-joins items against orders (build on orders, probe from
+// items).
+type Join struct {
+	Scale ECommerceScale
+}
+
+// Name implements Kernel.
+func (k *Join) Name() string { return "Join" }
+
+// Run implements Kernel.
+func (k *Join) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	buildKey := ec.Orders.Col("order_id")
+	buildVal := ec.Orders.Col("buyer_id")
+	probeKey := ec.Items.Col("order_id")
+	tbl := newHashTable(c.L, k.Scale.OrderRows*2)
+	rowBytes := 52
+	e, rt := c.E, c.RT
+	for e.OK() {
+		// Build side.
+		rt.TaskStart()
+		buildTop := e.Here()
+		for i := 0; i < ec.Orders.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			loadIdx(e, buildKey.Base, i, 8, isa.NoReg)
+			tbl.add(e, buildKey.Vals[i], buildVal.Vals[i])
+			c.Records++
+			e.Loop(buildTop, i+1 < ec.Orders.Rows, isa.NoReg)
+		}
+		// Probe side.
+		vectorized := rt.D.Batch() > 1
+		probeTop := e.Here()
+		for i := 0; i < ec.Items.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			kr := loadIdx(e, probeKey.Base, i, 8, isa.NoReg)
+			var hit bool
+			if vectorized {
+				_, hit = tbl.probeVec(e, probeKey.Vals[i])
+			} else {
+				_, hit = tbl.probe(e, probeKey.Vals[i])
+			}
+			if hit {
+				rt.EmitKV(24)
+				c.OutBytes += 24
+			}
+			c.Records++
+			_ = kr
+			e.Loop(probeTop, i+1 < ec.Items.Rows, kr)
+		}
+		rt.Shuffle(ec.Items.Rows)
+		c.InterBytes += uint64(ec.Items.Rows * 8)
+	}
+}
+
+// Difference computes A \ B over order keys, one of the five basic
+// relational operators (H-Difference in Table 2): build a hash set of
+// B, anti-probe with A.
+type Difference struct {
+	Scale ECommerceScale
+}
+
+// Name implements Kernel.
+func (k *Difference) Name() string { return "Difference" }
+
+// Run implements Kernel.
+func (k *Difference) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	a := ec.Items.Col("order_id")  // larger side
+	b := ec.Orders.Col("order_id") // smaller side: keys 0..OrderRows
+	tbl := newHashTable(c.L, k.Scale.OrderRows*2)
+	rowBytes := 52
+	e, rt := c.E, c.RT
+	for e.OK() {
+		rt.TaskStart()
+		buildTop := e.Here()
+		for i := 0; i < ec.Orders.Rows/2 && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			loadIdx(e, b.Base, i, 8, isa.NoReg)
+			tbl.add(e, b.Vals[i], 1)
+			c.Records++
+			e.Loop(buildTop, i+1 < ec.Orders.Rows/2, isa.NoReg)
+		}
+		probeTop := e.Here()
+		for i := 0; i < ec.Items.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			loadIdx(e, a.Base, i, 8, isa.NoReg)
+			_, hit := tbl.probe(e, a.Vals[i])
+			if !hit {
+				rt.EmitKV(rowBytes)
+				c.OutBytes += uint64(rowBytes)
+			}
+			c.Records++
+			e.Loop(probeTop, i+1 < ec.Items.Rows, isa.NoReg)
+		}
+		rt.Shuffle(ec.Items.Rows * 2)
+		c.InterBytes += uint64(ec.Items.Rows * 12)
+	}
+}
+
+// CrossProduct emits the Cartesian product of two small order subsets
+// (Output>Input by construction).
+type CrossProduct struct {
+	Scale ECommerceScale
+	Side  int
+}
+
+// Name implements Kernel.
+func (k *CrossProduct) Name() string { return "CrossProduct" }
+
+// Run implements Kernel.
+func (k *CrossProduct) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	col := ec.Orders.Col("buyer_id")
+	side := k.Side
+	if side == 0 {
+		side = 400
+	}
+	rowBytes := 52
+	e, rt := c.E, c.RT
+	for e.OK() {
+		rt.TaskStart()
+		readRows(c, side*2, rowBytes)
+		outerTop := e.Here()
+		for i := 0; i < side && e.OK(); i++ {
+			av := loadIdx(e, col.Base, i, 8, isa.NoReg)
+			innerTop := e.Here()
+			for j := 0; j < side && e.OK(); j++ {
+				bv := loadIdx(e, col.Base, side+j, 8, isa.NoReg)
+				e.Int(isa.IntAlu, av, bv)
+				rt.EmitKV(16)
+				c.OutBytes += 16
+				c.Records++
+				e.Loop(innerTop, j+1 < side, bv)
+			}
+			e.Loop(outerTop, i+1 < side, av)
+		}
+	}
+}
+
+// Union concatenates and deduplicates two key columns (SQL UNION).
+type Union struct {
+	Scale ECommerceScale
+}
+
+// Name implements Kernel.
+func (k *Union) Name() string { return "Union" }
+
+// Run implements Kernel.
+func (k *Union) Run(c *Ctx) {
+	ec := k.Scale.build(c)
+	a := ec.Orders.Col("buyer_id")
+	b := ec.Items.Col("goods_id")
+	tbl := newHashTable(c.L, (k.Scale.OrderRows+8000)*2)
+	rowBytes := 52
+	e, rt := c.E, c.RT
+	for e.OK() {
+		rt.TaskStart()
+		aTop := e.Here()
+		for i := 0; i < ec.Orders.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			loadIdx(e, a.Base, i, 8, isa.NoReg)
+			if tbl.add(e, a.Vals[i], 1) {
+				rt.EmitKV(8)
+				c.OutBytes += 8
+			}
+			c.Records++
+			e.Loop(aTop, i+1 < ec.Orders.Rows, isa.NoReg)
+		}
+		bTop := e.Here()
+		for i := 0; i < ec.Items.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			loadIdx(e, b.Base, i, 8, isa.NoReg)
+			if tbl.add(e, b.Vals[i]+1<<40, 1) {
+				rt.EmitKV(8)
+				c.OutBytes += 8
+			}
+			c.Records++
+			e.Loop(bTop, i+1 < ec.Items.Rows, isa.NoReg)
+		}
+		rt.Shuffle(tbl.Entries)
+		c.InterBytes += uint64(tbl.Entries * 8)
+	}
+}

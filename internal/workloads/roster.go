@@ -1,0 +1,200 @@
+package workloads
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/stack"
+)
+
+// Dataset names from the paper's Table 1.
+const (
+	DSWikipedia = "Wikipedia Entries"
+	DSAmazon    = "Amazon Movie Reviews"
+	DSGoogle    = "Google Web Graph"
+	DSFacebook  = "Facebook Social Network"
+	DSECommerce = "E-commerce Transaction Data"
+	DSProf      = "ProfSearch Person Resumes"
+	DSTPCDS     = "TPC-DS WebTable Data"
+)
+
+// kernel constructors shared by roster entries. Each call returns a
+// fresh kernel so runs never share mutable state.
+func kWordCount() Kernel { return &WordCount{Cfg: datagen.DefaultWiki()} }
+func kGrep() Kernel      { return &Grep{Cfg: datagen.DefaultWiki(), MatchID: 97} }
+func kSort() Kernel      { return &Sort{Cfg: datagen.DefaultWiki()} }
+func kBayes() Kernel     { return &NaiveBayes{Cfg: amazonCfg(), Classes: 5} }
+func kIndex() Kernel     { return &Index{Cfg: datagen.DefaultWiki()} }
+func kKMeans() Kernel    { return &KMeans{N: 20000, Dim: 8, K: 16, Seed: 0xFB} }
+func kPageRank() Kernel  { return &PageRank{Cfg: datagen.DefaultWebGraph()} }
+func kBFS() Kernel       { return &BFS{Cfg: datagen.DefaultWebGraph()} }
+func kCC() Kernel        { return &ConnectedComponents{Cfg: datagen.DefaultWebGraph()} }
+func kCF() Kernel        { return &CollabFilter{} }
+
+func kSelect() Kernel  { return &Select{Scale: DefaultECommerce()} }
+func kProject() Kernel { return &Project{Scale: DefaultECommerce()} }
+func kOrderBy() Kernel { return &OrderBy{Scale: DefaultECommerce()} }
+func kAgg() Kernel     { return &Aggregation{Scale: DefaultECommerce()} }
+func kJoin() Kernel    { return &Join{Scale: DefaultECommerce()} }
+func kDiff() Kernel    { return &Difference{Scale: DefaultECommerce()} }
+func kCross() Kernel   { return &CrossProduct{Scale: DefaultECommerce()} }
+func kUnion() Kernel   { return &Union{Scale: DefaultECommerce()} }
+func kQ3() Kernel      { return &TPCDSQ3{Scale: DefaultTPCDS()} }
+func kQ8() Kernel      { return &TPCDSQ8{Scale: DefaultTPCDS()} }
+func kQ10() Kernel     { return &TPCDSQ10{Scale: DefaultTPCDS()} }
+func kRead() Kernel    { return &HBaseRead{Scale: DefaultKV()} }
+func kWrite() Kernel   { return &HBaseWrite{Scale: DefaultKV()} }
+func kScan() Kernel    { return &HBaseScan{Scale: DefaultKV()} }
+
+func amazonCfg() datagen.TextConfig {
+	cfg := datagen.DefaultWiki()
+	cfg.Seed = 0xA3A204
+	cfg.Lines = 3000
+	cfg.WordsPerLine = 16
+	return cfg
+}
+
+// Representative17 returns the paper's Table 2 workload subset, in
+// Table 2 order.
+func Representative17() []Workload {
+	return []Workload{
+		{ID: "H-Read", Kernel: kRead(), Stack: stack.HBase(), Category: Service, DataSet: DSProf},
+		{ID: "H-Difference", Kernel: kDiff(), Stack: stack.Hive(), Category: InteractiveAnalysis, DataSet: DSECommerce},
+		{ID: "I-SelectQuery", Kernel: kSelect(), Stack: stack.Impala(), Category: InteractiveAnalysis, DataSet: DSECommerce},
+		{ID: "H-TPC-DS-query3", Kernel: kQ3(), Stack: stack.Hive(), Category: InteractiveAnalysis, DataSet: DSTPCDS},
+		{ID: "S-WordCount", Kernel: kWordCount(), Stack: stack.Spark(), Category: DataAnalysis, DataSet: DSWikipedia},
+		{ID: "I-OrderBy", Kernel: kOrderBy(), Stack: stack.Impala(), Category: InteractiveAnalysis, DataSet: DSECommerce},
+		{ID: "H-Grep", Kernel: kGrep(), Stack: stack.Hadoop(), Category: DataAnalysis, DataSet: DSWikipedia},
+		{ID: "S-TPC-DS-query10", Kernel: kQ10(), Stack: stack.Shark(), Category: InteractiveAnalysis, DataSet: DSTPCDS},
+		{ID: "S-Project", Kernel: kProject(), Stack: stack.Shark(), Category: InteractiveAnalysis, DataSet: DSECommerce},
+		{ID: "S-OrderBy", Kernel: kOrderBy(), Stack: stack.Shark(), Category: InteractiveAnalysis, DataSet: DSECommerce},
+		{ID: "S-Kmeans", Kernel: kKMeans(), Stack: stack.Spark(), Category: DataAnalysis, DataSet: DSFacebook},
+		{ID: "S-TPC-DS-query8", Kernel: kQ8(), Stack: stack.Shark(), Category: InteractiveAnalysis, DataSet: DSTPCDS},
+		{ID: "S-PageRank", Kernel: kPageRank(), Stack: stack.Spark(), Category: DataAnalysis, DataSet: DSGoogle},
+		{ID: "S-Grep", Kernel: kGrep(), Stack: stack.Spark(), Category: DataAnalysis, DataSet: DSWikipedia},
+		{ID: "H-WordCount", Kernel: kWordCount(), Stack: stack.Hadoop(), Category: DataAnalysis, DataSet: DSWikipedia},
+		{ID: "H-NaiveBayes", Kernel: kBayes(), Stack: stack.Hadoop(), Category: DataAnalysis, DataSet: DSAmazon},
+		{ID: "S-Sort", Kernel: kSort(), Stack: stack.Spark(), Category: DataAnalysis, DataSet: DSWikipedia},
+	}
+}
+
+// RepresentedCounts maps each Table 2 representative to the number of
+// roster workloads its cluster represents (the parenthesized counts in
+// Table 2; they sum to 77).
+var RepresentedCounts = map[string]int{
+	"H-Read": 10, "H-Difference": 9, "I-SelectQuery": 9, "H-TPC-DS-query3": 9,
+	"S-WordCount": 8, "I-OrderBy": 7, "H-Grep": 7, "S-TPC-DS-query10": 4,
+	"S-Project": 4, "S-OrderBy": 3, "S-Kmeans": 1, "S-TPC-DS-query8": 1,
+	"S-PageRank": 1, "S-Grep": 1, "H-WordCount": 1, "H-NaiveBayes": 1, "S-Sort": 1,
+}
+
+// MPI6 returns the six MPI re-implementations of §5.5 (Bayes, K-means,
+// PageRank, Grep, WordCount and Sort).
+func MPI6() []Workload {
+	return []Workload{
+		{ID: "M-Bayes", Kernel: kBayes(), Stack: stack.MPI(), Category: DataAnalysis, DataSet: DSAmazon},
+		{ID: "M-Kmeans", Kernel: kKMeans(), Stack: stack.MPI(), Category: DataAnalysis, DataSet: DSFacebook},
+		{ID: "M-PageRank", Kernel: kPageRank(), Stack: stack.MPI(), Category: DataAnalysis, DataSet: DSGoogle},
+		{ID: "M-Grep", Kernel: kGrep(), Stack: stack.MPI(), Category: DataAnalysis, DataSet: DSWikipedia},
+		{ID: "M-WordCount", Kernel: kWordCount(), Stack: stack.MPI(), Category: DataAnalysis, DataSet: DSWikipedia},
+		{ID: "M-Sort", Kernel: kSort(), Stack: stack.MPI(), Category: DataAnalysis, DataSet: DSWikipedia},
+	}
+}
+
+// Roster77 returns the full BigDataBench-3.0-like roster of 77
+// workloads: every operation/algorithm under each of the software
+// stacks that implement it, mirroring the suite's
+// (algorithm x implementation) matrix. The WCRT reduction of §3 runs
+// over this roster.
+func Roster77() []Workload {
+	type entry struct {
+		op   string
+		mk   func() Kernel
+		cat  Category
+		data string
+	}
+	hadoopOps := []entry{
+		{"WordCount", kWordCount, DataAnalysis, DSWikipedia},
+		{"Grep", kGrep, DataAnalysis, DSWikipedia},
+		{"Sort", kSort, DataAnalysis, DSWikipedia},
+		{"NaiveBayes", kBayes, DataAnalysis, DSAmazon},
+		{"Kmeans", kKMeans, DataAnalysis, DSFacebook},
+		{"PageRank", kPageRank, DataAnalysis, DSGoogle},
+		{"BFS", kBFS, DataAnalysis, DSGoogle},
+		{"Index", kIndex, DataAnalysis, DSWikipedia},
+		{"CF", kCF, DataAnalysis, DSAmazon},
+		{"Select", kSelect, InteractiveAnalysis, DSECommerce},
+		{"Project", kProject, InteractiveAnalysis, DSECommerce},
+		{"OrderBy", kOrderBy, InteractiveAnalysis, DSECommerce},
+		{"Aggregation", kAgg, InteractiveAnalysis, DSECommerce},
+		{"Join", kJoin, InteractiveAnalysis, DSECommerce},
+		{"Difference", kDiff, InteractiveAnalysis, DSECommerce},
+	}
+	sparkOps := []entry{
+		{"WordCount", kWordCount, DataAnalysis, DSWikipedia},
+		{"Grep", kGrep, DataAnalysis, DSWikipedia},
+		{"Sort", kSort, DataAnalysis, DSWikipedia},
+		{"NaiveBayes", kBayes, DataAnalysis, DSAmazon},
+		{"Kmeans", kKMeans, DataAnalysis, DSFacebook},
+		{"PageRank", kPageRank, DataAnalysis, DSGoogle},
+		{"BFS", kBFS, DataAnalysis, DSGoogle},
+		{"CC", kCC, DataAnalysis, DSGoogle},
+		{"CF", kCF, DataAnalysis, DSAmazon},
+		{"Project", kProject, InteractiveAnalysis, DSECommerce},
+	}
+	sqlOps := []entry{ // Hive, Shark, Impala each implement these
+		{"Select", kSelect, InteractiveAnalysis, DSECommerce},
+		{"Project", kProject, InteractiveAnalysis, DSECommerce},
+		{"OrderBy", kOrderBy, InteractiveAnalysis, DSECommerce},
+		{"Aggregation", kAgg, InteractiveAnalysis, DSECommerce},
+		{"Join", kJoin, InteractiveAnalysis, DSECommerce},
+		{"Difference", kDiff, InteractiveAnalysis, DSECommerce},
+		{"CrossProduct", kCross, InteractiveAnalysis, DSECommerce},
+		{"Union", kUnion, InteractiveAnalysis, DSECommerce},
+		{"TPC-DS-query3", kQ3, InteractiveAnalysis, DSTPCDS},
+		{"TPC-DS-query8", kQ8, InteractiveAnalysis, DSTPCDS},
+		{"TPC-DS-query10", kQ10, InteractiveAnalysis, DSTPCDS},
+	}
+	mpiOps := []entry{
+		{"WordCount", kWordCount, DataAnalysis, DSWikipedia},
+		{"Grep", kGrep, DataAnalysis, DSWikipedia},
+		{"Sort", kSort, DataAnalysis, DSWikipedia},
+		{"NaiveBayes", kBayes, DataAnalysis, DSAmazon},
+		{"Kmeans", kKMeans, DataAnalysis, DSFacebook},
+		{"PageRank", kPageRank, DataAnalysis, DSGoogle},
+		{"BFS", kBFS, DataAnalysis, DSGoogle},
+		{"CC", kCC, DataAnalysis, DSGoogle},
+	}
+	hbaseOps := []entry{
+		{"Read", kRead, Service, DSProf},
+		{"Write", kWrite, Service, DSProf},
+		{"Scan", kScan, Service, DSProf},
+	}
+	mysqlOps := []entry{
+		{"Read", kRead, Service, DSProf},
+		{"Write", kWrite, Service, DSProf},
+		{"Scan", kScan, Service, DSProf},
+		{"Select", kSelect, InteractiveAnalysis, DSECommerce},
+		{"Project", kProject, InteractiveAnalysis, DSECommerce},
+		{"OrderBy", kOrderBy, InteractiveAnalysis, DSECommerce},
+		{"Aggregation", kAgg, InteractiveAnalysis, DSECommerce},
+		{"Join", kJoin, InteractiveAnalysis, DSECommerce},
+	}
+
+	var out []Workload
+	add := func(prefix string, st stack.Descriptor, ops []entry) {
+		for _, op := range ops {
+			out = append(out, Workload{
+				ID:     prefix + "-" + op.op,
+				Kernel: op.mk(), Stack: st, Category: op.cat, DataSet: op.data,
+			})
+		}
+	}
+	add("H", stack.Hadoop(), hadoopOps) // 15
+	add("S", stack.Spark(), sparkOps)   // 10
+	add("HV", stack.Hive(), sqlOps)     // 11
+	add("SH", stack.Shark(), sqlOps)    // 11
+	add("I", stack.Impala(), sqlOps)    // 11
+	add("M", stack.MPI(), mpiOps)       // 8
+	add("HB", stack.HBase(), hbaseOps)  // 3
+	add("MY", stack.MySQL(), mysqlOps)  // 8
+	return out                          // total 77
+}

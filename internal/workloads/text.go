@@ -1,0 +1,298 @@
+package workloads
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/sim/isa"
+	"repro/internal/xrand"
+)
+
+// linesPerSplit groups lines into ~64 KB HDFS-block-sized splits, the
+// K-V record granularity of the paper's Table 2 Wikipedia entries.
+const linesPerSplit = 700
+
+// WordCount counts word occurrences: scan, tokenize, hash-aggregate,
+// emitting one intermediate pair per token ("a fundamental operation
+// for big data statistics analytics" — Table 2).
+type WordCount struct {
+	Cfg datagen.TextConfig
+}
+
+// Name implements Kernel.
+func (k *WordCount) Name() string { return "WordCount" }
+
+// Run implements Kernel.
+func (k *WordCount) Run(c *Ctx) {
+	t := datagen.NewText(c.L, k.Cfg)
+	tbl := newHashTable(c.L, k.Cfg.Vocab*2)
+	e, rt := c.E, c.RT
+	// Hadoop WordCount runs a map-side combiner, so its intermediate
+	// volume is the distinct-word set (Table 2: Inter<<Input); Spark
+	// 1.0's groupByKey shuffles every pair (Inter<Input... up to ~2x).
+	combiner := rt.D.Name != "Spark"
+	lineTop := e.Here() // the map() entry: every record starts here
+	for e.OK() {
+		for li := 0; li < len(t.Lines) && e.OK(); li++ {
+			if li%linesPerSplit == 0 {
+				rt.TaskStart()
+			}
+			sp := t.Lines[li]
+			rt.ReadRecord(sp.Len())
+			c.InBytes += uint64(sp.Len())
+			c.Records++
+			scanBytes(e, t.Base, sp.Start, sp.End, e.Fixed(1))
+			wordTop := e.Here()
+			for wi, id := range t.WordIDs[li] {
+				fresh := tbl.add(e, int64(id), 1)
+				if fresh {
+					c.OutBytes += 12 // new distinct word in final output
+				}
+				rt.EmitKV(12)
+				if !combiner || fresh {
+					c.InterBytes += 12
+				}
+				e.Loop(wordTop, wi+1 < len(t.WordIDs[li]), e.Fixed(1))
+			}
+			e.Loop(lineTop, li+1 < len(t.Lines), e.Fixed(1))
+		}
+	}
+}
+
+// Grep searches for lines matching a pattern; the match rate is low so
+// output is a tiny fraction of input and almost no framework emission
+// happens — which is what makes H-Grep CPU-intensive in Table 2.
+type Grep struct {
+	Cfg datagen.TextConfig
+	// MatchID is the vocabulary id treated as the pattern; DefaultWiki
+	// vocabularies make it a mid-frequency word.
+	MatchID int32
+}
+
+// Name implements Kernel.
+func (k *Grep) Name() string { return "Grep" }
+
+// Run implements Kernel.
+func (k *Grep) Run(c *Ctx) {
+	t := datagen.NewText(c.L, k.Cfg)
+	e, rt := c.E, c.RT
+	lineTop := e.Here()
+	for e.OK() {
+		for li := 0; li < len(t.Lines) && e.OK(); li++ {
+			if li%linesPerSplit == 0 {
+				rt.TaskStart()
+			}
+			sp := t.Lines[li]
+			rt.ReadRecord(sp.Len())
+			c.InBytes += uint64(sp.Len())
+			c.Records++
+			// memchr-style first-byte scan over the record, then a
+			// short verify per candidate word — the Boyer-Moore-ish
+			// shape of grep.
+			scanBytes(e, t.Base, sp.Start, sp.End, e.Fixed(1))
+			matched := false
+			words := t.WordIDs[li]
+			off := sp.Start
+			for wi := 0; wi < len(words); wi += 2 {
+				// Candidate filter per pair of words (the scan above
+				// already classified bytes; this is the table check).
+				id := words[wi]
+				cand := id&0x3F == k.MatchID&0x3F
+				v := e.Int(isa.IntAlu, e.Fixed(1), isa.NoReg)
+				e.Branch(cand, v)
+				if cand {
+					// verify: compare whole word
+					w := e.Load(t.AddrOf(off), 8, isa.NoReg)
+					eq := id == k.MatchID
+					e.Branch(eq, w)
+					if eq {
+						matched = true
+					}
+				}
+				off += 13
+				if off >= sp.End {
+					off = sp.Start
+				}
+			}
+			if matched {
+				rt.EmitKV(sp.Len())
+				c.OutBytes += uint64(sp.Len())
+			}
+			e.Loop(lineTop, li+1 < len(t.Lines), e.Fixed(1))
+		}
+	}
+}
+
+// Sort orders records by key; the merge passes stream loads/stores
+// with data-dependent comparison branches. Output=Input and
+// Intermediate=Input (Table 2).
+type Sort struct {
+	Cfg datagen.TextConfig
+}
+
+// Name implements Kernel.
+func (k *Sort) Name() string { return "Sort" }
+
+// Run implements Kernel.
+func (k *Sort) Run(c *Ctx) {
+	t := datagen.NewText(c.L, k.Cfg)
+	n := len(t.Lines)
+	aBase := c.L.AllocArray(n, 8)
+	bBase := c.L.AllocArray(n, 8)
+	e, rt := c.E, c.RT
+	c.CPUWeight = 2.5 // full-scale sorts run more merge passes
+	for e.OK() {
+		// Map phase: read each record, emit (key, record) to shuffle.
+		keys := make([]int64, n)
+		mapTop := e.Here()
+		for li := 0; li < n && e.OK(); li++ {
+			if li%linesPerSplit == 0 {
+				rt.TaskStart()
+			}
+			sp := t.Lines[li]
+			rt.ReadRecord(sp.Len())
+			c.InBytes += uint64(sp.Len())
+			c.Records++
+			v := e.Load(t.AddrOf(sp.Start), 8, isa.NoReg)
+			h := e.Int(isa.IntMul, v, isa.NoReg)
+			storeIdx(e, aBase, li, 8, h)
+			if len(t.WordIDs[li]) > 0 {
+				// Key = leading word: heavily duplicated under the
+				// Zipfian vocabulary, like real text sort keys, which
+				// makes merge comparisons partially predictable.
+				keys[li] = int64(t.WordIDs[li][0])
+			}
+			rt.EmitKV(sp.Len())
+			c.InterBytes += uint64(sp.Len())
+			e.Loop(mapTop, li+1 < n, h)
+		}
+		// Shuffle + reduce-side merge sort.
+		rt.Shuffle(int(c.InterBytes) / 4)
+		mergeSortEmit(e, keys, aBase, bBase)
+		// Reduce output: one writer emission per run of records.
+		for li := 0; li < n && e.OK(); li += 16 {
+			rt.EmitKV(t.Lines[li].Len() * 16)
+		}
+		c.OutBytes = c.InBytes
+	}
+}
+
+// NaiveBayes classifies text records against per-class word
+// log-probability tables ("a simple but widely used probabilistic
+// classifier" — Table 2). The tables are FP arrays, so its integer mix
+// leans to FP address calculation.
+type NaiveBayes struct {
+	Cfg     datagen.TextConfig
+	Classes int
+}
+
+// Name implements Kernel.
+func (k *NaiveBayes) Name() string { return "NaiveBayes" }
+
+// Run implements Kernel.
+func (k *NaiveBayes) Run(c *Ctx) {
+	classes := k.Classes
+	if classes <= 0 {
+		classes = 5
+	}
+	rv := datagen.NewReviews(c.L, k.Cfg, classes)
+	t := rv.Text
+	// Model: vocab x classes float64 log-probabilities.
+	logp := make([]float64, t.Vocab*classes)
+	r := xrand.New(0xBA1E5)
+	for i := range logp {
+		logp[i] = -1 - 8*r.Float64()
+	}
+	probBase := c.L.AllocArray(len(logp), 8)
+	priors := make([]float64, classes)
+	for i := range priors {
+		priors[i] = -1.6
+	}
+	e, rt := c.E, c.RT
+	lineTop := e.Here()
+	for e.OK() {
+		for li := 0; li < len(t.Lines) && e.OK(); li++ {
+			if li%linesPerSplit == 0 {
+				rt.TaskStart()
+			}
+			sp := t.Lines[li]
+			rt.ReadRecord(sp.Len())
+			c.InBytes += uint64(sp.Len())
+			c.Records++
+			scanBytes(e, t.Base, sp.Start, sp.End, e.Fixed(1))
+			// Accumulate per-class scores.
+			score := make([]float64, classes)
+			copy(score, priors)
+			accs := [5]isa.Reg{e.Fixed(2), e.Fixed(3), e.Fixed(4), e.Fixed(5), e.Fixed(6)}
+			words := t.WordIDs[li]
+			wordTop := e.Here()
+			for wi, id := range words {
+				classTop := e.Here()
+				for cl := 0; cl < classes; cl++ {
+					v := loadFPIdx(e, probBase, int(id)*classes+cl, 8, isa.NoReg)
+					e.FPTo(accs[cl%5], isa.FPArith, accs[cl%5], v)
+					score[cl] += logp[int(id)*classes+cl]
+					e.Loop(classTop, cl+1 < classes, v)
+				}
+				e.Loop(wordTop, wi+1 < len(words), e.Fixed(1))
+			}
+			// Argmax with data-dependent comparison branches.
+			best := 0
+			for cl := 1; cl < classes; cl++ {
+				gt := score[cl] > score[best]
+				e.FP(isa.FPArith, accs[cl%5], accs[(cl-1)%5])
+				e.Branch(gt, isa.NoReg)
+				if gt {
+					best = cl
+				}
+			}
+			rt.EmitKV(6)
+			c.OutBytes += 6
+			_ = best
+			e.Loop(lineTop, li+1 < len(t.Lines), e.Fixed(1))
+		}
+	}
+}
+
+// Index builds an inverted index: tokenization plus posting-list
+// appends (sequential stores into per-word lists).
+type Index struct {
+	Cfg datagen.TextConfig
+}
+
+// Name implements Kernel.
+func (k *Index) Name() string { return "Index" }
+
+// Run implements Kernel.
+func (k *Index) Run(c *Ctx) {
+	t := datagen.NewText(c.L, k.Cfg)
+	postBase := c.L.AllocArray(k.Cfg.Vocab*64, 8)
+	postLen := make([]int32, k.Cfg.Vocab)
+	tbl := newHashTable(c.L, k.Cfg.Vocab*2)
+	e, rt := c.E, c.RT
+	lineTop := e.Here()
+	for e.OK() {
+		for li := 0; li < len(t.Lines) && e.OK(); li++ {
+			if li%linesPerSplit == 0 {
+				rt.TaskStart()
+			}
+			sp := t.Lines[li]
+			rt.ReadRecord(sp.Len())
+			c.InBytes += uint64(sp.Len())
+			c.Records++
+			scanBytes(e, t.Base, sp.Start, sp.End, e.Fixed(1))
+			words := t.WordIDs[li]
+			wordTop := e.Here()
+			for wi, id := range words {
+				tbl.add(e, int64(id), 1)
+				// Append (docID) to the word's posting list.
+				slot := int(id)*64 + int(postLen[id]%60)
+				storeIdx(e, postBase, slot, 8, e.Fixed(1))
+				postLen[id]++
+				rt.EmitKV(8)
+				c.InterBytes += 8
+				c.OutBytes += 8
+				e.Loop(wordTop, wi+1 < len(words), e.Fixed(1))
+			}
+			e.Loop(lineTop, li+1 < len(t.Lines), e.Fixed(1))
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/sim/isa"
+)
+
+// TPCDSScale sizes the star schema for the decision-support queries
+// (Table 1 dataset 7).
+type TPCDSScale struct {
+	FactRows int
+	Seed     uint64
+}
+
+// DefaultTPCDS is the simulation-scale TPC-DS shape.
+func DefaultTPCDS() TPCDSScale {
+	return TPCDSScale{FactRows: 150000, Seed: 0xD5}
+}
+
+// buildDimFilter scans a dimension column once (emitting the scan) and
+// returns the set of surrogate keys passing pred, loaded into a
+// simulated hash set.
+func buildDimFilter(c *Ctx, t *datagen.Table, keyCol, valCol string, pred func(int64) bool) (*hashTable, map[int64]int64) {
+	key := t.Col(keyCol)
+	val := t.Col(valCol)
+	// Size the hash set to the filtered cardinality (queries build
+	// tight semi-join sets, which is what keeps their probes
+	// cache-resident).
+	matches := 0
+	for i := 0; i < t.Rows; i++ {
+		if pred(val.Vals[i]) {
+			matches++
+		}
+	}
+	tbl := newHashTable(c.L, matches*2+16)
+	pass := make(map[int64]int64, matches)
+	e := c.E
+	scanTop := e.Here()
+	for i := 0; i < t.Rows && e.OK(); i++ {
+		v := loadIdx(e, val.Base, i, 8, isa.NoReg)
+		ok := pred(val.Vals[i])
+		e.Branch(ok, v)
+		if ok {
+			tbl.add(e, key.Vals[i], val.Vals[i])
+			pass[key.Vals[i]] = val.Vals[i]
+		}
+		c.Records++
+		e.Loop(scanTop, i+1 < t.Rows, v)
+	}
+	c.InBytes += uint64(t.Rows * len(t.Cols) * 8)
+	return tbl, pass
+}
+
+// TPCDSQ3 is TPC-DS query 3 (H-TPC-DS-query3 in Table 2): filter the
+// date dimension to one month, join store_sales, join item, and
+// aggregate revenue by brand.
+type TPCDSQ3 struct {
+	Scale TPCDSScale
+}
+
+// Name implements Kernel.
+func (k *TPCDSQ3) Name() string { return "TPCDS-Q3" }
+
+// Run implements Kernel.
+func (k *TPCDSQ3) Run(c *Ctx) {
+	d := datagen.NewTPCDS(c.L, k.Scale.Seed, k.Scale.FactRows)
+	e, rt := c.E, c.RT
+	rowBytes := 5 * 8
+	for e.OK() {
+		rt.TaskStart()
+		dateSet, datePass := buildDimFilter(c, d.DateDim, "d_date_sk", "d_moy",
+			func(m int64) bool { return m == 12 })
+		brandOf := d.Item.Col("i_brand_id")
+		agg := newHashTable(c.L, 1024)
+		dateCol := d.StoreSales.Col("ss_sold_date_sk")
+		itemCol := d.StoreSales.Col("ss_item_sk")
+		priceCol := d.StoreSales.Col("ss_sales_price")
+		factTop := e.Here()
+		for i := 0; i < d.StoreSales.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			dk := loadIdx(e, dateCol.Base, i, 8, isa.NoReg)
+			_, dateHit := dateSet.probe(e, dateCol.Vals[i])
+			_, inMonth := datePass[dateCol.Vals[i]]
+			if dateHit && inMonth {
+				ik := loadIdx(e, itemCol.Base, i, 8, dk)
+				pv := loadIdx(e, priceCol.Base, i, 8, ik)
+				brand := brandOf.Vals[itemCol.Vals[i]]
+				agg.addFP(e, brand, float64(priceCol.Vals[i]))
+				_ = pv
+			}
+			c.Records++
+			e.Loop(factTop, i+1 < d.StoreSales.Rows, dk)
+		}
+		rt.Shuffle(agg.Entries * 16)
+		c.InterBytes += uint64(agg.Entries * 16)
+		c.OutBytes = uint64(agg.Entries * 16)
+		rt.EmitKV(agg.Entries * 16 / 4)
+	}
+}
+
+// TPCDSQ8 is TPC-DS query 8 (S-TPC-DS-query8): join store_sales with a
+// filtered customer dimension and aggregate by category. Under Shark's
+// columnar batches the probe loop dominates, giving the high IPC the
+// paper reports for S-TPC-DS-query8 (1.7).
+type TPCDSQ8 struct {
+	Scale TPCDSScale
+}
+
+// Name implements Kernel.
+func (k *TPCDSQ8) Name() string { return "TPCDS-Q8" }
+
+// Run implements Kernel.
+func (k *TPCDSQ8) Run(c *Ctx) {
+	d := datagen.NewTPCDS(c.L, k.Scale.Seed^0x8, k.Scale.FactRows)
+	e, rt := c.E, c.RT
+	rowBytes := 5 * 8
+	for e.OK() {
+		rt.TaskStart()
+		custSet, _ := buildDimFilter(c, d.Customer, "c_customer_sk", "c_county",
+			func(county int64) bool { return county < 10 })
+		catOf := d.Item.Col("i_category_id")
+		agg := newHashTable(c.L, 64)
+		custCol := d.StoreSales.Col("ss_customer_sk")
+		itemCol := d.StoreSales.Col("ss_item_sk")
+		qtyCol := d.StoreSales.Col("ss_quantity")
+		vectorized := rt.D.Batch() > 1
+		factTop := e.Here()
+		for i := 0; i < d.StoreSales.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			ck := loadIdx(e, custCol.Base, i, 8, isa.NoReg)
+			var custHit bool
+			if vectorized {
+				_, custHit = custSet.probeVec(e, custCol.Vals[i])
+			} else {
+				_, custHit = custSet.probe(e, custCol.Vals[i])
+			}
+			if custHit {
+				iv := loadIdx(e, itemCol.Base, i, 8, ck)
+				qv := loadIdx(e, qtyCol.Base, i, 8, iv)
+				cat := catOf.Vals[itemCol.Vals[i]]
+				agg.addFP(e, cat, float64(qtyCol.Vals[i]))
+				_ = qv
+			}
+			c.Records++
+			e.Loop(factTop, i+1 < d.StoreSales.Rows, ck)
+		}
+		rt.Shuffle(agg.Entries * 16)
+		c.InterBytes += uint64(agg.Entries * 16)
+		c.OutBytes = uint64(agg.Entries * 16)
+	}
+}
+
+// TPCDSQ10 is TPC-DS query 10 (S-TPC-DS-query10): customer-centric
+// semi-join — mark customers with store sales in a date range, then
+// filter and count customers by demographic columns.
+type TPCDSQ10 struct {
+	Scale TPCDSScale
+}
+
+// Name implements Kernel.
+func (k *TPCDSQ10) Name() string { return "TPCDS-Q10" }
+
+// Run implements Kernel.
+func (k *TPCDSQ10) Run(c *Ctx) {
+	d := datagen.NewTPCDS(c.L, k.Scale.Seed^0x10, k.Scale.FactRows)
+	e, rt := c.E, c.RT
+	rowBytes := 5 * 8
+	for e.OK() {
+		rt.TaskStart()
+		// Phase 1: semi-join marks via the fact table.
+		seen := newHashTable(c.L, d.Customer.Rows*2)
+		custCol := d.StoreSales.Col("ss_customer_sk")
+		dateCol := d.StoreSales.Col("ss_sold_date_sk")
+		vectorized := rt.D.Batch() > 1
+		markTop := e.Here()
+		for i := 0; i < d.StoreSales.Rows && e.OK(); i++ {
+			if i%2048 == 0 {
+				readRows(c, 2048, rowBytes)
+			}
+			dk := loadIdx(e, dateCol.Base, i, 8, isa.NoReg)
+			inRange := dateCol.Vals[i] < 400
+			if vectorized {
+				e.Int(isa.IntAlu, dk, isa.NoReg)
+			} else {
+				e.Branch(inRange, dk)
+			}
+			if inRange {
+				seen.add(e, custCol.Vals[i], 1)
+			}
+			c.Records++
+			e.Loop(markTop, i+1 < d.StoreSales.Rows, dk)
+		}
+		// Phase 2: scan customers, probe marks, aggregate by birth
+		// decade.
+		birth := d.Customer.Col("c_birth_year")
+		key := d.Customer.Col("c_customer_sk")
+		agg := newHashTable(c.L, 32)
+		custTop := e.Here()
+		for i := 0; i < d.Customer.Rows && e.OK(); i++ {
+			kv := loadIdx(e, key.Base, i, 8, isa.NoReg)
+			var hit bool
+			if vectorized {
+				_, hit = seen.probeVec(e, key.Vals[i])
+			} else {
+				_, hit = seen.probe(e, key.Vals[i])
+			}
+			if hit {
+				bv := loadIdx(e, birth.Base, i, 8, kv)
+				agg.add(e, birth.Vals[i]/10, 1)
+				_ = bv
+			}
+			c.Records++
+			e.Loop(custTop, i+1 < d.Customer.Rows, kv)
+		}
+		c.InBytes += uint64(d.Customer.Rows * 3 * 8)
+		rt.Shuffle(agg.Entries * 16)
+		c.OutBytes = uint64(agg.Entries * 16)
+	}
+}

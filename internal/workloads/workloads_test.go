@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim/trace"
+)
+
+func TestRoster77Count(t *testing.T) {
+	roster := Roster77()
+	if len(roster) != 77 {
+		t.Fatalf("roster has %d workloads, want 77 (BigDataBench 3.0)", len(roster))
+	}
+	seen := map[string]bool{}
+	for _, w := range roster {
+		if w.ID == "" || w.Kernel == nil || w.Stack.Name == "" {
+			t.Fatalf("incomplete roster entry %+v", w)
+		}
+		if seen[w.ID] {
+			t.Fatalf("duplicate workload ID %q", w.ID)
+		}
+		seen[w.ID] = true
+	}
+}
+
+func TestRepresentative17(t *testing.T) {
+	reps := Representative17()
+	if len(reps) != 17 {
+		t.Fatalf("%d representatives, want 17", len(reps))
+	}
+	// Table 2's parenthesized counts must sum to 77.
+	sum := 0
+	for _, w := range reps {
+		c, ok := RepresentedCounts[w.ID]
+		if !ok {
+			t.Fatalf("no represented count for %s", w.ID)
+		}
+		sum += c
+	}
+	if sum != 77 {
+		t.Fatalf("represented counts sum to %d, want 77", sum)
+	}
+	// The sole service representative is H-Read, as in Table 2.
+	services := 0
+	for _, w := range reps {
+		if w.Category == Service {
+			services++
+			if w.ID != "H-Read" {
+				t.Fatalf("unexpected service representative %s", w.ID)
+			}
+		}
+	}
+	if services != 1 {
+		t.Fatalf("%d service representatives, want 1", services)
+	}
+}
+
+func TestMPI6(t *testing.T) {
+	mpi := MPI6()
+	if len(mpi) != 6 {
+		t.Fatalf("%d MPI workloads, want 6 (§5.5)", len(mpi))
+	}
+	for _, w := range mpi {
+		if w.Stack.Name != "MPI" {
+			t.Fatalf("%s not on the MPI stack", w.ID)
+		}
+	}
+}
+
+func TestEveryRepresentativeRuns(t *testing.T) {
+	for _, w := range Representative17() {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			var c trace.CountProbe
+			res := Run(w, &c, 60_000)
+			if res.Insts < 50_000 {
+				t.Fatalf("emitted only %d instructions", res.Insts)
+			}
+			if c.Total != res.Insts {
+				t.Fatalf("probe saw %d, result says %d", c.Total, res.Insts)
+			}
+			if res.InBytes == 0 {
+				t.Fatal("no input bytes tallied")
+			}
+			if res.Records == 0 {
+				t.Fatal("no records tallied")
+			}
+			if c.ByOp[3] == 0 { // branches
+				t.Fatal("workload emitted no branches")
+			}
+		})
+	}
+}
+
+func TestEveryMPIWorkloadRuns(t *testing.T) {
+	for _, w := range MPI6() {
+		w := w
+		t.Run(w.ID, func(t *testing.T) {
+			t.Parallel()
+			var c trace.CountProbe
+			res := Run(w, &c, 250_000)
+			if res.Insts < 200_000 {
+				t.Fatalf("emitted only %d instructions", res.Insts)
+			}
+			if res.FrameworkShare > 0.6 {
+				t.Fatalf("MPI framework share %.2f implausibly high", res.FrameworkShare)
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	w := Representative17()[4] // S-WordCount
+	var a, b trace.CountProbe
+	Run(w, &a, 50_000)
+	Run(w, &b, 50_000)
+	if a.Total != b.Total || a.Taken != b.Taken || a.Memory != b.Memory {
+		t.Fatalf("same workload runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFrameworkShareOrdering(t *testing.T) {
+	var mpi, hadoop trace.CountProbe
+	mpiRes := Run(MPI6()[4], &mpi, 200_000)               // M-WordCount
+	hRes := Run(Representative17()[14], &hadoop, 200_000) // H-WordCount
+	if mpiRes.FrameworkShare >= hRes.FrameworkShare {
+		t.Fatalf("MPI framework share %.2f >= Hadoop %.2f",
+			mpiRes.FrameworkShare, hRes.FrameworkShare)
+	}
+}
+
+func TestClassifyRatio(t *testing.T) {
+	cases := []struct {
+		out, in uint64
+		want    DataRatio
+	}{
+		{0, 100, RatioNone},
+		{1, 1000, RatioNone}, // <1%
+		{50, 100, RatioLess},
+		{95, 100, RatioEqual},
+		{109, 100, RatioEqual},
+		{111, 100, RatioMore},
+		{0, 0, RatioNone},
+	}
+	for _, c := range cases {
+		if got := ClassifyRatio(c.out, c.in); got != c.want {
+			t.Errorf("ClassifyRatio(%d, %d) = %v, want %v", c.out, c.in, got, c.want)
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	for _, budget := range []int64{10_000, 100_000} {
+		var c trace.CountProbe
+		res := Run(Representative17()[6], &c, budget) // H-Grep
+		// Kernels stop shortly after exhaustion; allow bounded overshoot.
+		if int64(res.Insts) < budget || int64(res.Insts) > budget+budget/2+5000 {
+			t.Fatalf("budget %d -> %d instructions", budget, res.Insts)
+		}
+	}
+}

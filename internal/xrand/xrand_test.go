@@ -1,0 +1,176 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64RangeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			if v := r.Float64(); v < 0 || v >= 1 {
+				return false
+			}
+			if v := r.Float32(); v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniformity(t *testing.T) {
+	r := New(99)
+	buckets := make([]int, 16)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for b, c := range buckets {
+		if c < n/16*8/10 || c > n/16*12/10 {
+			t.Fatalf("bucket %d has %d of %d (expected ~%d)", b, c, n, n/16)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(5)
+	var sum, sum2 float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestHash64Distinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash64(i)
+		if seen[h] {
+			t.Fatalf("Hash64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHash64Stateless(t *testing.T) {
+	if Hash64(12345) != Hash64(12345) {
+		t.Fatal("Hash64 is not a pure function")
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(100, 1.0)
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := z.Sample(r)
+			if v < 0 || v >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	r := New(3)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[500]*10 {
+		t.Fatalf("Zipf not skewed: rank 0 = %d, rank 500 = %d", counts[0], counts[500])
+	}
+	// Monotone-ish head.
+	if counts[0] < counts[1] || counts[1] < counts[10] {
+		t.Fatalf("Zipf head not decreasing: %d %d %d", counts[0], counts[1], counts[10])
+	}
+}
+
+func TestZipfPanicsOnZeroN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, ...) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}

@@ -1,0 +1,55 @@
+package xrand
+
+import "math"
+
+// Zipf samples integers in [0, n) with a Zipfian distribution of
+// exponent s (s > 0): P(k) proportional to 1/(k+1)^s.
+//
+// Word frequencies in the Wikipedia-like text generator, key popularity
+// in the OLTP request generators and graph degree skew all use Zipf
+// samplers, mirroring the skew assumptions of BDGS (the BigDataBench
+// data generator suite).
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for n items with exponent s.
+// For the n values used in this repository (vocabulary sizes and key
+// spaces up to a few hundred thousand) a precomputed table is the
+// fastest and simplest correct approach.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	z := &Zipf{n: n, cdf: make([]float64, n)}
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		z.cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range z.cdf {
+		z.cdf[k] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws one value in [0, n) using r.
+func (z *Zipf) Sample(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
