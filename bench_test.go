@@ -232,6 +232,66 @@ func BenchmarkAblationLoopPredictor(b *testing.B) {
 	b.ReportMetric(without*100, "mispredict%-without-loop")
 }
 
+// BenchmarkEngineSerial regenerates the full paper batch one
+// experiment at a time in dependency order — the reference the
+// concurrent engine is compared against.
+func BenchmarkEngineSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := &experiments.Engine{Session: experiments.NewSession(experiments.Quick())}
+		res, err := e.RunSerial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("engine produced no results")
+		}
+	}
+}
+
+// BenchmarkEngineParallel regenerates the full paper batch as the
+// dependency-aware concurrent schedule over a bounded worker pool.
+func BenchmarkEngineParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := &experiments.Engine{Session: experiments.NewSession(experiments.Quick())}
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("engine produced no results")
+		}
+	}
+}
+
+// BenchmarkSweepFiguresSerial is the seed's Fig. 6-9 path: every curve
+// re-traces its workload group (10 group sweeps, ~58 trace passes).
+func BenchmarkSweepFiguresSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := experiments.SerialSweepFigures(experiments.NewSession(experiments.Quick()))
+		if len(figs[3].Curves["MPI-workloads"]) == 0 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+// BenchmarkSweepFiguresMemoized is the engine path: one trace pass per
+// workload, all three views extracted from it and shared by the four
+// figures.
+func BenchmarkSweepFiguresMemoized(b *testing.B) {
+	var passes int64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(experiments.Quick())
+		experiments.Fig6(s)
+		experiments.Fig7(s)
+		experiments.Fig8(s)
+		if len(experiments.Fig9(s).Curves["MPI-workloads"]) == 0 {
+			b.Fatal("missing curves")
+		}
+		passes = s.TracePasses()
+	}
+	b.ReportMetric(float64(passes), "trace-passes")
+}
+
 // BenchmarkWorkloadThroughput measures raw simulation speed (the cost
 // of one characterization run).
 func BenchmarkWorkloadThroughput(b *testing.B) {

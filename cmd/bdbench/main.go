@@ -11,9 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
+	"repro/internal/conc"
 	"repro/internal/metrics"
 	"repro/internal/sim/machine"
 	"repro/internal/workloads"
@@ -23,6 +23,7 @@ func main() {
 	budget := flag.Int64("budget", 2_000_000, "instruction budget per workload")
 	mach := flag.String("machine", "xeon", "machine model: xeon or atom")
 	set := flag.String("set", "reps", "workload set: reps, mpi, all (reps+mpi) or roster")
+	parallel := flag.Int("parallel", 0, "bound concurrent workload runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	var list []workloads.Workload
@@ -67,8 +68,11 @@ func main() {
 		fw   float64
 		mCRI string
 	}
-	rows := make([]row, 0, len(list))
-	for _, w := range list {
+	// Each workload runs on its own machine model, so characterization
+	// fans out across a bounded worker pool; rows stay in input order.
+	rows := make([]row, len(list))
+	conc.ForEach(*parallel, len(list), func(i int) {
+		w := list[i]
 		m := machine.New(cfg)
 		res := workloads.Run(w, m, *budget)
 		m.Finish()
@@ -80,9 +84,8 @@ func main() {
 		}
 		mcri := fmt.Sprintf("%2.0f/%2.0f/%2.0f",
 			100*float64(st.MisCond)/tot, 100*float64(st.MisRet)/tot, 100*float64(st.MisInd)/tot)
-		rows = append(rows, row{id: w.ID, v: v, fw: res.FrameworkShare, mCRI: mcri})
-	}
-	sort.SliceStable(rows, func(i, j int) bool { return false }) // keep input order
+		rows[i] = row{id: w.ID, v: v, fw: res.FrameworkShare, mCRI: mcri}
+	})
 	for _, r := range rows {
 		v := r.v
 		fmt.Printf("%-18s %5.2f %6.1f %6.1f %6.1f %6.0f %6.2f %5.1f %6s %5.1f %5.1f %5.1f %5.1f %5.1f %6.3f %6.3f %6.0f %5.1f %6.1f %6.1f %6.1f %6.0f %6.0f\n",

@@ -2,9 +2,14 @@
 // evaluation and writes ASCII renderings (and CSV curves for the
 // figure sweeps) to stdout or an output directory.
 //
+// The experiments run through the concurrent engine by default: every
+// workload is profiled and swept exactly once, shared across all
+// dependent tables and figures, with independent experiments scheduled
+// in parallel. -serial falls back to one-at-a-time dependency order.
+//
 // Usage:
 //
-//	repro [-quick] [-out DIR] [item ...]
+//	repro [-quick] [-serial] [-parallel N] [-timing] [-out DIR] [item ...]
 //
 // Items: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 reduction stack. Default: all.
@@ -19,25 +24,54 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/report"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced instruction budgets")
 	outDir := flag.String("out", "", "also write per-item files to this directory")
+	serial := flag.Bool("serial", false, "run experiments one at a time in dependency order")
+	parallel := flag.Int("parallel", 0, "bound concurrency: experiments at once and workers within each (0 = GOMAXPROCS)")
+	timing := flag.Bool("timing", false, "print the per-experiment timing table to stderr")
 	flag.Parse()
 
 	opt := experiments.Default()
 	if *quick {
 		opt = experiments.Quick()
 	}
-	s := experiments.NewSession(opt)
 
-	want := map[string]bool{}
-	for _, a := range flag.Args() {
-		want[strings.ToLower(a)] = true
+	var sel []string
+	if args := flag.Args(); len(args) > 0 {
+		known := map[string]bool{}
+		for _, name := range experiments.VisibleUnitNames() {
+			known[name] = true
+		}
+		for _, a := range args {
+			item := strings.ToLower(a)
+			if !known[item] {
+				fatal(fmt.Errorf("unknown item %q (known: %s)",
+					a, strings.Join(experiments.VisibleUnitNames(), " ")))
+			}
+			sel = append(sel, item)
+		}
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	sess := experiments.NewSession(opt)
+	sess.Parallelism = *parallel
+	e := &experiments.Engine{
+		Session:     sess,
+		Parallelism: *parallel,
+		Select:      sel,
+	}
+	var results []experiments.UnitResult
+	var err error
+	if *serial {
+		results, err = e.RunSerial()
+	} else {
+		results, err = e.Run()
+	}
+	if err != nil {
+		fatal(err)
+	}
 
 	out := func(name string) (io.Writer, func()) {
 		if *outDir == "" {
@@ -54,97 +88,26 @@ func main() {
 		return io.MultiWriter(os.Stdout, f), func() { f.Close() }
 	}
 
-	if sel("table1") {
-		w, done := out("table1")
-		experiments.RenderTable1(w, experiments.Table1())
-		done()
-	}
-	if sel("table2") {
-		w, done := out("table2")
-		experiments.RenderTable2(w, experiments.Table2(s))
-		done()
-	}
-	if sel("table3") {
-		w, done := out("table3")
-		t := experiments.Table3()
-		t.Render(w)
-		done()
-	}
-	if sel("table4") {
-		w, done := out("table4")
-		r := experiments.Table4(s)
-		r.Mechanisms.Render(w)
-		r.PerWorkload.Render(w)
-		sum := report.Table{Headers: []string{"average misprediction", "measured", "paper"}}
-		sum.Add("Atom D510", r.AtomAvg*100, r.PaperAtomAvg*100)
-		sum.Add("Xeon E5645", r.XeonAvg*100, r.PaperXeonAvg*100)
-		sum.Render(w)
-		done()
-	}
-	if sel("fig1") {
-		w, done := out("fig1")
-		experiments.Fig1(s).Render(w)
-		done()
-	}
-	if sel("fig2") {
-		w, done := out("fig2")
-		experiments.Fig2(s).Render(w)
-		done()
-	}
-	if sel("fig3") {
-		w, done := out("fig3")
-		experiments.Fig3(s).Render(w)
-		done()
-	}
-	if sel("fig4") {
-		w, done := out("fig4")
-		experiments.Fig4(s).Render(w)
-		done()
-	}
-	if sel("fig5") {
-		w, done := out("fig5")
-		experiments.Fig5(s).Render(w)
-		done()
-	}
-	for _, fig := range []struct {
-		name string
-		run  func(*experiments.Session) experiments.SweepResult
-	}{
-		{"fig6", experiments.Fig6},
-		{"fig7", experiments.Fig7},
-		{"fig8", experiments.Fig8},
-		{"fig9", experiments.Fig9},
-	} {
-		if !sel(fig.name) {
+	failed := false
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.Unit.Name, r.Err)
+			failed = true
 			continue
 		}
-		w, done := out(fig.name)
-		r := fig.run(s)
-		r.Render(w)
-		fmt.Fprintf(w, "knee(Hadoop, 0.2) = %d KB; knee(PARSEC, 0.2) = %d KB\n",
-			r.Knee("Hadoop-workloads", 0.2), r.Knee("PARSEC-workloads", 0.2))
-		done()
-	}
-	if sel("reduction") {
-		w, done := out("reduction")
-		r, err := experiments.Reduction(s)
-		if err != nil {
-			fatal(err)
+		if r.Unit.Hidden || r.Artifact == nil {
+			continue
 		}
-		r.Render(w)
-		fmt.Fprintf(w, "PCA kept %d dimensions explaining %.1f%% of variance\n",
-			r.Reduction.Dimensions, r.Reduction.Explained*100)
+		w, done := out(r.Unit.Name)
+		r.Artifact.Render(w)
 		done()
 	}
-	if sel("stack") {
-		w, done := out("stack")
-		r := experiments.StackImpact(s)
-		r.Table.Render(w)
-		fmt.Fprintf(w, "avg IPC: MPI %.2f vs Hadoop/Spark %.2f (paper: 1.4 vs 1.16)\n",
-			r.MPIAvgIPC, r.OtherAvgIPC)
-		fmt.Fprintf(w, "avg L1I MPKI: MPI %.1f vs Hadoop/Spark %.1f (paper: 3.4 vs 12.6)\n",
-			r.MPIAvgL1I, r.OtherAvgL1I)
-		done()
+	if *timing {
+		t := experiments.TimingTable(results)
+		t.Render(os.Stderr)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

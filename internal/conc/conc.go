@@ -1,0 +1,30 @@
+// Package conc holds the bounded fan-out primitive shared by the
+// profiler, the experiment engine's sweep cache and the CLIs.
+package conc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most par concurrent
+// goroutines (par <= 0 means GOMAXPROCS) and waits for all of them.
+// Callers communicate results by writing to distinct indices of a
+// pre-sized slice; ForEach imposes no ordering beyond that.
+func ForEach(par, n int, fn func(i int)) {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+package conc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 64} {
+		const n = 100
+		counts := make([]int32, n)
+		ForEach(par, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("par=%d: index %d visited %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const par, n = 4, 50
+	var cur, max int32
+	ForEach(par, n, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			m := atomic.LoadInt32(&max)
+			if c <= m || atomic.CompareAndSwapInt32(&max, m, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if max > par {
+		t.Fatalf("observed %d concurrent calls, bound is %d", max, par)
+	}
+}
+
+func TestForEachZeroN(t *testing.T) {
+	ForEach(2, 0, func(int) { t.Fatal("fn called for n=0") })
+}

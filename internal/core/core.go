@@ -9,10 +9,9 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/conc"
 	"repro/internal/linalg"
 	"repro/internal/metrics"
 	"repro/internal/sim/machine"
@@ -42,26 +41,14 @@ type Profile struct {
 // ProfileAll characterizes every workload and returns profiles in
 // input order.
 func (p *Profiler) ProfileAll(list []workloads.Workload) []Profile {
-	par := p.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
 	out := make([]Profile, len(list))
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, w := range list {
-		wg.Add(1)
-		go func(i int, w workloads.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m := machine.New(p.Machine)
-			res := workloads.Run(w, m, p.Budget)
-			m.Finish()
-			out[i] = Profile{Workload: w, Vector: metrics.Compute(m), Run: res}
-		}(i, w)
-	}
-	wg.Wait()
+	conc.ForEach(p.Parallelism, len(list), func(i int) {
+		w := list[i]
+		m := machine.New(p.Machine)
+		res := workloads.Run(w, m, p.Budget)
+		m.Finish()
+		out[i] = Profile{Workload: w, Vector: metrics.Compute(m), Run: res}
+	})
 	return out
 }
 

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Artifact is a renderable experiment output.
+type Artifact interface {
+	Render(w io.Writer)
+}
+
+// RenderFunc adapts a closure to Artifact.
+type RenderFunc func(io.Writer)
+
+// Render implements Artifact.
+func (f RenderFunc) Render(w io.Writer) { f(w) }
+
+// Unit is one schedulable experiment: a paper table/figure, or a
+// hidden cache-primer that warms a Session cache so the visible units
+// depending on it never contend for the same profiling pass.
+type Unit struct {
+	Name string
+	// Deps name units that must complete before this one starts.
+	Deps []string
+	// Hidden marks cache primers: they produce no artifact and
+	// cmd/repro does not list them as selectable items.
+	Hidden bool
+	Run    func(*Session) (Artifact, error)
+}
+
+// UnitResult is one executed unit with its wall time.
+type UnitResult struct {
+	Unit     Unit
+	Artifact Artifact
+	Err      error
+	Elapsed  time.Duration
+}
+
+// Engine runs every table and figure of the paper as a
+// dependency-aware concurrent batch over one shared Session. Units
+// whose dependencies are satisfied execute in parallel on a bounded
+// worker pool; the hidden primer units fan the heavyweight profiling
+// and sweep passes out first so no two visible units repeat work.
+type Engine struct {
+	Session *Session
+	// Parallelism bounds concurrent units (0 = GOMAXPROCS).
+	Parallelism int
+	// Units overrides the experiment set (nil = Units()).
+	Units []Unit
+	// Select restricts the run to these visible unit names (nil = all);
+	// dependencies are pulled in transitively.
+	Select []string
+}
+
+// Run executes the selected units concurrently and returns results in
+// unit-definition order.
+func (e *Engine) Run() ([]UnitResult, error) {
+	par := e.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return e.run(par)
+}
+
+// RunSerial executes the selected units one at a time in dependency
+// order — the reference the concurrent path is benchmarked against.
+func (e *Engine) RunSerial() ([]UnitResult, error) {
+	return e.run(1)
+}
+
+func (e *Engine) units() []Unit {
+	if e.Units != nil {
+		return e.Units
+	}
+	return Units()
+}
+
+// schedule is the validated execution graph over a unit set: which
+// indices run, each one's in-degree, and its dependents.
+type schedule struct {
+	selected   map[int]bool
+	indeg      map[int]int
+	dependents map[int][]int
+}
+
+// plan validates the unit graph and builds the schedule: selection
+// plus transitive dependencies, with the subgraph confirmed acyclic
+// via Kahn's algorithm.
+func (e *Engine) plan(units []Unit) (*schedule, error) {
+	byName := make(map[string]int, len(units))
+	for i, u := range units {
+		if _, dup := byName[u.Name]; dup {
+			return nil, fmt.Errorf("experiments: duplicate unit %q", u.Name)
+		}
+		byName[u.Name] = i
+	}
+	for _, u := range units {
+		for _, d := range u.Deps {
+			if _, ok := byName[d]; !ok {
+				return nil, fmt.Errorf("experiments: unit %q depends on unknown unit %q", u.Name, d)
+			}
+		}
+	}
+	sc := &schedule{
+		selected:   make(map[int]bool, len(units)),
+		indeg:      map[int]int{},
+		dependents: map[int][]int{},
+	}
+	if e.Select == nil {
+		for i := range units {
+			sc.selected[i] = true
+		}
+	} else {
+		var add func(i int)
+		add = func(i int) {
+			if sc.selected[i] {
+				return
+			}
+			sc.selected[i] = true
+			for _, d := range units[i].Deps {
+				add(byName[d])
+			}
+		}
+		for _, name := range e.Select {
+			i, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown unit %q", name)
+			}
+			add(i)
+		}
+	}
+	// Build edges in unit-definition order so dependent dispatch (and
+	// therefore RunSerial's visit order) is deterministic.
+	for i := range units {
+		if !sc.selected[i] {
+			continue
+		}
+		for _, d := range units[i].Deps {
+			di := byName[d]
+			if sc.selected[di] {
+				sc.indeg[i]++
+				sc.dependents[di] = append(sc.dependents[di], i)
+			}
+		}
+	}
+	// Cycle check over a copy of the in-degrees.
+	indeg := make(map[int]int, len(sc.indeg))
+	for i, d := range sc.indeg {
+		indeg[i] = d
+	}
+	queue := make([]int, 0, len(sc.selected))
+	for i := range units {
+		if sc.selected[i] && indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, j := range sc.dependents[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if seen != len(sc.selected) {
+		return nil, fmt.Errorf("experiments: dependency cycle among units")
+	}
+	return sc, nil
+}
+
+func (e *Engine) run(par int) ([]UnitResult, error) {
+	units := e.units()
+	sc, err := e.plan(units)
+	if err != nil {
+		return nil, err
+	}
+	selected, indeg, dependents := sc.selected, sc.indeg, sc.dependents
+
+	n := len(selected)
+	ready := make(chan int, n)
+	completions := make(chan int, n)
+	// Seed the ready queue in definition order so RunSerial visits
+	// units deterministically.
+	for i := range units {
+		if selected[i] && indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	res := make([]UnitResult, len(units))
+	for w := 0; w < par; w++ {
+		go func() {
+			for i := range ready {
+				start := time.Now()
+				art, err := units[i].Run(e.Session)
+				res[i] = UnitResult{Unit: units[i], Artifact: art, Err: err, Elapsed: time.Since(start)}
+				completions <- i
+			}
+		}()
+	}
+	for done := 0; done < n; done++ {
+		i := <-completions
+		for _, d := range dependents[i] {
+			if indeg[d]--; indeg[d] == 0 {
+				ready <- d
+			}
+		}
+	}
+	close(ready)
+
+	out := make([]UnitResult, 0, n)
+	for i := range units {
+		if selected[i] {
+			out = append(out, res[i])
+		}
+	}
+	return out, nil
+}
+
+// TimingTable summarizes an engine run: one row per unit with its wall
+// time, hidden primers included (they carry the heavyweight profiling).
+func TimingTable(results []UnitResult) report.Table {
+	t := report.Table{Title: "engine timing", Headers: []string{"unit", "ms", "status"}}
+	var total time.Duration
+	for _, r := range results {
+		status := "ok"
+		if r.Err != nil {
+			status = "error: " + r.Err.Error()
+		} else if r.Unit.Hidden {
+			status = "primer"
+		}
+		t.Add(r.Unit.Name, float64(r.Elapsed.Microseconds())/1000, status)
+		total += r.Elapsed
+	}
+	t.Add("TOTAL (cpu, not wall)", float64(total.Microseconds())/1000, "")
+	return t
+}
+
+// Units returns the full experiment set: hidden primers that warm the
+// session's profile and sweep caches, then every table and figure of
+// the paper wired to its primers. The artifacts render exactly what
+// cmd/repro prints per item.
+func Units() []Unit {
+	warm := func(f func(*Session)) func(*Session) (Artifact, error) {
+		return func(s *Session) (Artifact, error) { f(s); return nil, nil }
+	}
+	return []Unit{
+		{Name: "warm-reps", Hidden: true, Run: warm(func(s *Session) { s.Reps() })},
+		{Name: "warm-mpi", Hidden: true, Run: warm(func(s *Session) { s.MPI() })},
+		{Name: "warm-atom", Hidden: true, Run: warm(func(s *Session) { s.AtomReps() })},
+		{Name: "warm-suites", Hidden: true, Run: warm(func(s *Session) { s.Suites() })},
+		{Name: "warm-sweep-hadoop", Hidden: true, Run: warm(func(s *Session) { sweepGroup(s, hadoopGroup(), curveInst) })},
+		{Name: "warm-sweep-parsec", Hidden: true, Run: warm(func(s *Session) { sweepGroup(s, parsecGroup(), curveInst) })},
+		{Name: "warm-sweep-mpi", Hidden: true, Run: warm(func(s *Session) { sweepGroup(s, workloads.MPI6(), curveInst) })},
+
+		{Name: "table1", Run: func(s *Session) (Artifact, error) {
+			rows := Table1()
+			return RenderFunc(func(w io.Writer) { RenderTable1(w, rows) }), nil
+		}},
+		{Name: "table2", Deps: []string{"warm-reps"}, Run: func(s *Session) (Artifact, error) {
+			rows := Table2(s)
+			return RenderFunc(func(w io.Writer) { RenderTable2(w, rows) }), nil
+		}},
+		{Name: "table3", Run: func(s *Session) (Artifact, error) {
+			t := Table3()
+			return RenderFunc(func(w io.Writer) { t.Render(w) }), nil
+		}},
+		{Name: "table4", Deps: []string{"warm-reps", "warm-atom"}, Run: func(s *Session) (Artifact, error) {
+			r := Table4(s)
+			return RenderFunc(func(w io.Writer) {
+				r.Mechanisms.Render(w)
+				r.PerWorkload.Render(w)
+				sum := report.Table{Headers: []string{"average misprediction", "measured", "paper"}}
+				sum.Add("Atom D510", r.AtomAvg*100, r.PaperAtomAvg*100)
+				sum.Add("Xeon E5645", r.XeonAvg*100, r.PaperXeonAvg*100)
+				sum.Render(w)
+			}), nil
+		}},
+		{Name: "fig1", Deps: []string{"warm-reps", "warm-mpi", "warm-suites"}, Run: func(s *Session) (Artifact, error) {
+			return Fig1(s), nil
+		}},
+		{Name: "fig2", Deps: []string{"warm-reps"}, Run: func(s *Session) (Artifact, error) {
+			return Fig2(s), nil
+		}},
+		{Name: "fig3", Deps: []string{"warm-reps", "warm-mpi", "warm-suites"}, Run: func(s *Session) (Artifact, error) {
+			return Fig3(s), nil
+		}},
+		{Name: "fig4", Deps: []string{"warm-reps", "warm-mpi", "warm-suites"}, Run: func(s *Session) (Artifact, error) {
+			return Fig4(s), nil
+		}},
+		{Name: "fig5", Deps: []string{"warm-reps", "warm-mpi", "warm-suites"}, Run: func(s *Session) (Artifact, error) {
+			return Fig5(s), nil
+		}},
+		{Name: "fig6", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec"}, Run: sweepUnit(Fig6)},
+		{Name: "fig7", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec"}, Run: sweepUnit(Fig7)},
+		{Name: "fig8", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec"}, Run: sweepUnit(Fig8)},
+		{Name: "fig9", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec", "warm-sweep-mpi"}, Run: sweepUnit(Fig9)},
+		{Name: "reduction", Run: func(s *Session) (Artifact, error) {
+			r, err := Reduction(s)
+			if err != nil {
+				return nil, err
+			}
+			return RenderFunc(func(w io.Writer) {
+				r.Render(w)
+				fmt.Fprintf(w, "PCA kept %d dimensions explaining %.1f%% of variance\n",
+					r.Reduction.Dimensions, r.Reduction.Explained*100)
+			}), nil
+		}},
+		{Name: "stack", Deps: []string{"warm-reps", "warm-mpi"}, Run: func(s *Session) (Artifact, error) {
+			r := StackImpact(s)
+			return RenderFunc(func(w io.Writer) {
+				r.Table.Render(w)
+				fmt.Fprintf(w, "avg IPC: MPI %.2f vs Hadoop/Spark %.2f (paper: 1.4 vs 1.16)\n",
+					r.MPIAvgIPC, r.OtherAvgIPC)
+				fmt.Fprintf(w, "avg L1I MPKI: MPI %.1f vs Hadoop/Spark %.1f (paper: 3.4 vs 12.6)\n",
+					r.MPIAvgL1I, r.OtherAvgL1I)
+			}), nil
+		}},
+	}
+}
+
+// sweepUnit wraps a Fig6-9 runner, appending the knee reading cmd/repro
+// prints under each sweep figure.
+func sweepUnit(fig func(*Session) SweepResult) func(*Session) (Artifact, error) {
+	return func(s *Session) (Artifact, error) {
+		r := fig(s)
+		return RenderFunc(func(w io.Writer) {
+			r.Render(w)
+			fmt.Fprintf(w, "knee(Hadoop, 0.2) = %d KB; knee(PARSEC, 0.2) = %d KB\n",
+				r.Knee("Hadoop-workloads", 0.2), r.Knee("PARSEC-workloads", 0.2))
+		}), nil
+	}
+}
+
+// VisibleUnitNames lists the selectable (non-primer) units in
+// definition order — the item names cmd/repro accepts.
+func VisibleUnitNames() []string {
+	var names []string
+	for _, u := range Units() {
+		if !u.Hidden {
+			names = append(names, u.Name)
+		}
+	}
+	return names
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/machineutil"
 	"repro/internal/metrics"
@@ -244,17 +245,19 @@ func AblationLoopPredictor(s *Session) (withLoop, withoutLoop float64) {
 
 	cfg := machine.XeonE5645()
 	list := workloads.Representative17()
-	n := 0.0
-	for _, w := range list {
+	ratios := make([]float64, len(list))
+	conc.ForEach(s.Parallelism, len(list), func(i int) {
 		m := machine.New(cfg)
 		m.SetPredictor(branch.NewHybridOpt(false))
-		workloads.Run(w, m, s.Opt.Budget)
+		workloads.Run(list[i], m, s.Opt.Budget)
 		m.Finish()
 		v := metrics.Compute(m)
-		withoutLoop += v[metrics.BrMispredictRatio]
-		n++
+		ratios[i] = v[metrics.BrMispredictRatio]
+	})
+	for _, r := range ratios {
+		withoutLoop += r
 	}
-	withoutLoop /= n
+	withoutLoop /= float64(len(list))
 	return withLoop, withoutLoop
 }
 

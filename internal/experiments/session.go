@@ -2,11 +2,12 @@
 // paper's evaluation (Tables 1-4, Figures 1-9, the §3 reduction and the
 // §5.5 software-stack study). Each experiment returns structured rows
 // and can render itself; cmd/repro and the root bench harness drive
-// them.
+// them, usually through the concurrent Engine.
 package experiments
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/machineutil"
@@ -38,16 +39,49 @@ func Quick() Options {
 	return Options{Budget: 400_000, SweepBudget: 200_000, RosterBudget: 150_000}
 }
 
-// Session caches profiled runs shared by several experiments.
+// Session caches profiled runs shared by several experiments. Each
+// cache fills at most once per session behind its own sync.Once, so
+// independent experiments scheduled concurrently (the Engine's normal
+// mode) never serialize on one session-wide lock and never repeat a
+// profiling pass.
 type Session struct {
 	Opt Options
 
-	mu        sync.Mutex
-	reps      []core.Profile
-	mpi       []core.Profile
-	suiteAvg  map[string]metrics.Vector
-	suiteRuns map[string][]core.Profile
-	atomReps  []core.Profile
+	// Parallelism bounds the worker pool of every profiling and sweep
+	// fan-out this session performs (0 = GOMAXPROCS). The Engine's own
+	// Parallelism bounds concurrent experiments; this bounds the work
+	// inside each one.
+	Parallelism int
+
+	repsOnce sync.Once
+	reps     []core.Profile
+
+	mpiOnce sync.Once
+	mpi     []core.Profile
+
+	atomOnce sync.Once
+	atomReps []core.Profile
+
+	suitesOnce sync.Once
+	suiteAvg   map[string]metrics.Vector
+	suiteRuns  map[string][]core.Profile
+
+	// sweeps memoizes one machine.Sweep trace pass per (workload,
+	// budget); all three miss-ratio views of Figs. 6-9 are extracted
+	// from that single pass.
+	sweepMu     sync.Mutex
+	sweeps      map[sweepKey]*sweepEntry
+	tracePasses atomic.Int64
+}
+
+type sweepKey struct {
+	id     string
+	budget int64
+}
+
+type sweepEntry struct {
+	once   sync.Once
+	curves machine.Curves
 }
 
 // NewSession returns a session with the given options.
@@ -56,57 +90,91 @@ func NewSession(opt Options) *Session {
 }
 
 func (s *Session) profiler(cfg machine.Config) *core.Profiler {
-	return &core.Profiler{Machine: cfg, Budget: s.Opt.Budget}
+	return &core.Profiler{Machine: cfg, Budget: s.Opt.Budget, Parallelism: s.Parallelism}
 }
 
 // Reps returns the 17 representative workloads profiled on the Xeon.
 func (s *Session) Reps() []core.Profile {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.reps == nil {
+	s.repsOnce.Do(func() {
 		s.reps = s.profiler(machine.XeonE5645()).ProfileAll(workloads.Representative17())
-	}
+	})
 	return s.reps
 }
 
 // MPI returns the six MPI implementations profiled on the Xeon.
 func (s *Session) MPI() []core.Profile {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.mpi == nil {
+	s.mpiOnce.Do(func() {
 		s.mpi = s.profiler(machine.XeonE5645()).ProfileAll(workloads.MPI6())
-	}
+	})
 	return s.mpi
 }
 
 // AtomReps returns the 17 representatives profiled on the Atom D510
 // model (used by Table 4's misprediction comparison).
 func (s *Session) AtomReps() []core.Profile {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.atomReps == nil {
+	s.atomOnce.Do(func() {
 		s.atomReps = s.profiler(machine.AtomD510()).ProfileAll(workloads.Representative17())
-	}
+	})
 	return s.atomReps
 }
 
 // Suites returns the per-suite average vectors and the underlying runs
-// for SPECINT, SPECFP, PARSEC, HPCC, CloudSuite and TPC-C.
+// for SPECINT, SPECFP, PARSEC, HPCC, CloudSuite and TPC-C. All suites'
+// workloads are flattened into one list and profiled through a single
+// bounded worker pool, rather than one serial ProfileAll per suite.
 func (s *Session) Suites() (map[string]metrics.Vector, map[string][]core.Profile) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.suiteAvg == nil {
-		s.suiteAvg = map[string]metrics.Vector{}
-		s.suiteRuns = map[string][]core.Profile{}
-		p := s.profiler(machine.XeonE5645())
-		for name, list := range suites.All() {
-			profs := p.ProfileAll(list)
-			s.suiteRuns[name] = profs
-			s.suiteAvg[name] = machineutil.Average(profs)
+	s.suitesOnce.Do(func() {
+		all := suites.All()
+		names := suites.Names()
+		var flat []workloads.Workload
+		spans := make(map[string][2]int, len(names))
+		for _, name := range names {
+			start := len(flat)
+			flat = append(flat, all[name]...)
+			spans[name] = [2]int{start, len(flat)}
 		}
-	}
+		profs := s.profiler(machine.XeonE5645()).ProfileAll(flat)
+		s.suiteAvg = make(map[string]metrics.Vector, len(names))
+		s.suiteRuns = make(map[string][]core.Profile, len(names))
+		for _, name := range names {
+			span := spans[name]
+			runs := profs[span[0]:span[1]:span[1]]
+			s.suiteRuns[name] = runs
+			s.suiteAvg[name] = machineutil.Average(runs)
+		}
+	})
 	return s.suiteAvg, s.suiteRuns
 }
+
+// SweepCurves returns the memoized Fig. 6-9 cache-sweep curves for one
+// workload at the given budget, tracing the workload at most once per
+// session. Concurrent callers for the same workload block on the
+// entry's once while callers for other workloads proceed in parallel.
+func (s *Session) SweepCurves(w workloads.Workload, budget int64) machine.Curves {
+	key := sweepKey{id: w.ID, budget: budget}
+	s.sweepMu.Lock()
+	if s.sweeps == nil {
+		s.sweeps = map[sweepKey]*sweepEntry{}
+	}
+	e, ok := s.sweeps[key]
+	if !ok {
+		e = &sweepEntry{}
+		s.sweeps[key] = e
+	}
+	s.sweepMu.Unlock()
+	e.once.Do(func() {
+		sw := machine.NewSweep(machine.DefaultSweepSizesKB)
+		workloads.Run(w, sw, budget)
+		e.curves = sw.Curves()
+		s.tracePasses.Add(1)
+	})
+	return e.curves
+}
+
+// TracePasses reports how many sweep trace passes the session has
+// actually executed — the counting probe behind the "exactly one pass
+// per (workload, budget)" guarantee.
+func (s *Session) TracePasses() int64 { return s.tracePasses.Load() }
 
 // BigDataAverage averages the 17 representatives' vectors.
 func (s *Session) BigDataAverage() metrics.Vector {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sim/machine"
@@ -20,9 +21,39 @@ type SweepResult struct {
 	Order  []string
 }
 
-// sweepGroup runs each workload through a fresh machine.Sweep and
-// averages the requested view's miss ratios.
-func sweepGroup(list []workloads.Workload, budget int64, view func(*machine.Sweep) []float64) []float64 {
+// Accessors selecting one view of a workload's memoized sweep curves.
+func curveInst(c machine.Curves) []float64    { return c.Inst }
+func curveData(c machine.Curves) []float64    { return c.Data }
+func curveUnified(c machine.Curves) []float64 { return c.Unified }
+
+// sweepGroup averages one view of the group's miss-ratio curves. Each
+// workload's trace is pulled from the session's memoized sweep cache
+// (generated at most once per session, all three views from a single
+// pass) and cache fills run through a bounded worker pool, mirroring
+// core.Profiler.ProfileAll. The averaging itself accumulates in input
+// order so the result is bit-identical to the serial reference path.
+func sweepGroup(s *Session, list []workloads.Workload, view func(machine.Curves) []float64) []float64 {
+	budget := s.Opt.SweepBudget
+	curves := make([]machine.Curves, len(list))
+	conc.ForEach(s.Parallelism, len(list), func(i int) {
+		curves[i] = s.SweepCurves(list[i], budget)
+	})
+	sum := make([]float64, len(machine.DefaultSweepSizesKB))
+	for _, c := range curves {
+		for i, v := range view(c) {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(list))
+	}
+	return sum
+}
+
+// sweepGroupSerial is the seed's reference implementation: a fresh
+// machine.Sweep and a full trace pass per workload per call. Retained
+// for the equivalence tests and the serial-vs-memoized benchmark.
+func sweepGroupSerial(list []workloads.Workload, budget int64, view func(*machine.Sweep) []float64) []float64 {
 	sizes := machine.DefaultSweepSizesKB
 	sum := make([]float64, len(sizes))
 	for _, w := range list {
@@ -36,6 +67,56 @@ func sweepGroup(list []workloads.Workload, budget int64, view func(*machine.Swee
 		sum[i] /= float64(len(list))
 	}
 	return sum
+}
+
+// SerialSweepFigures regenerates Figs. 6-9 exactly as the seed did —
+// re-tracing the Hadoop and PARSEC groups once per figure and per
+// view, 10 group passes in all — bypassing the session sweep cache.
+// It is the reference the memoized engine is tested and benchmarked
+// against; new callers want Fig6..Fig9.
+func SerialSweepFigures(s *Session) [4]SweepResult {
+	b := s.Opt.SweepBudget
+	sizes := machine.DefaultSweepSizesKB
+	hp := []string{"Hadoop-workloads", "PARSEC-workloads"}
+	return [4]SweepResult{
+		{
+			Title:   "Figure 6: instruction cache miss ratio vs cache size",
+			SizesKB: sizes,
+			Order:   hp,
+			Curves: map[string][]float64{
+				"Hadoop-workloads": sweepGroupSerial(hadoopGroup(), b, (*machine.Sweep).InstMissRatios),
+				"PARSEC-workloads": sweepGroupSerial(parsecGroup(), b, (*machine.Sweep).InstMissRatios),
+			},
+		},
+		{
+			Title:   "Figure 7: data cache miss ratio vs cache size",
+			SizesKB: sizes,
+			Order:   hp,
+			Curves: map[string][]float64{
+				"Hadoop-workloads": sweepGroupSerial(hadoopGroup(), b, (*machine.Sweep).DataMissRatios),
+				"PARSEC-workloads": sweepGroupSerial(parsecGroup(), b, (*machine.Sweep).DataMissRatios),
+			},
+		},
+		{
+			Title:   "Figure 8: cache miss ratio vs cache size",
+			SizesKB: sizes,
+			Order:   hp,
+			Curves: map[string][]float64{
+				"Hadoop-workloads": sweepGroupSerial(hadoopGroup(), b, (*machine.Sweep).UnifiedMissRatios),
+				"PARSEC-workloads": sweepGroupSerial(parsecGroup(), b, (*machine.Sweep).UnifiedMissRatios),
+			},
+		},
+		{
+			Title:   "Figure 9: instruction cache miss ratio vs cache size (with MPI)",
+			SizesKB: sizes,
+			Order:   []string{"Hadoop-workloads", "PARSEC-workloads", "MPI-workloads"},
+			Curves: map[string][]float64{
+				"Hadoop-workloads": sweepGroupSerial(hadoopGroup(), b, (*machine.Sweep).InstMissRatios),
+				"PARSEC-workloads": sweepGroupSerial(parsecGroup(), b, (*machine.Sweep).InstMissRatios),
+				"MPI-workloads":    sweepGroupSerial(workloads.MPI6(), b, (*machine.Sweep).InstMissRatios),
+			},
+		},
+	}
 }
 
 // hadoopGroup returns the Hadoop-stack workloads the paper's §5.4 case
@@ -56,14 +137,13 @@ func parsecGroup() []workloads.Workload { return suites.PARSEC() }
 // for the Hadoop workloads and PARSEC. The paper's knees: Hadoop
 // ≈ 1024 KB, PARSEC ≈ 128 KB.
 func Fig6(s *Session) SweepResult {
-	b := s.Opt.SweepBudget
 	return SweepResult{
 		Title:   "Figure 6: instruction cache miss ratio vs cache size",
 		SizesKB: machine.DefaultSweepSizesKB,
 		Order:   []string{"Hadoop-workloads", "PARSEC-workloads"},
 		Curves: map[string][]float64{
-			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).InstMissRatios),
-			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).InstMissRatios),
+			"Hadoop-workloads": sweepGroup(s, hadoopGroup(), curveInst),
+			"PARSEC-workloads": sweepGroup(s, parsecGroup(), curveInst),
 		},
 	}
 }
@@ -71,14 +151,13 @@ func Fig6(s *Session) SweepResult {
 // Fig7 reproduces Fig. 7: data-cache miss ratio vs cache size (the
 // curves converge after 64 KB).
 func Fig7(s *Session) SweepResult {
-	b := s.Opt.SweepBudget
 	return SweepResult{
 		Title:   "Figure 7: data cache miss ratio vs cache size",
 		SizesKB: machine.DefaultSweepSizesKB,
 		Order:   []string{"Hadoop-workloads", "PARSEC-workloads"},
 		Curves: map[string][]float64{
-			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).DataMissRatios),
-			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).DataMissRatios),
+			"Hadoop-workloads": sweepGroup(s, hadoopGroup(), curveData),
+			"PARSEC-workloads": sweepGroup(s, parsecGroup(), curveData),
 		},
 	}
 }
@@ -86,14 +165,13 @@ func Fig7(s *Session) SweepResult {
 // Fig8 reproduces Fig. 8: unified cache miss ratio vs cache size (the
 // curves converge after 1024 KB).
 func Fig8(s *Session) SweepResult {
-	b := s.Opt.SweepBudget
 	return SweepResult{
 		Title:   "Figure 8: cache miss ratio vs cache size",
 		SizesKB: machine.DefaultSweepSizesKB,
 		Order:   []string{"Hadoop-workloads", "PARSEC-workloads"},
 		Curves: map[string][]float64{
-			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).UnifiedMissRatios),
-			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).UnifiedMissRatios),
+			"Hadoop-workloads": sweepGroup(s, hadoopGroup(), curveUnified),
+			"PARSEC-workloads": sweepGroup(s, parsecGroup(), curveUnified),
 		},
 	}
 }
@@ -101,15 +179,14 @@ func Fig8(s *Session) SweepResult {
 // Fig9 reproduces Fig. 9: instruction miss ratio vs cache size with
 // the MPI implementations added (they track PARSEC, not Hadoop).
 func Fig9(s *Session) SweepResult {
-	b := s.Opt.SweepBudget
 	return SweepResult{
 		Title:   "Figure 9: instruction cache miss ratio vs cache size (with MPI)",
 		SizesKB: machine.DefaultSweepSizesKB,
 		Order:   []string{"Hadoop-workloads", "PARSEC-workloads", "MPI-workloads"},
 		Curves: map[string][]float64{
-			"Hadoop-workloads": sweepGroup(hadoopGroup(), b, (*machine.Sweep).InstMissRatios),
-			"PARSEC-workloads": sweepGroup(parsecGroup(), b, (*machine.Sweep).InstMissRatios),
-			"MPI-workloads":    sweepGroup(workloads.MPI6(), b, (*machine.Sweep).InstMissRatios),
+			"Hadoop-workloads": sweepGroup(s, hadoopGroup(), curveInst),
+			"PARSEC-workloads": sweepGroup(s, parsecGroup(), curveInst),
+			"MPI-workloads":    sweepGroup(s, workloads.MPI6(), curveInst),
 		},
 	}
 }

@@ -41,6 +41,18 @@ type Cache struct {
 	dirty     []bool
 	clock     uint64
 
+	// lastTag/lastIdx remember the immediately preceding access: the
+	// line is guaranteed resident there (nothing can evict it without
+	// going through Access, which rewrites these), so a repeat access
+	// to the same line skips the way scan. State evolution is
+	// bit-identical to the scanning path.
+	lastTag uint64
+	lastIdx uint64
+	// mru hints the most recently touched way per set, checked before
+	// the full way scan. Purely a probe-order hint: the tag is always
+	// verified, so results are identical with or without it.
+	mru []uint8
+
 	// Accesses counts lookups; Misses counts fills; Writebacks counts
 	// dirty evictions (memory write traffic).
 	Accesses, Misses, Writebacks uint64
@@ -65,6 +77,7 @@ func New(cfg Config) *Cache {
 		tags:      make([]uint64, n),
 		stamp:     make([]uint64, n),
 		dirty:     make([]bool, n),
+		mru:       make([]uint8, sets),
 	}
 }
 
@@ -77,9 +90,25 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.Accesses++
 	line := addr >> c.lineShift
 	tag := line + 1 // 0 stays "invalid"
-	set := (line % c.sets) * uint64(c.cfg.Ways)
-	ways := c.tags[set : set+uint64(c.cfg.Ways)]
 	c.clock++
+	if tag == c.lastTag {
+		c.stamp[c.lastIdx] = c.clock
+		if write {
+			c.dirty[c.lastIdx] = true
+		}
+		return true
+	}
+	setNo := line % c.sets
+	set := setNo * uint64(c.cfg.Ways)
+	if idx := set + uint64(c.mru[setNo]); c.tags[idx] == tag {
+		c.stamp[idx] = c.clock
+		if write {
+			c.dirty[idx] = true
+		}
+		c.lastTag, c.lastIdx = tag, idx
+		return true
+	}
+	ways := c.tags[set : set+uint64(c.cfg.Ways)]
 	for w := range ways {
 		if ways[w] == tag {
 			idx := set + uint64(w)
@@ -87,6 +116,8 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 			if write {
 				c.dirty[idx] = true
 			}
+			c.lastTag, c.lastIdx = tag, idx
+			c.mru[setNo] = uint8(w)
 			return true
 		}
 	}
@@ -106,6 +137,8 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.tags[victim] = tag
 	c.stamp[victim] = c.clock
 	c.dirty[victim] = write
+	c.lastTag, c.lastIdx = tag, victim
+	c.mru[setNo] = uint8(victim - set)
 	return false
 }
 
@@ -134,7 +167,11 @@ func (c *Cache) Reset() {
 		c.stamp[i] = 0
 		c.dirty[i] = false
 	}
+	for i := range c.mru {
+		c.mru[i] = 0
+	}
 	c.clock = 0
+	c.lastTag, c.lastIdx = 0, 0
 	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
 }
 

@@ -66,6 +66,27 @@ func (s *Sweep) Inst(i *isa.Inst) {
 	}
 }
 
+// Curves bundles the three per-size miss-ratio views a single Sweep
+// trace pass produces. Extracting all views at once lets callers run
+// each workload exactly once and share the result across the
+// instruction, data and unified figures (Figs. 6-9).
+type Curves struct {
+	SizesKB []int
+	Inst    []float64
+	Data    []float64
+	Unified []float64
+}
+
+// Curves extracts every view of the sweep in one call.
+func (s *Sweep) Curves() Curves {
+	return Curves{
+		SizesKB: s.SizesKB,
+		Inst:    s.InstMissRatios(),
+		Data:    s.DataMissRatios(),
+		Unified: s.UnifiedMissRatios(),
+	}
+}
+
 // InstMissRatios returns the instruction-cache miss ratio per size.
 func (s *Sweep) InstMissRatios() []float64 { return ratios(s.icaches) }
 

@@ -27,6 +27,13 @@ type TLB struct {
 	stamp []uint64
 	clock uint64
 
+	// lastTag/lastIdx remember the immediately preceding translation;
+	// the entry is guaranteed resident (only Access evicts, and it
+	// rewrites these), so repeat accesses to the same page skip the way
+	// scan. State evolution is identical to the scanning path.
+	lastTag uint64
+	lastIdx uint64
+
 	// Accesses and Misses count translations.
 	Accesses, Misses uint64
 }
@@ -53,12 +60,18 @@ func (t *TLB) Access(addr uint64) bool {
 	t.Accesses++
 	page := mem.PageOf(addr)
 	tag := page + 1
+	t.clock++
+	if tag == t.lastTag {
+		t.stamp[t.lastIdx] = t.clock
+		return false
+	}
 	set := (page % t.sets) * uint64(t.cfg.Ways)
 	ways := t.tags[set : set+uint64(t.cfg.Ways)]
-	t.clock++
 	for w := range ways {
 		if ways[w] == tag {
-			t.stamp[set+uint64(w)] = t.clock
+			idx := set + uint64(w)
+			t.stamp[idx] = t.clock
+			t.lastTag, t.lastIdx = tag, idx
 			return false
 		}
 	}
@@ -73,6 +86,7 @@ func (t *TLB) Access(addr uint64) bool {
 	}
 	t.tags[victim] = tag
 	t.stamp[victim] = t.clock
+	t.lastTag, t.lastIdx = tag, victim
 	return true
 }
 

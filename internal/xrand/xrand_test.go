@@ -1,6 +1,7 @@
 package xrand
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -163,6 +164,56 @@ func TestZipfSkew(t *testing.T) {
 	// Monotone-ish head.
 	if counts[0] < counts[1] || counts[1] < counts[10] {
 		t.Fatalf("Zipf head not decreasing: %d %d %d", counts[0], counts[1], counts[10])
+	}
+}
+
+// TestZipfGuideMatchesFullSearch pins the guide-table bracketing to
+// the reference full binary search, including the adversarial inputs:
+// exact bucket boundaries i/m and their ulp neighbours, where naive
+// int(u*m) bucketing lands one bucket off.
+func TestZipfGuideMatchesFullSearch(t *testing.T) {
+	ref := func(z *Zipf, u float64) int {
+		lo, hi := 0, z.n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	for _, cfg := range []struct {
+		n int
+		s float64
+	}{{12, 1.0}, {100, 1.05}, {8000, 1.05}, {1, 2.0}, {2, 0.5}} {
+		z := NewZipf(cfg.n, cfg.s)
+		m := len(z.guide) - 1
+		check := func(u float64) {
+			if u < 0 || u >= 1 {
+				return
+			}
+			if got, want := z.find(u), ref(z, u); got != want {
+				t.Fatalf("n=%d s=%v u=%v: guided find %d != reference %d",
+					cfg.n, cfg.s, u, got, want)
+			}
+		}
+		for i := 0; i <= m; i++ {
+			b := float64(i) / float64(m)
+			check(b)
+			check(math.Nextafter(b, 0))
+			check(math.Nextafter(b, 1))
+		}
+		for _, c := range z.cdf {
+			check(c)
+			check(math.Nextafter(c, 0))
+			check(math.Nextafter(c, 1))
+		}
+		r := New(0xC0DE)
+		for i := 0; i < 2000; i++ {
+			check(r.Float64())
+		}
 	}
 }
 

@@ -12,6 +12,12 @@ import "math"
 type Zipf struct {
 	n   int
 	cdf []float64
+	// guide[i] is the smallest k with cdf[k] >= i/(len(guide)-1); a
+	// sample's binary search runs only between guide[i] and guide[i+1],
+	// which for a u-indexed table is almost always a one-entry range.
+	// The guide narrows the search bracket without changing which k a
+	// given u maps to.
+	guide []int32
 }
 
 // NewZipf precomputes the CDF for n items with exponent s.
@@ -33,6 +39,16 @@ func NewZipf(n int, s float64) *Zipf {
 		z.cdf[k] *= inv
 	}
 	z.cdf[n-1] = 1 // guard against rounding
+	m := n
+	z.guide = make([]int32, m+1)
+	k := 0
+	for i := 0; i <= m; i++ {
+		u := float64(i) / float64(m)
+		for k < n-1 && z.cdf[k] < u {
+			k++
+		}
+		z.guide[i] = int32(k)
+	}
 	return z
 }
 
@@ -41,8 +57,31 @@ func (z *Zipf) N() int { return z.n }
 
 // Sample draws one value in [0, n) using r.
 func (z *Zipf) Sample(r *Rand) int {
-	u := r.Float64()
-	lo, hi := 0, z.n-1
+	return z.find(r.Float64())
+}
+
+// find returns the smallest k with cdf[k] >= u — the same k a full
+// binary search over the CDF would find — but brackets the search
+// with the guide table first.
+func (z *Zipf) find(u float64) int {
+	m := len(z.guide) - 1
+	i := int(u * float64(m))
+	if i >= m {
+		i = m - 1
+	}
+	// Rounding in u*m can land u one bucket off; nudge i until
+	// float64(i)/float64(m) <= u < float64(i+1)/float64(m), the same
+	// divisions the guide was built with, so the bracket below is
+	// exact rather than off by an ulp at bucket boundaries.
+	for i > 0 && u < float64(i)/float64(m) {
+		i--
+	}
+	for i < m-1 && u >= float64(i+1)/float64(m) {
+		i++
+	}
+	// guide[i] <= answer <= guide[i+1]: cdf[guide[i]] is the first
+	// value >= i/m <= u, and cdf[guide[i+1]] >= (i+1)/m > u.
+	lo, hi := int(z.guide[i]), int(z.guide[i+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

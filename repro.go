@@ -46,6 +46,13 @@ type Reduction = core.Reduction
 // Session caches experiment runs.
 type Session = experiments.Session
 
+// Engine runs the paper's tables and figures as a dependency-aware
+// concurrent batch over one Session.
+type Engine = experiments.Engine
+
+// UnitResult is one executed experiment with its wall time.
+type UnitResult = experiments.UnitResult
+
 // XeonE5645 returns the paper's testbed platform model (Table 3).
 func XeonE5645() MachineConfig { return machine.XeonE5645() }
 
@@ -90,3 +97,7 @@ func NewSession() *Session { return experiments.NewSession(experiments.Default()
 
 // NewQuickSession returns an experiment session with test budgets.
 func NewQuickSession() *Session { return experiments.NewSession(experiments.Quick()) }
+
+// NewEngine returns a concurrent experiment engine over s covering
+// every table and figure of the paper.
+func NewEngine(s *Session) *Engine { return &experiments.Engine{Session: s} }
