@@ -7,9 +7,20 @@
 // dependent tables and figures, with independent experiments scheduled
 // in parallel. -serial falls back to one-at-a-time dependency order.
 //
+// With -cache-dir every expensive artefact — dataset content,
+// 45-metric profiles, Fig. 6-9 sweep curves — persists in a
+// content-keyed store under that directory, so a second run
+// warm-starts and recomputes nothing (verify with -stats: zero trace
+// passes, zero profiling runs, zero dataset generations) while
+// producing byte-identical output. -shard i/n runs only the i-th of n
+// round-robin partitions of the selected items; n processes sharing a
+// -cache-dir split a run and their merged -out files are byte-identical
+// to a single full run.
+//
 // Usage:
 //
-//	repro [-quick] [-serial] [-parallel N] [-timing] [-out DIR] [item ...]
+//	repro [-quick] [-serial] [-parallel N] [-timing] [-stats]
+//	      [-cache-dir DIR] [-shard i/n] [-out DIR] [item ...]
 //
 // Items: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 reduction stack. Default: all.
@@ -23,6 +34,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/artifact"
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 )
 
@@ -32,6 +45,9 @@ func main() {
 	serial := flag.Bool("serial", false, "run experiments one at a time in dependency order")
 	parallel := flag.Int("parallel", 0, "bound concurrency: experiments at once and workers within each (0 = GOMAXPROCS)")
 	timing := flag.Bool("timing", false, "print the per-experiment timing table to stderr")
+	cacheDir := flag.String("cache-dir", "", "persist artifacts (datasets, profiles, sweep curves) under this directory and warm-start from it")
+	shardSpec := flag.String("shard", "", "run only shard i of n visible items, as i/n (0-based); cooperating shards share a -cache-dir and merge byte-identically")
+	stats := flag.Bool("stats", false, "print artifact-store and recomputation probes to stderr")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -57,10 +73,25 @@ func main() {
 
 	sess := experiments.NewSession(opt)
 	sess.Parallelism = *parallel
+	if *cacheDir != "" {
+		st, err := artifact.NewDisk(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		sess.Store = st
+		datagen.SetStore(st)
+	}
 	e := &experiments.Engine{
 		Session:     sess,
 		Parallelism: *parallel,
 		Select:      sel,
+	}
+	if *shardSpec != "" {
+		i, n, err := experiments.ParseShard(*shardSpec)
+		if err != nil {
+			fatal(err)
+		}
+		e.Shard, e.ShardCount = i, n
 	}
 	var results []experiments.UnitResult
 	var err error
@@ -105,6 +136,13 @@ func main() {
 	if *timing {
 		t := experiments.TimingTable(results)
 		t.Render(os.Stderr)
+	}
+	if *stats {
+		ss := sess.ArtifactStore().Stats()
+		fmt.Fprintf(os.Stderr, "repro: trace passes: %d; profile runs: %d; dataset generations: %d\n",
+			sess.TracePasses(), sess.ProfileRuns(), datagen.Generations())
+		fmt.Fprintf(os.Stderr, "repro: store: %d fills, %d memory hits, %d disk hits, %d disk discards\n",
+			ss.Fills, ss.MemHits, ss.DiskHits, ss.DiskDiscards)
 	}
 	if failed {
 		os.Exit(1)

@@ -3,9 +3,19 @@
 // E5645, collects the 45-metric vectors, normalizes them, applies PCA,
 // clusters with K-means and prints the representative subset.
 //
+// Profiling runs through experiments.Session and the content-keyed
+// artifact store, so repeated or combined runs never re-profile a
+// workload they have already seen: with -cache-dir the profiles
+// persist, and a second wcrt run (or a cmd/repro run at the same
+// budget) reads them back instead of re-tracing the roster. -shard i/n
+// distributes the profiling: shard processes each profile the i-th of
+// n interleaved slices into the shared store and skip the reduction; a
+// final run without -shard merges the warm profiles and reduces.
+//
 // Usage:
 //
 //	wcrt [-k N] [-budget N] [-set roster|reps] [-metrics] [-csv]
+//	     [-cache-dir DIR] [-shard i/n] [-parallel N]
 package main
 
 import (
@@ -13,7 +23,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sim/machine"
@@ -26,6 +39,9 @@ func main() {
 	set := flag.String("set", "roster", "workload set: roster (77) or reps (17)")
 	showMetrics := flag.Bool("metrics", false, "print the full 45-metric vector per workload")
 	asCSV := flag.Bool("csv", false, "emit metric vectors as CSV")
+	cacheDir := flag.String("cache-dir", "", "persist profiles and dataset content under this directory and warm-start from it")
+	shardSpec := flag.String("shard", "", "profile only slice i of n (as i/n, 0-based) into the store and skip the reduction; a later run without -shard merges")
+	parallel := flag.Int("parallel", 0, "bound concurrent profiling runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var list []workloads.Workload
@@ -39,33 +55,57 @@ func main() {
 		os.Exit(2)
 	}
 
-	prof := &core.Profiler{Machine: machine.XeonE5645(), Budget: *budget}
+	// One budget for every session cache, so shard fills, reps fills
+	// and roster fills share per-workload artifacts at this budget.
+	sess := experiments.NewSession(experiments.Options{
+		Budget: *budget, SweepBudget: *budget, RosterBudget: *budget,
+	})
+	sess.Parallelism = *parallel
+	if *cacheDir != "" {
+		st, err := artifact.NewDisk(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		sess.Store = st
+		datagen.SetStore(st)
+	}
+
+	if *shardSpec != "" {
+		i, n, err := experiments.ParseShard(*shardSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-shard requires -cache-dir: a shard's profiles must persist for the merge run to find them"))
+		}
+		slice := workloads.ShardSlice(list, i, n)
+		fmt.Fprintf(os.Stderr, "wcrt: shard %d/%d profiling %d of %d workloads (%d instructions each)...\n",
+			i, n, len(slice), len(list), *budget)
+		profiles := sess.Profiles(machine.XeonE5645(), slice, *budget)
+		if *showMetrics || *asCSV {
+			printMetrics(profiles, *asCSV)
+		}
+		fmt.Fprintf(os.Stderr, "wcrt: shard done (%d profiling runs executed); run without -shard to merge and reduce\n",
+			sess.ProfileRuns())
+		return
+	}
+
 	fmt.Fprintf(os.Stderr, "wcrt: profiling %d workloads (%d instructions each)...\n", len(list), *budget)
-	profiles := prof.ProfileAll(list)
+	var profiles []core.Profile
+	if *set == "roster" {
+		profiles = sess.Roster()
+	} else {
+		profiles = sess.Reps()
+	}
 
 	if *showMetrics || *asCSV {
-		t := report.Table{Title: "45-metric characterization",
-			Headers: append([]string{"workload"}, metrics.Names()...)}
-		for _, p := range profiles {
-			cells := make([]interface{}, 0, metrics.NumMetrics+1)
-			cells = append(cells, p.Workload.ID)
-			for _, v := range p.Vector {
-				cells = append(cells, v)
-			}
-			t.Add(cells...)
-		}
-		if *asCSV {
-			t.CSV(os.Stdout)
-		} else {
-			t.Render(os.Stdout)
-		}
+		printMetrics(profiles, *asCSV)
 	}
 
 	a := &core.Analyzer{ExplainTarget: 0.9, Seed: 0x5EED}
 	red, err := a.Reduce(profiles, *k)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wcrt:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("PCA: kept %d of %d dimensions (%.1f%% variance)\n",
 		red.Dimensions, metrics.NumMetrics, red.Explained*100)
@@ -82,4 +122,29 @@ func main() {
 		t.Add(red.Names[c.Representative], len(c.Members), names)
 	}
 	t.Render(os.Stdout)
+}
+
+// printMetrics writes the profiles' 45-metric vectors to stdout as a
+// table or CSV.
+func printMetrics(profiles []core.Profile, asCSV bool) {
+	t := report.Table{Title: "45-metric characterization",
+		Headers: append([]string{"workload"}, metrics.Names()...)}
+	for _, p := range profiles {
+		cells := make([]interface{}, 0, metrics.NumMetrics+1)
+		cells = append(cells, p.Workload.ID)
+		for _, v := range p.Vector {
+			cells = append(cells, v)
+		}
+		t.Add(cells...)
+	}
+	if asCSV {
+		t.CSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wcrt:", err)
+	os.Exit(1)
 }

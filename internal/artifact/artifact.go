@@ -1,0 +1,215 @@
+// Package artifact is the content-keyed artifact store behind every
+// memoized computation in this repository: dataset contents
+// (internal/datagen), 45-metric profile records and Fig. 6-9 sweep
+// curves (internal/experiments), and the per-workload rows of
+// cmd/bdbench.
+//
+// Every artefact in the pipeline is a deterministic function of its
+// configuration — the BDGS-style generators are seeded, the machine
+// models are seeded, the kernels derive their RNG streams from the
+// workload ID — so an artefact can be identified by its kind plus the
+// canonical JSON of everything the computation depends on. KeyOf
+// hashes that identity (FNV-64a) into a Key.
+//
+// A Store is a two-tier backend for those keys:
+//
+//   - a concurrency-safe in-memory singleflight map: the first caller
+//     for a key computes, concurrent callers for the same key block on
+//     that one fill, callers for other keys proceed in parallel;
+//   - an optional on-disk gob tier (NewDisk): fills are published
+//     atomically (temp file + rename) so concurrent processes sharing
+//     a directory — e.g. sharded engine runs — never observe torn
+//     entries, and a later process warm-starts from the files. Each
+//     file records the full key label, so hash collisions, format
+//     changes and corrupted or stale entries are detected and fall
+//     back to recomputation.
+//
+// The disk tier never changes results: a loaded artefact is the gob
+// round-trip of the value the computation would produce (gob encodes
+// float64 bit patterns exactly), and callers can attach a validity
+// check that stale entries must pass before being trusted.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Version tags the store format. Bumping it invalidates every
+// previously persisted artefact (the key hash covers the version).
+const Version = 1
+
+// Key identifies one artefact: a kind (the namespace of one artefact
+// family, e.g. "profile" or "datagen-text") plus the canonical JSON of
+// the configuration that determines the artefact's content.
+type Key struct {
+	Kind string
+	// Label is the canonical JSON of the configuration. The disk tier
+	// stores it verbatim so a reader can verify an entry's identity
+	// without trusting the hash.
+	Label string
+	hash  string
+}
+
+// KeyOf builds the key for kind and cfg. cfg must be a plain data
+// value (struct, map, scalar) — it is canonicalized with
+// encoding/json, which is deterministic for struct fields (declaration
+// order) and maps (sorted keys). Unmarshalable configs are programming
+// errors and panic.
+func KeyOf(kind string, cfg any) Key {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("artifact: unmarshalable config for kind %q: %v", kind, err))
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d\x00%s\x00", Version, kind)
+	h.Write(b)
+	return Key{Kind: kind, Label: string(b), hash: fmt.Sprintf("%016x", h.Sum64())}
+}
+
+// ID names the key: kind plus the 64-bit content hash. It is unique up
+// to FNV collisions, which the disk tier detects via Label.
+func (k Key) ID() string { return k.Kind + "-" + k.hash }
+
+// Store is the two-tier artifact store. The zero value is not usable;
+// construct with New (memory only) or NewDisk (memory + persistence).
+type Store struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	// dir is the disk tier root ("" = memory only). Immutable after
+	// construction, so fills read it without locking.
+	dir string
+
+	fills        atomic.Int64
+	memHits      atomic.Int64
+	diskHits     atomic.Int64
+	diskDiscards atomic.Int64
+}
+
+// entry is one key's singleflight slot. The once guards the fill;
+// val/err are written inside it and read only after it returns.
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// New returns an empty in-memory store.
+func New() *Store { return &Store{entries: map[string]*entry{}} }
+
+// NewDisk returns a store whose fills persist under dir (created if
+// absent). Multiple processes may share dir concurrently.
+func NewDisk(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	s := New()
+	s.dir = dir
+	return s, nil
+}
+
+// Dir returns the disk tier directory ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+var defaultStore = New()
+
+// Default returns the process-global store. Dataset content caches in
+// it unless redirected (datagen.SetStore), so a dataset generates at
+// most once per process no matter how many sessions run.
+func Default() *Store { return defaultStore }
+
+// Stats is a snapshot of a store's activity counters.
+type Stats struct {
+	// Fills counts computations actually executed (cache misses).
+	Fills int64
+	// MemHits counts lookups that found an existing in-memory entry.
+	MemHits int64
+	// DiskHits counts fills satisfied by the disk tier.
+	DiskHits int64
+	// DiskDiscards counts disk entries rejected as corrupted, stale,
+	// mislabelled or invalid.
+	DiskDiscards int64
+}
+
+// Stats returns the current counter snapshot.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Fills:        s.fills.Load(),
+		MemHits:      s.memHits.Load(),
+		DiskHits:     s.diskHits.Load(),
+		DiskDiscards: s.diskDiscards.Load(),
+	}
+}
+
+// Get returns the artefact for key, computing it at most once per
+// store. With a disk tier, a valid persisted entry is loaded instead
+// of computing, and fresh computations are persisted. A compute error
+// is cached and returned to every caller of the key.
+func Get[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
+	return fill(s, key, true, nil, compute)
+}
+
+// GetChecked is Get with a validity check applied to disk-loaded
+// values: an entry failing check is discarded and recomputed. Use it
+// whenever a persisted artefact could have been written against a
+// different roster or shape than the caller expects.
+func GetChecked[T any](s *Store, key Key, check func(T) bool, compute func() (T, error)) (T, error) {
+	return fill(s, key, true, check, compute)
+}
+
+// GetMem is Get restricted to the in-memory tier — for artefacts that
+// are cheap to rebuild or hold values a codec cannot round-trip (live
+// Workload lists, samplers).
+func GetMem[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
+	return fill(s, key, false, nil, compute)
+}
+
+func fill[T any](s *Store, key Key, disk bool, check func(T) bool, compute func() (T, error)) (T, error) {
+	// The memory tier keys on the full identity (kind + label), not the
+	// hash, so an FNV collision can never alias two artifacts in
+	// memory; the hash names disk files, where the stored label is
+	// verified on load.
+	id := key.Kind + "\x00" + key.Label
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok {
+		e = &entry{}
+		s.entries[id] = e
+	} else {
+		s.memHits.Add(1)
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		if disk && s.dir != "" {
+			if v, ok := loadDisk(s, key, check); ok {
+				s.diskHits.Add(1)
+				e.val = v
+				return
+			}
+		}
+		v, err := compute()
+		if err != nil {
+			e.err = err
+			return
+		}
+		s.fills.Add(1)
+		e.val = v
+		if disk && s.dir != "" {
+			saveDisk(s, key, v)
+		}
+	})
+	if e.err != nil {
+		var zero T
+		return zero, e.err
+	}
+	v, ok2 := e.val.(T)
+	if !ok2 {
+		var zero T
+		return zero, fmt.Errorf("artifact: key %s holds %T, caller wants %T", key.ID(), e.val, zero)
+	}
+	return v, nil
+}

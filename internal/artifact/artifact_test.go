@@ -1,0 +1,251 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type cfg struct {
+	Name string
+	N    int
+}
+
+func TestKeyOfCanonical(t *testing.T) {
+	a := KeyOf("kind", cfg{Name: "x", N: 3})
+	b := KeyOf("kind", cfg{Name: "x", N: 3})
+	if a.ID() != b.ID() || a.Label != b.Label {
+		t.Fatalf("same config produced different keys: %q vs %q", a.ID(), b.ID())
+	}
+	if c := KeyOf("kind", cfg{Name: "x", N: 4}); c.ID() == a.ID() {
+		t.Fatalf("different configs share key %q", c.ID())
+	}
+	if d := KeyOf("other", cfg{Name: "x", N: 3}); d.ID() == a.ID() {
+		t.Fatalf("different kinds share key %q", d.ID())
+	}
+	if a.Label != `{"Name":"x","N":3}` {
+		t.Fatalf("label is not canonical JSON: %q", a.Label)
+	}
+}
+
+// TestGetSingleflight race-hammers one key from many goroutines: the
+// compute must execute exactly once and everyone must observe its
+// value. Run with -race this also guards the fill pattern.
+func TestGetSingleflight(t *testing.T) {
+	s := New()
+	key := KeyOf("flight", cfg{Name: "k", N: 1})
+	var computes atomic.Int64
+	const hammers = 32
+	vals := make([]int, hammers)
+	var wg sync.WaitGroup
+	for g := 0; g < hammers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := Get(s, key, func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times for one key, want 1", got)
+	}
+	for g, v := range vals {
+		if v != 42 {
+			t.Fatalf("goroutine %d observed %d, want 42", g, v)
+		}
+	}
+	if st := s.Stats(); st.Fills != 1 {
+		t.Fatalf("stats report %d fills, want 1", st.Fills)
+	}
+}
+
+func TestGetDistinctKeysFillIndependently(t *testing.T) {
+	s := New()
+	var computes atomic.Int64
+	for i := 0; i < 4; i++ {
+		v, err := Get(s, KeyOf("multi", cfg{N: i}), func() (int, error) {
+			computes.Add(1)
+			return i * i, nil
+		})
+		if err != nil || v != i*i {
+			t.Fatalf("key %d: got %d, %v", i, v, err)
+		}
+	}
+	if computes.Load() != 4 {
+		t.Fatalf("%d computes for 4 keys", computes.Load())
+	}
+}
+
+func TestGetTypeMismatchRejected(t *testing.T) {
+	s := New()
+	key := KeyOf("typed", cfg{N: 1})
+	if _, err := Get(s, key, func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get(s, key, func() (string, error) { return "x", nil }); err == nil {
+		t.Fatal("type mismatch on a shared key not rejected")
+	}
+}
+
+type blob struct {
+	Words []string
+	Vals  []float64
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("blob", cfg{Name: "rt", N: 9})
+	want := blob{Words: []string{"a", "b"}, Vals: []float64{1.5, -0.25, 1e-300}}
+	if _, err := Get(a, key, func() (blob, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second store over the same directory models a new process: the
+	// fill must come from disk, executing nothing.
+	b, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Get(b, key, func() (blob, error) {
+		t.Error("warm store executed the compute")
+		return blob{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Words) != 2 || got.Words[0] != "a" || len(got.Vals) != 3 || got.Vals[2] != 1e-300 {
+		t.Fatalf("disk round trip mangled the value: %+v", got)
+	}
+	st := b.Stats()
+	if st.Fills != 0 || st.DiskHits != 1 {
+		t.Fatalf("warm store stats %+v, want 0 fills / 1 disk hit", st)
+	}
+}
+
+func TestDiskCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := NewDisk(dir)
+	key := KeyOf("corrupt", cfg{N: 5})
+	if _, err := Get(a, key, func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a.path(key), []byte("not gob at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, _ := NewDisk(dir)
+	v, err := Get(b, key, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("corrupted entry not recomputed: %d, %v", v, err)
+	}
+	st := b.Stats()
+	if st.DiskDiscards != 1 || st.Fills != 1 {
+		t.Fatalf("stats %+v, want 1 discard / 1 fill", st)
+	}
+
+	// The recompute rewrote a valid entry: a third store reads it.
+	c, _ := NewDisk(dir)
+	if _, err := Get(c, key, func() (int, error) {
+		t.Error("rewritten entry not loaded")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskMislabelledEntryDiscarded plants a well-formed entry whose
+// recorded label disagrees with the key (what an FNV collision or a
+// stale config format would look like): it must be discarded.
+func TestDiskMislabelledEntryDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewDisk(dir)
+	key := KeyOf("label", cfg{N: 1})
+
+	var payload bytes.Buffer
+	gob.NewEncoder(&payload).Encode(999)
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(diskEntry{
+		Version: Version, Kind: key.Kind, Label: `{"Other":"config"}`, Payload: payload.Bytes(),
+	})
+	if err := os.WriteFile(s.path(key), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := Get(s, key, func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("mislabelled entry was trusted: %d, %v", v, err)
+	}
+	if st := s.Stats(); st.DiskDiscards != 1 {
+		t.Fatalf("stats %+v, want 1 discard", st)
+	}
+}
+
+// TestGetCheckedRejectsStale persists a value, then loads it through a
+// check that rejects it (as when a persisted roster no longer matches
+// the code): the store must recompute.
+func TestGetCheckedRejectsStale(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := NewDisk(dir)
+	key := KeyOf("checked", cfg{N: 2})
+	if _, err := Get(a, key, func() ([]int, error) { return []int{1, 2}, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	b, _ := NewDisk(dir)
+	v, err := GetChecked(b, key,
+		func(v []int) bool { return len(v) == 3 }, // the caller now expects 3
+		func() ([]int, error) { return []int{1, 2, 3}, nil })
+	if err != nil || len(v) != 3 {
+		t.Fatalf("stale entry not recomputed: %v, %v", v, err)
+	}
+	if st := b.Stats(); st.DiskDiscards != 1 || st.Fills != 1 {
+		t.Fatalf("stats %+v, want 1 discard / 1 fill", st)
+	}
+}
+
+func TestGetMemSkipsDisk(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := NewDisk(dir)
+	key := KeyOf("memonly", cfg{N: 3})
+	if _, err := GetMem(a, key, func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(a.path(key)); !os.IsNotExist(err) {
+		t.Fatal("GetMem persisted to disk")
+	}
+	// Same store: memory hit, no recompute.
+	ran := false
+	if v, _ := GetMem(a, key, func() (int, error) { ran = true; return 0, nil }); v != 3 || ran {
+		t.Fatalf("memory tier missed: v=%d ran=%v", v, ran)
+	}
+}
+
+func TestComputeErrorPropagates(t *testing.T) {
+	s := New()
+	key := KeyOf("err", cfg{N: 4})
+	wantErr := os.ErrPermission
+	if _, err := Get(s, key, func() (int, error) { return 0, wantErr }); err != wantErr {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	// The error is cached: later callers see it without recomputing.
+	if _, err := Get(s, key, func() (int, error) { return 1, nil }); err != wantErr {
+		t.Fatalf("cached error lost: %v", err)
+	}
+	if st := s.Stats(); st.Fills != 0 {
+		t.Fatalf("failed compute counted as fill: %+v", st)
+	}
+}

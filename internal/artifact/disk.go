@@ -1,0 +1,84 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+)
+
+// diskEntry wraps a persisted payload with the identity that produced
+// it, so a reader can reject hash collisions, format changes and
+// cross-kind mixups without trusting file names.
+type diskEntry struct {
+	Version int
+	Kind    string
+	Label   string
+	Payload []byte
+}
+
+func (s *Store) path(key Key) string {
+	return filepath.Join(s.dir, key.ID()+".gob")
+}
+
+// loadDisk reads and validates key's persisted entry. Any failure —
+// missing file aside — counts as a discard and falls back to
+// recomputation; the store never propagates disk corruption.
+func loadDisk[T any](s *Store, key Key, check func(T) bool) (T, bool) {
+	var zero T
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return zero, false // cold miss (or unreadable: recompute either way)
+	}
+	var de diskEntry
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&de); err != nil {
+		s.diskDiscards.Add(1)
+		return zero, false
+	}
+	if de.Version != Version || de.Kind != key.Kind || de.Label != key.Label {
+		s.diskDiscards.Add(1)
+		return zero, false
+	}
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(de.Payload)).Decode(&v); err != nil {
+		s.diskDiscards.Add(1)
+		return zero, false
+	}
+	if check != nil && !check(v) {
+		s.diskDiscards.Add(1)
+		return zero, false
+	}
+	return v, true
+}
+
+// saveDisk persists a freshly computed value, best-effort: a full
+// write to a temp file followed by an atomic rename, so concurrent
+// writers (sharded runs computing the same deterministic artefact)
+// each publish a complete entry and readers never see a torn file.
+// Write failures are swallowed — persistence is an optimization, not
+// a correctness requirement.
+func saveDisk[T any](s *Store, key Key, v T) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	de := diskEntry{Version: Version, Kind: key.Kind, Label: key.Label, Payload: payload.Bytes()}
+	if err := gob.NewEncoder(&buf).Encode(de); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, key.ID()+".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, s.path(key)); err != nil {
+		os.Remove(name)
+	}
+}

@@ -38,16 +38,20 @@ type Profile struct {
 	Run      *workloads.Result
 }
 
+// Profile characterizes one workload on a fresh machine model.
+func (p *Profiler) Profile(w workloads.Workload) Profile {
+	m := machine.New(p.Machine)
+	res := workloads.Run(w, m, p.Budget)
+	m.Finish()
+	return Profile{Workload: w, Vector: metrics.Compute(m), Run: res}
+}
+
 // ProfileAll characterizes every workload and returns profiles in
 // input order.
 func (p *Profiler) ProfileAll(list []workloads.Workload) []Profile {
 	out := make([]Profile, len(list))
 	conc.ForEach(p.Parallelism, len(list), func(i int) {
-		w := list[i]
-		m := machine.New(p.Machine)
-		res := workloads.Run(w, m, p.Budget)
-		m.Finish()
-		out[i] = Profile{Workload: w, Vector: metrics.Compute(m), Run: res}
+		out[i] = p.Profile(list[i])
 	})
 	return out
 }

@@ -1,0 +1,137 @@
+package datagen
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/sim/mem"
+)
+
+// withStore swaps the content store for the test's duration.
+func withStore(t *testing.T, s *artifact.Store) {
+	t.Helper()
+	prev := SetStore(s)
+	t.Cleanup(func() { SetStore(prev) })
+}
+
+// TestContentGeneratedOncePerProcess builds the same corpus for two
+// independent runs: one generation, shared backing arrays, identical
+// simulated addresses.
+func TestContentGeneratedOncePerProcess(t *testing.T) {
+	withStore(t, artifact.New())
+	g0 := Generations()
+	a := NewText(mem.NewLayout(), DefaultWiki())
+	b := NewText(mem.NewLayout(), DefaultWiki())
+	if got := Generations() - g0; got != 1 {
+		t.Fatalf("two builds executed %d generations, want 1", got)
+	}
+	if &a.Buf[0] != &b.Buf[0] {
+		t.Fatal("same-config corpora do not share content")
+	}
+	if a.Base != b.Base {
+		t.Fatalf("binding changed addresses: %#x vs %#x", a.Base, b.Base)
+	}
+	// A different config is a different artefact.
+	cfg := DefaultWiki()
+	cfg.Seed++
+	NewText(mem.NewLayout(), cfg)
+	if got := Generations() - g0; got != 2 {
+		t.Fatalf("distinct config did not generate (%d generations)", got)
+	}
+}
+
+// TestAllDatasetsPersistAcrossStores generates all seven Table 1
+// datasets against one disk store, then rebuilds them through a fresh
+// store over the same directory (modelling a new process): content
+// must round-trip identically with zero regenerations.
+func TestAllDatasetsPersistAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := artifact.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStore(t, cold)
+
+	build := func() (l *mem.Layout, vals []any) {
+		l = mem.NewLayout()
+		wiki := NewText(l, DefaultWiki())
+		rev := NewReviews(l, DefaultWiki(), 5)
+		g := NewGraph(l, DefaultWebGraph())
+		fb := NewGraph(l, DefaultSocialGraph())
+		ec := NewECommerce(l, 0xEC0, 4000, 12000)
+		kv := NewKVStore(l, 0x4856, 6000, 1128)
+		ds := NewTPCDS(l, 0xD5, 15000)
+		pts := NewPoints(l, 0xFB, 2000, 8, 16)
+		return l, []any{
+			wiki.Buf, wiki.Lines, wiki.WordIDs, wiki.Base,
+			rev.Labels,
+			g.Off, g.Adj, g.OffBase, g.AdjBase,
+			fb.Off, fb.Adj,
+			ec.Orders.Col("amount").Vals, ec.Items.Col("order_id").Vals, ec.Items.Col("order_id").Base,
+			kv.Keys, kv.ValBase,
+			ds.StoreSales.Col("ss_item_sk").Vals, ds.StoreSales.Col("ss_item_sk").Base,
+			pts.X, pts.Base,
+		}
+	}
+	_, want := build()
+
+	warm, err := artifact.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(warm)
+	g0 := Generations()
+	_, got := build()
+	if d := Generations() - g0; d != 0 {
+		t.Fatalf("warm store executed %d generations, want 0", d)
+	}
+	// All content comes from disk; the only compute allowed is the
+	// memory-tier Zipf sampler rebuild (derived state, never persisted).
+	if st := warm.Stats(); st.Fills > 1 || st.DiskHits < 8 || st.DiskDiscards != 0 {
+		t.Fatalf("warm store stats %+v, want pure disk hits (+1 sampler rebuild)", st)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("dataset field %d differs between generated and persisted content", i)
+		}
+	}
+}
+
+// TestConcurrentDatasetBuilds hammers the keyed constructors from many
+// goroutines (run under -race): per distinct artefact, one generation.
+func TestConcurrentDatasetBuilds(t *testing.T) {
+	withStore(t, artifact.New())
+	g0 := Generations()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l := mem.NewLayout()
+			NewText(l, DefaultWiki())
+			NewGraph(l, DefaultWebGraph())
+			NewECommerce(l, 0xEC0, 1000, 3000)
+			NewKVStore(l, 0x4856, 2000, 1128)
+		}()
+	}
+	wg.Wait()
+	if d := Generations() - g0; d != 4 {
+		t.Fatalf("16 concurrent builders executed %d generations, want 4", d)
+	}
+}
+
+// TestKVStoreSharesPopularitySampler pins the derived-state contract:
+// same-shape stores share one immutable Zipf sampler.
+func TestKVStoreSharesPopularitySampler(t *testing.T) {
+	withStore(t, artifact.New())
+	a := NewKVStore(mem.NewLayout(), 0x4856, 3000, 1128)
+	b := NewKVStore(mem.NewLayout(), 0x4856^0x77, 3000, 1128)
+	if a.Pop != b.Pop {
+		t.Fatal("same-n stores rebuilt the popularity sampler")
+	}
+	if a.Pop.N() != 3000 {
+		t.Fatalf("sampler over %d items, want 3000", a.Pop.N())
+	}
+}

@@ -9,6 +9,17 @@
 // simulation needs. Every generated object carries both its real
 // content (ordinary Go values the kernels compute on) and a simulated
 // base address (so the cache models see the right access streams).
+//
+// The builders are keyed constructors over the content-keyed artifact
+// store: record content is a deterministic function of the
+// configuration, so it is generated at most once per process (and at
+// most once ever with a persistent store — see SetStore), then shared
+// read-only by every run. Only the simulated addresses are bound per
+// run, with exactly the allocation sequence the original single-pass
+// builders performed, so a cached dataset is bit-identical — content
+// and addresses — to a freshly generated one. Kernels must treat
+// dataset content as immutable; mutable working state (ranks, labels,
+// assignments) lives in per-run arrays the kernels allocate.
 package datagen
 
 import (
@@ -55,29 +66,12 @@ func DefaultWiki() TextConfig {
 	return TextConfig{Lines: 4000, WordsPerLine: 12, Vocab: 8000, ZipfS: 1.05, Seed: 0x57494B49}
 }
 
-// NewText builds a corpus, reserving simulated memory from l.
+// NewText builds a corpus, reserving simulated memory from l. The
+// record content comes from the artifact store (generated at most
+// once per configuration) and is shared read-only across runs.
 func NewText(l *mem.Layout, cfg TextConfig) *Text {
-	r := xrand.New(cfg.Seed)
-	z := xrand.NewZipf(cfg.Vocab, cfg.ZipfS)
-	t := &Text{Vocab: cfg.Vocab}
-	t.Buf = make([]byte, 0, cfg.Lines*cfg.WordsPerLine*7)
-	t.Lines = make([]Span, 0, cfg.Lines)
-	t.WordIDs = make([][]int32, 0, cfg.Lines)
-	for i := 0; i < cfg.Lines; i++ {
-		start := int32(len(t.Buf))
-		nw := cfg.WordsPerLine/2 + r.Intn(cfg.WordsPerLine)
-		ids := make([]int32, 0, nw)
-		for w := 0; w < nw; w++ {
-			id := z.Sample(r)
-			ids = append(ids, int32(id))
-			if w > 0 {
-				t.Buf = append(t.Buf, ' ')
-			}
-			t.Buf = appendWord(t.Buf, id)
-		}
-		t.Lines = append(t.Lines, Span{Start: start, End: int32(len(t.Buf))})
-		t.WordIDs = append(t.WordIDs, ids)
-	}
+	c := textContent(cfg)
+	t := &Text{Buf: c.Buf, Lines: c.Lines, WordIDs: c.WordIDs, Vocab: c.Vocab}
 	t.Base = l.AllocArray(len(t.Buf), 1)
 	return t
 }
@@ -110,12 +104,8 @@ type Reviews struct {
 // NewReviews builds a labelled corpus.
 func NewReviews(l *mem.Layout, cfg TextConfig, classes int) *Reviews {
 	t := NewText(l, cfg)
-	r := xrand.New(cfg.Seed ^ 0xBA7E5)
-	labels := make([]int8, len(t.Lines))
-	for i := range labels {
-		labels[i] = int8(r.Intn(classes))
-	}
-	return &Reviews{Text: t, Labels: labels, NumClasses: classes}
+	rc := reviewsContent(cfg, classes)
+	return &Reviews{Text: t, Labels: rc.Labels, NumClasses: rc.NumClasses}
 }
 
 // Graph is a directed graph in CSR form; the Google-web-graph and
@@ -157,42 +147,15 @@ func DefaultSocialGraph() GraphConfig {
 	return GraphConfig{Nodes: 4039, AvgDegree: 22, Seed: 0xFACEB0}
 }
 
-// NewGraph builds a preferential-attachment graph in CSR form.
+// NewGraph builds a preferential-attachment graph in CSR form, binding
+// cached content to fresh simulated addresses.
 func NewGraph(l *mem.Layout, cfg GraphConfig) *Graph {
-	r := xrand.New(cfg.Seed)
-	n := cfg.Nodes
-	m := cfg.AvgDegree
-	// Endpoint pool for preferential attachment: targets are sampled
-	// from previously used endpoints with probability 1/2, uniformly
-	// otherwise, yielding a heavy-tailed in-degree distribution.
-	pool := make([]int32, 0, n*m)
-	edges := make([][]int32, n)
-	for v := 0; v < n; v++ {
-		deg := 1 + r.Intn(2*m)
-		for e := 0; e < deg; e++ {
-			var tgt int32
-			if len(pool) > 0 && r.Bool(0.5) {
-				tgt = pool[r.Intn(len(pool))]
-			} else {
-				tgt = int32(r.Intn(n))
-			}
-			edges[v] = append(edges[v], tgt)
-			pool = append(pool, tgt, int32(v))
-		}
-	}
-	g := &Graph{N: n}
-	g.Off = make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		g.Off[v+1] = g.Off[v] + int32(len(edges[v]))
-	}
-	g.Adj = make([]int32, g.Off[n])
-	for v := 0; v < n; v++ {
-		copy(g.Adj[g.Off[v]:], edges[v])
-	}
-	g.OffBase = l.AllocArray(n+1, 4)
+	c := graphContent(cfg)
+	g := &Graph{N: c.N, Off: c.Off, Adj: c.Adj}
+	g.OffBase = l.AllocArray(g.N+1, 4)
 	g.AdjBase = l.AllocArray(len(g.Adj), 4)
-	g.RankBase = l.AllocArray(n, 8)
-	g.NextBase = l.AllocArray(n, 8)
+	g.RankBase = l.AllocArray(g.N, 8)
+	g.NextBase = l.AllocArray(g.N, 8)
 	return g
 }
 
@@ -212,18 +175,8 @@ type Points struct {
 
 // NewPoints builds n points in dim dimensions around k latent centers.
 func NewPoints(l *mem.Layout, seed uint64, n, dim, k int) *Points {
-	r := xrand.New(seed)
-	centers := make([]float32, k*dim)
-	for i := range centers {
-		centers[i] = float32(r.NormFloat64() * 5)
-	}
-	p := &Points{N: n, Dim: dim, X: make([]float32, n*dim)}
-	for i := 0; i < n; i++ {
-		c := r.Intn(k)
-		for d := 0; d < dim; d++ {
-			p.X[i*dim+d] = centers[c*dim+d] + float32(r.NormFloat64())
-		}
-	}
+	c := pointsContent(seed, n, dim, k)
+	p := &Points{N: c.N, Dim: c.Dim, X: c.X}
 	p.Base = l.AllocArray(n*dim, 4)
 	p.CentBase = l.AllocArray(k*dim, 4)
 	p.AssignBase = l.AllocArray(n, 4)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/report"
@@ -56,6 +58,32 @@ type Engine struct {
 	// Select restricts the run to these visible unit names (nil = all);
 	// dependencies are pulled in transitively.
 	Select []string
+	// Shard/ShardCount split the selected visible units round-robin
+	// (by definition order) across ShardCount cooperating engine runs;
+	// shard Shard executes only its assigned units plus their
+	// transitive primers. ShardCount <= 1 disables sharding. Shards
+	// sharing a disk-backed session store compute each underlying
+	// artefact once between them and merge to byte-identical output.
+	Shard, ShardCount int
+}
+
+// ParseShard parses a CLI shard spec "i/n" (0-based, n >= 2),
+// rejecting malformed or out-of-range specs — the one parser shared by
+// cmd/repro, cmd/wcrt and cmd/bdbench.
+func ParseShard(spec string) (shard, count int, err error) {
+	bad := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("invalid shard %q (want i/n with 0 <= i < n, n >= 2)", spec)
+	}
+	is, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return bad()
+	}
+	shard, err1 := strconv.Atoi(is)
+	count, err2 := strconv.Atoi(ns)
+	if err1 != nil || err2 != nil || count < 2 || shard < 0 || shard >= count {
+		return bad()
+	}
+	return shard, count, nil
 }
 
 // Run executes the selected units concurrently and returns results in
@@ -112,28 +140,49 @@ func (e *Engine) plan(units []Unit) (*schedule, error) {
 		indeg:      map[int]int{},
 		dependents: map[int][]int{},
 	}
+	// addTo pulls a unit and its transitive dependencies into a set.
+	var addTo func(sel map[int]bool, i int)
+	addTo = func(sel map[int]bool, i int) {
+		if sel[i] {
+			return
+		}
+		sel[i] = true
+		for _, d := range units[i].Deps {
+			addTo(sel, byName[d])
+		}
+	}
 	if e.Select == nil {
 		for i := range units {
 			sc.selected[i] = true
 		}
 	} else {
-		var add func(i int)
-		add = func(i int) {
-			if sc.selected[i] {
-				return
-			}
-			sc.selected[i] = true
-			for _, d := range units[i].Deps {
-				add(byName[d])
-			}
-		}
 		for _, name := range e.Select {
 			i, ok := byName[name]
 			if !ok {
 				return nil, fmt.Errorf("experiments: unknown unit %q", name)
 			}
-			add(i)
+			addTo(sc.selected, i)
 		}
+	}
+	if e.ShardCount > 1 || e.Shard != 0 {
+		if e.ShardCount < 2 || e.Shard < 0 || e.Shard >= e.ShardCount {
+			return nil, fmt.Errorf("experiments: invalid shard %d/%d", e.Shard, e.ShardCount)
+		}
+		// Assign the selected visible units round-robin in definition
+		// order (deterministic, so cooperating shards partition the
+		// visible set exactly), then rebuild the primer closure for
+		// this shard's share.
+		mine := make(map[int]bool, len(sc.selected))
+		vi := 0
+		for i := range units {
+			if sc.selected[i] && !units[i].Hidden {
+				if vi%e.ShardCount == e.Shard {
+					addTo(mine, i)
+				}
+				vi++
+			}
+		}
+		sc.selected = mine
 	}
 	// Build edges in unit-definition order so dependent dispatch (and
 	// therefore RunSerial's visit order) is deterministic.
@@ -261,6 +310,7 @@ func Units() []Unit {
 		{Name: "warm-sweep-hadoop", Hidden: true, Run: warm(func(s *Session) { sweepGroup(s, hadoopGroup(), curveInst) })},
 		{Name: "warm-sweep-parsec", Hidden: true, Run: warm(func(s *Session) { sweepGroup(s, parsecGroup(), curveInst) })},
 		{Name: "warm-sweep-mpi", Hidden: true, Run: warm(func(s *Session) { sweepGroup(s, workloads.MPI6(), curveInst) })},
+		{Name: "warm-roster", Hidden: true, Run: warm(func(s *Session) { s.Roster() })},
 
 		{Name: "table1", Run: func(s *Session) (Artifact, error) {
 			rows := Table1()
@@ -304,7 +354,7 @@ func Units() []Unit {
 		{Name: "fig7", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec"}, Run: sweepUnit(Fig7)},
 		{Name: "fig8", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec"}, Run: sweepUnit(Fig8)},
 		{Name: "fig9", Deps: []string{"warm-sweep-hadoop", "warm-sweep-parsec", "warm-sweep-mpi"}, Run: sweepUnit(Fig9)},
-		{Name: "reduction", Run: func(s *Session) (Artifact, error) {
+		{Name: "reduction", Deps: []string{"warm-roster"}, Run: func(s *Session) (Artifact, error) {
 			r, err := Reduction(s)
 			if err != nil {
 				return nil, err

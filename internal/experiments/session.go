@@ -6,9 +6,12 @@
 package experiments
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/machineutil"
 	"repro/internal/metrics"
@@ -39,11 +42,15 @@ func Quick() Options {
 	return Options{Budget: 400_000, SweepBudget: 200_000, RosterBudget: 150_000}
 }
 
-// Session caches profiled runs shared by several experiments. Each
-// cache fills at most once per session behind its own sync.Once, so
+// Session shares profiled runs and sweep curves between experiments
+// through one uniform fill path: every expensive artefact — a
+// workload's 45-metric profile, its Fig. 6-9 sweep curves, a profiled
+// set — is content-keyed into an artifact.Store. The store's per-key
+// singleflight replaces the bespoke per-cache sync.Once plumbing:
 // independent experiments scheduled concurrently (the Engine's normal
 // mode) never serialize on one session-wide lock and never repeat a
-// profiling pass.
+// profiling pass. With a disk-backed Store the artefacts also persist
+// across processes, so warm runs and shard merges recompute nothing.
 type Session struct {
 	Opt Options
 
@@ -53,35 +60,17 @@ type Session struct {
 	// inside each one.
 	Parallelism int
 
-	repsOnce sync.Once
-	reps     []core.Profile
+	// Store backs every memoized fill. Set it (before first use) to a
+	// shared or disk-backed store to share artefacts between sessions
+	// or processes; nil uses a private in-memory store, preserving
+	// per-session memoization semantics.
+	Store *artifact.Store
 
-	mpiOnce sync.Once
-	mpi     []core.Profile
+	storeOnce sync.Once
+	st        *artifact.Store
 
-	atomOnce sync.Once
-	atomReps []core.Profile
-
-	suitesOnce sync.Once
-	suiteAvg   map[string]metrics.Vector
-	suiteRuns  map[string][]core.Profile
-
-	// sweeps memoizes one machine.Sweep trace pass per (workload,
-	// budget); all three miss-ratio views of Figs. 6-9 are extracted
-	// from that single pass.
-	sweepMu     sync.Mutex
-	sweeps      map[sweepKey]*sweepEntry
 	tracePasses atomic.Int64
-}
-
-type sweepKey struct {
-	id     string
-	budget int64
-}
-
-type sweepEntry struct {
-	once   sync.Once
-	curves machine.Curves
+	profileRuns atomic.Int64
 }
 
 // NewSession returns a session with the given options.
@@ -89,41 +78,126 @@ func NewSession(opt Options) *Session {
 	return &Session{Opt: opt}
 }
 
-func (s *Session) profiler(cfg machine.Config) *core.Profiler {
-	return &core.Profiler{Machine: cfg, Budget: s.Opt.Budget, Parallelism: s.Parallelism}
+// ArtifactStore returns the store backing this session's fills.
+func (s *Session) ArtifactStore() *artifact.Store {
+	s.storeOnce.Do(func() {
+		s.st = s.Store
+		if s.st == nil {
+			s.st = artifact.New()
+		}
+	})
+	return s.st
+}
+
+// mustFill unwraps a store fill whose compute cannot fail; remaining
+// errors (kind collisions, codec misuse) are programming errors.
+func mustFill[T any](v T, err error) T {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: artifact fill failed: %v", err))
+	}
+	return v
+}
+
+// profileKey identifies one profiled run in the store: the machine
+// configuration, the workload's full content signature (IDs alone are
+// ambiguous across rosters) and the instruction budget.
+type profileKey struct {
+	Machine  machine.Config
+	Workload string
+	Budget   int64
+}
+
+// profileOne fills one workload's profile through the store. The
+// persisted form is a ProfileRecord (the live Workload cannot be
+// serialized); it rebinds onto w on the way out, which reproduces the
+// original Profile exactly.
+func (s *Session) profileOne(cfg machine.Config, w workloads.Workload, budget int64) core.Profile {
+	key := artifact.KeyOf("profile", profileKey{Machine: cfg, Workload: workloads.Signature(w), Budget: budget})
+	rec := mustFill(artifact.GetChecked(s.ArtifactStore(), key,
+		func(r core.ProfileRecord) bool { return r.Matches(w) },
+		func() (core.ProfileRecord, error) {
+			s.profileRuns.Add(1)
+			p := core.Profiler{Machine: cfg, Budget: budget}
+			return core.Record(p.Profile(w)), nil
+		}))
+	return rec.Rebind(w)
+}
+
+// setKey identifies a profiled workload set's in-memory assembly.
+type setKey struct {
+	Machine string
+	Set     string
+	Budget  int64
+	N       int
+}
+
+// profileSet profiles list through the store: one persistent artefact
+// per workload (shared with any other set containing the same workload
+// at the same budget — and with other processes over a disk store),
+// filled through a bounded worker pool, plus one in-memory entry for
+// the assembled set so repeated callers pay nothing.
+func (s *Session) profileSet(set string, cfg machine.Config, list []workloads.Workload, budget int64) []core.Profile {
+	key := artifact.KeyOf("profile-set", setKey{Machine: cfg.Name, Set: set, Budget: budget, N: len(list)})
+	return mustFill(artifact.GetMem(s.ArtifactStore(), key, func() ([]core.Profile, error) {
+		return s.Profiles(cfg, list, budget), nil
+	}))
 }
 
 // Reps returns the 17 representative workloads profiled on the Xeon.
 func (s *Session) Reps() []core.Profile {
-	s.repsOnce.Do(func() {
-		s.reps = s.profiler(machine.XeonE5645()).ProfileAll(workloads.Representative17())
-	})
-	return s.reps
+	return s.profileSet("reps17", machine.XeonE5645(), workloads.Representative17(), s.Opt.Budget)
 }
 
 // MPI returns the six MPI implementations profiled on the Xeon.
 func (s *Session) MPI() []core.Profile {
-	s.mpiOnce.Do(func() {
-		s.mpi = s.profiler(machine.XeonE5645()).ProfileAll(workloads.MPI6())
-	})
-	return s.mpi
+	return s.profileSet("mpi6", machine.XeonE5645(), workloads.MPI6(), s.Opt.Budget)
 }
 
 // AtomReps returns the 17 representatives profiled on the Atom D510
 // model (used by Table 4's misprediction comparison).
 func (s *Session) AtomReps() []core.Profile {
-	s.atomOnce.Do(func() {
-		s.atomReps = s.profiler(machine.AtomD510()).ProfileAll(workloads.Representative17())
+	return s.profileSet("reps17", machine.AtomD510(), workloads.Representative17(), s.Opt.Budget)
+}
+
+// Roster returns the full 77-workload roster profiled on the Xeon at
+// the roster budget — the input to the §3 reduction, behind the same
+// memoization as Reps()/Suites() so the reduction experiment, cmd/wcrt
+// and future experiments share one profiling pass.
+func (s *Session) Roster() []core.Profile {
+	return s.profileSet("roster77", machine.XeonE5645(), workloads.Roster77(), s.Opt.RosterBudget)
+}
+
+// Profiles characterizes an ad-hoc workload list on cfg at an explicit
+// budget through the same per-workload store artefacts (cmd/wcrt's
+// shard mode warms the store with slices of a roster this way). The
+// artefacts are shared wherever machine and budget match: pass the
+// budget the eventual merged read will use — Opt.RosterBudget when
+// warming Roster(), Opt.Budget when warming Reps().
+func (s *Session) Profiles(cfg machine.Config, list []workloads.Workload, budget int64) []core.Profile {
+	out := make([]core.Profile, len(list))
+	conc.ForEach(s.Parallelism, len(list), func(i int) {
+		out[i] = s.profileOne(cfg, list[i], budget)
 	})
-	return s.atomReps
+	return out
+}
+
+// suiteSet is the assembled comparator-suite view (memory tier only:
+// the averages are cheap, deterministic reductions of the persisted
+// per-workload profiles).
+type suiteSet struct {
+	avg  map[string]metrics.Vector
+	runs map[string][]core.Profile
 }
 
 // Suites returns the per-suite average vectors and the underlying runs
 // for SPECINT, SPECFP, PARSEC, HPCC, CloudSuite and TPC-C. All suites'
 // workloads are flattened into one list and profiled through a single
-// bounded worker pool, rather than one serial ProfileAll per suite.
+// bounded worker pool, rather than one serial pass per suite; the
+// averages accumulate in input order, so results are bit-identical to
+// the serial reference.
 func (s *Session) Suites() (map[string]metrics.Vector, map[string][]core.Profile) {
-	s.suitesOnce.Do(func() {
+	key := artifact.KeyOf("suite-set", setKey{Machine: machine.XeonE5645().Name, Set: "suites", Budget: s.Opt.Budget})
+	v := mustFill(artifact.GetMem(s.ArtifactStore(), key, func() (*suiteSet, error) {
 		all := suites.All()
 		names := suites.Names()
 		var flat []workloads.Workload
@@ -133,48 +207,59 @@ func (s *Session) Suites() (map[string]metrics.Vector, map[string][]core.Profile
 			flat = append(flat, all[name]...)
 			spans[name] = [2]int{start, len(flat)}
 		}
-		profs := s.profiler(machine.XeonE5645()).ProfileAll(flat)
-		s.suiteAvg = make(map[string]metrics.Vector, len(names))
-		s.suiteRuns = make(map[string][]core.Profile, len(names))
+		profs := s.profileSet("suites-flat", machine.XeonE5645(), flat, s.Opt.Budget)
+		out := &suiteSet{
+			avg:  make(map[string]metrics.Vector, len(names)),
+			runs: make(map[string][]core.Profile, len(names)),
+		}
 		for _, name := range names {
 			span := spans[name]
 			runs := profs[span[0]:span[1]:span[1]]
-			s.suiteRuns[name] = runs
-			s.suiteAvg[name] = machineutil.Average(runs)
+			out.runs[name] = runs
+			out.avg[name] = machineutil.Average(runs)
 		}
-	})
-	return s.suiteAvg, s.suiteRuns
+		return out, nil
+	}))
+	return v.avg, v.runs
+}
+
+// sweepKey identifies one workload's Fig. 6-9 sweep curves.
+type sweepKey struct {
+	Workload string
+	Budget   int64
+	SizesKB  []int
 }
 
 // SweepCurves returns the memoized Fig. 6-9 cache-sweep curves for one
 // workload at the given budget, tracing the workload at most once per
-// session. Concurrent callers for the same workload block on the
-// entry's once while callers for other workloads proceed in parallel.
+// store (and, with a disk store, at most once ever). Concurrent
+// callers for the same workload block on that key's singleflight while
+// callers for other workloads proceed in parallel.
 func (s *Session) SweepCurves(w workloads.Workload, budget int64) machine.Curves {
-	key := sweepKey{id: w.ID, budget: budget}
-	s.sweepMu.Lock()
-	if s.sweeps == nil {
-		s.sweeps = map[sweepKey]*sweepEntry{}
-	}
-	e, ok := s.sweeps[key]
-	if !ok {
-		e = &sweepEntry{}
-		s.sweeps[key] = e
-	}
-	s.sweepMu.Unlock()
-	e.once.Do(func() {
-		sw := machine.NewSweep(machine.DefaultSweepSizesKB)
-		workloads.Run(w, sw, budget)
-		e.curves = sw.Curves()
-		s.tracePasses.Add(1)
-	})
-	return e.curves
+	sizes := machine.DefaultSweepSizesKB
+	key := artifact.KeyOf("sweep-curves", sweepKey{Workload: workloads.Signature(w), Budget: budget, SizesKB: sizes})
+	return mustFill(artifact.GetChecked(s.ArtifactStore(), key,
+		func(c machine.Curves) bool {
+			return len(c.SizesKB) == len(sizes) && len(c.Inst) == len(sizes) &&
+				len(c.Data) == len(sizes) && len(c.Unified) == len(sizes)
+		},
+		func() (machine.Curves, error) {
+			sw := machine.NewSweep(sizes)
+			workloads.Run(w, sw, budget)
+			s.tracePasses.Add(1)
+			return sw.Curves(), nil
+		}))
 }
 
 // TracePasses reports how many sweep trace passes the session has
 // actually executed — the counting probe behind the "exactly one pass
-// per (workload, budget)" guarantee.
+// per (workload, budget)" guarantee; a warm-started session reports 0.
 func (s *Session) TracePasses() int64 { return s.tracePasses.Load() }
+
+// ProfileRuns reports how many profiling runs the session has actually
+// executed (store hits — memory or disk — add nothing); a warm-started
+// session reports 0.
+func (s *Session) ProfileRuns() int64 { return s.profileRuns.Load() }
 
 // BigDataAverage averages the 17 representatives' vectors.
 func (s *Session) BigDataAverage() metrics.Vector {

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/datagen"
+	"repro/internal/sim/machine"
+	"repro/internal/workloads"
+)
+
+// renderUnits renders every visible artifact of an engine run, keyed
+// by unit name.
+func renderUnits(t *testing.T, results []UnitResult) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("unit %s: %v", r.Unit.Name, r.Err)
+		}
+		if r.Unit.Hidden || r.Artifact == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		r.Artifact.Render(&buf)
+		out[r.Unit.Name] = buf.Bytes()
+	}
+	return out
+}
+
+// TestColdWarmEngineByteIdentical is the PR's acceptance probe: a
+// warm-store engine run over a fresh store sharing the cold run's
+// directory (modelling a second process) must render byte-identical
+// output while executing zero dataset generations, zero trace passes
+// and zero profiling runs.
+func TestColdWarmEngineByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	cold, err := artifact.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := datagen.SetStore(cold)
+	t.Cleanup(func() { datagen.SetStore(prev) })
+
+	coldSess := NewSession(tinyOptions())
+	coldSess.Store = cold
+	coldRes, err := (&Engine{Session: coldSess}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut := renderUnits(t, coldRes)
+	if coldSess.TracePasses() == 0 || coldSess.ProfileRuns() == 0 {
+		t.Fatalf("cold run recomputed nothing (trace=%d profile=%d): probes broken",
+			coldSess.TracePasses(), coldSess.ProfileRuns())
+	}
+
+	warm, err := artifact.NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datagen.SetStore(warm)
+	gen0 := datagen.Generations()
+	warmSess := NewSession(tinyOptions())
+	warmSess.Store = warm
+	warmRes, err := (&Engine{Session: warmSess}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOut := renderUnits(t, warmRes)
+
+	if got := warmSess.TracePasses(); got != 0 {
+		t.Errorf("warm run executed %d trace passes, want 0", got)
+	}
+	if got := warmSess.ProfileRuns(); got != 0 {
+		t.Errorf("warm run executed %d profiling runs, want 0", got)
+	}
+	if got := datagen.Generations() - gen0; got != 0 {
+		t.Errorf("warm run executed %d dataset generations, want 0", got)
+	}
+	if len(warmOut) != len(coldOut) {
+		t.Fatalf("warm run rendered %d units, cold %d", len(warmOut), len(coldOut))
+	}
+	for name, want := range coldOut {
+		if got, ok := warmOut[name]; !ok {
+			t.Errorf("warm run missing unit %s", name)
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("unit %s: warm output differs from cold (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+}
+
+// TestShardedEngineMergesToFullRun partitions the visible units across
+// two shards sharing one store (the in-process model of two processes
+// sharing -cache-dir): the shards' outputs must partition the full
+// run's visible set and merge to byte-identical artifacts.
+func TestShardedEngineMergesToFullRun(t *testing.T) {
+	sel := visibleExceptReduction()
+
+	full := &Engine{Session: NewSession(tinyOptions()), Select: sel}
+	fullRes, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOut := renderUnits(t, fullRes)
+
+	shared := artifact.New()
+	merged := map[string][]byte{}
+	for shard := 0; shard < 2; shard++ {
+		sess := NewSession(tinyOptions())
+		sess.Store = shared
+		e := &Engine{Session: sess, Select: sel, Shard: shard, ShardCount: 2}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range renderUnits(t, res) {
+			if _, dup := merged[name]; dup {
+				t.Errorf("unit %s rendered by more than one shard", name)
+			}
+			merged[name] = b
+		}
+	}
+
+	if len(merged) != len(fullOut) {
+		t.Fatalf("shards rendered %d units, full run %d", len(merged), len(fullOut))
+	}
+	for name, want := range fullOut {
+		if got, ok := merged[name]; !ok {
+			t.Errorf("no shard rendered unit %s", name)
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("unit %s: sharded output differs from full run", name)
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	for _, bad := range [][2]int{{2, 2}, {-1, 2}, {1, 1}, {1, 0}} {
+		e := &Engine{Session: NewSession(tinyOptions()), Shard: bad[0], ShardCount: bad[1]}
+		if _, err := e.Run(); err == nil {
+			t.Errorf("shard %d/%d not rejected", bad[0], bad[1])
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := ParseShard("1/3"); err != nil || i != 1 || n != 3 {
+		t.Fatalf("ParseShard(1/3) = %d, %d, %v", i, n, err)
+	}
+	for _, bad := range []string{"", "1", "1/", "/2", "2/2", "-1/2", "0/1", "0/0", "0/2x", "x0/2", "1/3/5"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRosterMemoized pins the PR-1 follow-up: the 77-workload roster
+// profiles once per session and the reduction consumes the cached
+// pass.
+func TestRosterMemoized(t *testing.T) {
+	s := NewSession(tinyOptions())
+	roster := s.Roster()
+	if len(roster) != 77 {
+		t.Fatalf("roster has %d profiles, want 77", len(roster))
+	}
+	runs := s.ProfileRuns()
+	if runs != 77 {
+		t.Fatalf("roster executed %d profiling runs, want 77", runs)
+	}
+	if again := s.Roster(); &again[0] != &roster[0] {
+		t.Error("second Roster() rebuilt the set")
+	}
+	r, err := Reduction(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profiles) != 77 {
+		t.Fatalf("reduction saw %d profiles", len(r.Profiles))
+	}
+	if got := s.ProfileRuns(); got != runs {
+		t.Errorf("reduction re-profiled: %d runs after, %d before", got, runs)
+	}
+}
+
+// TestSessionsShareStore pins cross-session sharing: a second session
+// over the same in-memory store recomputes nothing and observes
+// identical values.
+func TestSessionsShareStore(t *testing.T) {
+	shared := artifact.New()
+	s1 := NewSession(tinyOptions())
+	s1.Store = shared
+	reps := s1.Reps()
+	c1 := s1.SweepCurves(workloads.MPI6()[0], s1.Opt.SweepBudget)
+
+	s2 := NewSession(tinyOptions())
+	s2.Store = shared
+	reps2 := s2.Reps()
+	c2 := s2.SweepCurves(workloads.MPI6()[0], s2.Opt.SweepBudget)
+	if s2.ProfileRuns() != 0 || s2.TracePasses() != 0 {
+		t.Fatalf("second session recomputed: %d profile runs, %d trace passes",
+			s2.ProfileRuns(), s2.TracePasses())
+	}
+	for i := range reps {
+		if reps[i].Vector != reps2[i].Vector {
+			t.Fatalf("shared-store sessions disagree on %s", reps[i].Workload.ID)
+		}
+	}
+	for i := range c1.Inst {
+		if c1.Inst[i] != c2.Inst[i] {
+			t.Fatal("shared-store sessions disagree on sweep curves")
+		}
+	}
+}
+
+// TestProfileKeysDisambiguateRosters guards the ID-collision trap:
+// Table 2's H-Difference (Hive) and the roster's H-Difference (Hadoop)
+// share an ID but must not share a store artefact.
+func TestProfileKeysDisambiguateRosters(t *testing.T) {
+	var repsHD, rosterHD workloads.Workload
+	for _, w := range workloads.Representative17() {
+		if w.ID == "H-Difference" {
+			repsHD = w
+		}
+	}
+	for _, w := range workloads.Roster77() {
+		if w.ID == "H-Difference" {
+			rosterHD = w
+		}
+	}
+	if repsHD.Stack.Name == rosterHD.Stack.Name {
+		t.Skip("rosters no longer collide on H-Difference")
+	}
+	if workloads.Signature(repsHD) == workloads.Signature(rosterHD) {
+		t.Fatal("signatures collide for distinct H-Difference definitions")
+	}
+
+	s := NewSession(tinyOptions())
+	a := s.Profiles(machine.XeonE5645(), []workloads.Workload{repsHD}, s.Opt.Budget)
+	b := s.Profiles(machine.XeonE5645(), []workloads.Workload{rosterHD}, s.Opt.Budget)
+	if s.ProfileRuns() != 2 {
+		t.Fatalf("%d profiling runs for two distinct definitions, want 2", s.ProfileRuns())
+	}
+	if a[0].Vector == b[0].Vector {
+		t.Fatal("distinct stacks produced identical vectors — cache collision?")
+	}
+}

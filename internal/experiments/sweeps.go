@@ -236,10 +236,11 @@ type ReductionResult struct {
 }
 
 // Reduction runs the full WCRT pipeline over the 77-workload roster
-// with k=17, as the paper's final configuration.
+// with k=17, as the paper's final configuration. The roster profiles
+// come from the session's memoized Roster(), so cmd/wcrt and other
+// experiments sharing the session (or its store) reuse the same pass.
 func Reduction(s *Session) (*ReductionResult, error) {
-	p := &core.Profiler{Machine: machine.XeonE5645(), Budget: s.Opt.RosterBudget}
-	profiles := p.ProfileAll(workloads.Roster77())
+	profiles := s.Roster()
 	a := &core.Analyzer{ExplainTarget: 0.9, Seed: 0x5EED}
 	red, err := a.Reduce(profiles, 17)
 	if err != nil {

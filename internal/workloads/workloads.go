@@ -192,6 +192,19 @@ func ClassifyRatio(out, in uint64) DataRatio {
 	}
 }
 
+// ShardSlice returns the shard-th of count interleaved slices of list
+// (elements whose index ≡ shard mod count) — the deterministic
+// partition cooperating CLI shards agree on.
+func ShardSlice(list []Workload, shard, count int) []Workload {
+	var out []Workload
+	for i, w := range list {
+		if i%count == shard {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
 func idSeed(id string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(id); i++ {

@@ -18,7 +18,9 @@
 package repro
 
 import (
+	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim/machine"
@@ -92,11 +94,42 @@ func Reduce(profiles []Profile, k int) (*Reduction, error) {
 	return a.Reduce(profiles, k)
 }
 
+// Store is the content-keyed artifact store behind every memoized
+// computation: dataset content, profile records and sweep curves.
+type Store = artifact.Store
+
+// NewStore returns an in-memory artifact store.
+func NewStore() *Store { return artifact.New() }
+
+// NewDiskStore returns an artifact store persisting under dir.
+func NewDiskStore(dir string) (*Store, error) { return artifact.NewDisk(dir) }
+
 // NewSession returns an experiment session with full budgets.
 func NewSession() *Session { return experiments.NewSession(experiments.Default()) }
 
 // NewQuickSession returns an experiment session with test budgets.
 func NewQuickSession() *Session { return experiments.NewSession(experiments.Quick()) }
+
+// NewPersistentSession returns a full-budget session whose artifacts —
+// dataset content, 45-metric profiles, sweep curves — persist under
+// dir: a later process warm-starts from the directory and recomputes
+// nothing while producing byte-identical results.
+//
+// Dataset content is cached process-globally, so this call redirects
+// the whole process's dataset caching to dir (datagen.SetStore) — the
+// last NewPersistentSession wins for datasets. Use one persistent
+// directory per process; results are unaffected either way (content is
+// deterministic), only where datasets persist.
+func NewPersistentSession(dir string) (*Session, error) {
+	st, err := artifact.NewDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	datagen.SetStore(st)
+	s := experiments.NewSession(experiments.Default())
+	s.Store = st
+	return s, nil
+}
 
 // NewEngine returns a concurrent experiment engine over s covering
 // every table and figure of the paper.
