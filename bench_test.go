@@ -11,9 +11,15 @@ package repro
 // runs are shared through a lazily-built session.
 
 import (
+	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"repro/internal/artifact"
+	"repro/internal/artifact/artifactd"
+	"repro/internal/artifact/httpstore"
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
@@ -313,6 +319,79 @@ func BenchmarkCharacterizeVector(b *testing.B) {
 		var v Vector = profiles[0].Vector
 		if v[metrics.IPC] == 0 {
 			b.Fatal("empty vector")
+		}
+	}
+}
+
+// BenchmarkStoreHTTP measures the network tier's round trip: one
+// store fill published to an in-process artifactd (PUT), then loaded
+// back by a cold store modelling a remote shard (GET + verification).
+func BenchmarkStoreHTTP(b *testing.B) {
+	srv, err := artifactd.New(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	payload := make([]float64, 1024) // ~8 KB, the size class of a ProfileRecord
+	for i := range payload {
+		payload[i] = float64(i) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := artifact.KeyOf("bench-http", i)
+		writer, err := httpstore.New(ts.URL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := artifact.Get(artifact.NewWithBackend(writer), key,
+			func() ([]float64, error) { return payload, nil }); err != nil {
+			b.Fatal(err)
+		}
+		reader, err := httpstore.New(ts.URL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cold := artifact.NewWithBackend(reader)
+		got, err := artifact.Get(cold, key, func() ([]float64, error) {
+			return nil, fmt.Errorf("remote entry missed")
+		})
+		if err != nil || len(got) != len(payload) {
+			b.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	b.ReportMetric(float64(st.PutBytes+st.ServedBytes)/float64(b.N), "wire-bytes/op")
+}
+
+// BenchmarkRenderWarm measures the fully warm repro path the render
+// artefacts enable: every dataset, profile, sweep curve and rendered
+// unit loads from a persisted store, so an engine pass is pure I/O —
+// zero trace passes, zero profile runs, zero renders.
+func BenchmarkRenderWarm(b *testing.B) {
+	dir := b.TempDir()
+	opt := experiments.Options{Budget: 50_000, SweepBudget: 25_000, RosterBudget: 10_000}
+	warmup := func() *experiments.Session {
+		st, err := artifact.NewDisk(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev := datagen.SetStore(st)
+		b.Cleanup(func() { datagen.SetStore(prev) })
+		s := experiments.NewSession(opt)
+		s.Store = st
+		if _, err := (&experiments.Engine{Session: s}).Run(); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	warmup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := warmup()
+		if s.TracePasses() != 0 || s.ProfileRuns() != 0 || s.Renders() != 0 {
+			b.Fatalf("warm pass recomputed: %d trace / %d profile / %d renders",
+				s.TracePasses(), s.ProfileRuns(), s.Renders())
 		}
 	}
 }

@@ -1,0 +1,79 @@
+// Command artifactd serves a content-keyed artifact store directory
+// over HTTP, so engine shards on different machines share one cache:
+// every shard points -store-url at this server, each artefact
+// (dataset content, profile record, sweep curves, rendered unit) is
+// computed by exactly one shard and downloaded by the rest, and the
+// merged outputs are byte-identical to a single full run.
+//
+// Endpoints: GET/HEAD/PUT /artifact/{id}, GET /stats (JSON counters),
+// GET /healthz. Uploads are verified — an entry whose recorded
+// identity does not hash to its id is rejected — and entries are
+// re-verified on the way out, so corruption anywhere costs a
+// recomputation, never a wrong result.
+//
+// With -gc the entry directory is swept at startup and every
+// -gc-interval: entries older than the age bound are removed, and the
+// least recently used entries are evicted until the directory fits the
+// size bound. Eviction is safe at any moment — an evicted artefact is
+// recomputed by the next shard that needs it.
+//
+// Usage:
+//
+//	artifactd [-addr :9444] [-dir DIR] [-gc "4GB,168h"] [-gc-interval 10m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/artifact/artifactd"
+)
+
+func main() {
+	addr := flag.String("addr", ":9444", "listen address")
+	dir := flag.String("dir", ".artifactd", "entry directory to serve (created if absent)")
+	gcSpec := flag.String("gc", "", `bound the entry directory, as a size, an age, or both: "4GB", "168h", "4GB,168h" (LRU sweep; empty = never collect)`)
+	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc sweep")
+	flag.Parse()
+
+	srv, err := artifactd.New(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *gcSpec != "" {
+		policy, err := artifact.ParseGCSpec(*gcSpec)
+		if err != nil {
+			fatal(err)
+		}
+		sweep := func() {
+			res, err := artifact.GC(srv.Dir(), policy.MaxBytes, policy.MaxAge)
+			if err != nil {
+				log.Printf("artifactd: gc: %v", err)
+				return
+			}
+			log.Printf("artifactd: gc: %s", res)
+		}
+		sweep()
+		go func() {
+			for range time.Tick(*gcInterval) {
+				sweep()
+			}
+		}()
+	}
+
+	log.Printf("artifactd: serving %s on %s", srv.Dir(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "artifactd:", err)
+	os.Exit(1)
+}

@@ -5,12 +5,15 @@
 // Rows are content-keyed artifacts: with -cache-dir each (machine,
 // workload, budget) row persists, so a repeated run re-executes
 // nothing, and -shard i/n lets n processes split a set (each prints
-// only its interleaved slice) while sharing the store.
+// only its interleaved slice) while sharing the store — across
+// machines when they share a cmd/artifactd server via -store-url. -gc
+// bounds the -cache-dir (LRU sweep) after the run.
 //
 // Usage:
 //
 //	bdbench [-budget N] [-machine xeon|atom] [-set reps|mpi|all|roster]
-//	        [-parallel N] [-cache-dir DIR] [-shard i/n] [id ...]
+//	        [-parallel N] [-cache-dir DIR] [-store-url URL] [-gc SPEC]
+//	        [-shard i/n] [id ...]
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/artifact"
+	"repro/internal/artifact/httpstore"
 	"repro/internal/conc"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -43,6 +47,8 @@ func main() {
 	set := flag.String("set", "reps", "workload set: reps, mpi, all (reps+mpi) or roster")
 	parallel := flag.Int("parallel", 0, "bound concurrent workload runs (0 = GOMAXPROCS, 1 = serial)")
 	cacheDir := flag.String("cache-dir", "", "persist per-workload rows and dataset content under this directory and warm-start from it")
+	storeURL := flag.String("store-url", "", "share rows through the artifactd server at this URL (combine with -cache-dir for a local tier in front)")
+	gcSpec := flag.String("gc", "", `after the run, LRU-sweep the -cache-dir down to this bound: a size, an age, or both ("4GB", "168h", "4GB,168h")`)
 	shardSpec := flag.String("shard", "", "run only slice i of n of the set, as i/n (0-based)")
 	flag.Parse()
 
@@ -82,9 +88,14 @@ func main() {
 		list = workloads.ShardSlice(list, i, n)
 	}
 
+	sweep, err := artifact.GCSweeper(*cacheDir, *gcSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", err)
+		os.Exit(2)
+	}
 	store := artifact.Default()
-	if *cacheDir != "" {
-		st, err := artifact.NewDisk(*cacheDir)
+	if *cacheDir != "" || *storeURL != "" {
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
 			os.Exit(1)
@@ -149,5 +160,13 @@ func main() {
 			v[metrics.CodeFootprintKB], r.FW*100, v[metrics.ILP], v[metrics.MLP],
 			v[metrics.FrontStallRatio]*100,
 			v[metrics.IMissStallPerKI], v[metrics.MispredictStallPerKI])
+	}
+	if sweep != nil {
+		res, err := sweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bdbench: gc: %s\n", res)
 	}
 }

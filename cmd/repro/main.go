@@ -8,19 +8,26 @@
 // in parallel. -serial falls back to one-at-a-time dependency order.
 //
 // With -cache-dir every expensive artefact — dataset content,
-// 45-metric profiles, Fig. 6-9 sweep curves — persists in a
-// content-keyed store under that directory, so a second run
-// warm-starts and recomputes nothing (verify with -stats: zero trace
-// passes, zero profiling runs, zero dataset generations) while
-// producing byte-identical output. -shard i/n runs only the i-th of n
-// round-robin partitions of the selected items; n processes sharing a
-// -cache-dir split a run and their merged -out files are byte-identical
-// to a single full run.
+// 45-metric profiles, Fig. 6-9 sweep curves, and the rendered output
+// of each table and figure — persists in a content-keyed store under
+// that directory, so a second run warm-starts and recomputes nothing
+// (verify with -stats: zero trace passes, zero profiling runs, zero
+// dataset generations, zero unit renders) while producing
+// byte-identical output. -store-url points the same store at a
+// cmd/artifactd server instead (or additionally: with both flags the
+// disk tier fronts the server and remote hits warm it), which is how
+// shards on different machines share one cache. -shard i/n runs only
+// the i-th of n round-robin partitions of the selected items; n
+// processes sharing a store — a -cache-dir or an artifactd URL —
+// split a run and their merged -out files are byte-identical to a
+// single full run. -gc bounds the -cache-dir by size and/or entry age
+// (LRU sweep) after the run.
 //
 // Usage:
 //
 //	repro [-quick] [-serial] [-parallel N] [-timing] [-stats]
-//	      [-cache-dir DIR] [-shard i/n] [-out DIR] [item ...]
+//	      [-cache-dir DIR] [-store-url URL] [-gc SPEC] [-shard i/n]
+//	      [-out DIR] [item ...]
 //
 // Items: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 reduction stack. Default: all.
@@ -35,6 +42,7 @@ import (
 	"strings"
 
 	"repro/internal/artifact"
+	"repro/internal/artifact/httpstore"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 )
@@ -45,8 +53,10 @@ func main() {
 	serial := flag.Bool("serial", false, "run experiments one at a time in dependency order")
 	parallel := flag.Int("parallel", 0, "bound concurrency: experiments at once and workers within each (0 = GOMAXPROCS)")
 	timing := flag.Bool("timing", false, "print the per-experiment timing table to stderr")
-	cacheDir := flag.String("cache-dir", "", "persist artifacts (datasets, profiles, sweep curves) under this directory and warm-start from it")
-	shardSpec := flag.String("shard", "", "run only shard i of n visible items, as i/n (0-based); cooperating shards share a -cache-dir and merge byte-identically")
+	cacheDir := flag.String("cache-dir", "", "persist artifacts (datasets, profiles, sweep curves, rendered units) under this directory and warm-start from it")
+	storeURL := flag.String("store-url", "", "share artifacts through the artifactd server at this URL (combine with -cache-dir for a local tier in front)")
+	gcSpec := flag.String("gc", "", `after the run, LRU-sweep the -cache-dir down to this bound: a size, an age, or both ("4GB", "168h", "4GB,168h")`)
+	shardSpec := flag.String("shard", "", "run only shard i of n visible items, as i/n (0-based); cooperating shards share a store and merge byte-identically")
 	stats := flag.Bool("stats", false, "print artifact-store and recomputation probes to stderr")
 	flag.Parse()
 
@@ -71,10 +81,15 @@ func main() {
 		}
 	}
 
+	sweep, err := artifact.GCSweeper(*cacheDir, *gcSpec)
+	if err != nil {
+		fatal(err)
+	}
+
 	sess := experiments.NewSession(opt)
 	sess.Parallelism = *parallel
-	if *cacheDir != "" {
-		st, err := artifact.NewDisk(*cacheDir)
+	if *cacheDir != "" || *storeURL != "" {
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,7 +109,6 @@ func main() {
 		e.Shard, e.ShardCount = i, n
 	}
 	var results []experiments.UnitResult
-	var err error
 	if *serial {
 		results, err = e.RunSerial()
 	} else {
@@ -139,10 +153,17 @@ func main() {
 	}
 	if *stats {
 		ss := sess.ArtifactStore().Stats()
-		fmt.Fprintf(os.Stderr, "repro: trace passes: %d; profile runs: %d; dataset generations: %d\n",
-			sess.TracePasses(), sess.ProfileRuns(), datagen.Generations())
-		fmt.Fprintf(os.Stderr, "repro: store: %d fills, %d memory hits, %d disk hits, %d disk discards\n",
-			ss.Fills, ss.MemHits, ss.DiskHits, ss.DiskDiscards)
+		fmt.Fprintf(os.Stderr, "repro: trace passes: %d; profile runs: %d; dataset generations: %d; unit renders: %d\n",
+			sess.TracePasses(), sess.ProfileRuns(), datagen.Generations(), sess.Renders())
+		fmt.Fprintf(os.Stderr, "repro: store: %d fills, %d memory hits, %d backend hits, %d backend discards\n",
+			ss.Fills, ss.MemHits, ss.BackendHits, ss.BackendDiscards)
+	}
+	if sweep != nil {
+		res, err := sweep()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "repro: gc: %s\n", res)
 	}
 	if failed {
 		os.Exit(1)

@@ -7,15 +7,19 @@
 // artifact store, so repeated or combined runs never re-profile a
 // workload they have already seen: with -cache-dir the profiles
 // persist, and a second wcrt run (or a cmd/repro run at the same
-// budget) reads them back instead of re-tracing the roster. -shard i/n
-// distributes the profiling: shard processes each profile the i-th of
-// n interleaved slices into the shared store and skip the reduction; a
-// final run without -shard merges the warm profiles and reduces.
+// budget) reads them back instead of re-tracing the roster;
+// -store-url shares them through a cmd/artifactd server instead, so
+// the shards can live on different machines. -shard i/n distributes
+// the profiling: shard processes each profile the i-th of n
+// interleaved slices into the shared store and skip the reduction; a
+// final run without -shard merges the warm profiles and reduces. -gc
+// bounds the -cache-dir (LRU sweep) after the run.
 //
 // Usage:
 //
 //	wcrt [-k N] [-budget N] [-set roster|reps] [-metrics] [-csv]
-//	     [-cache-dir DIR] [-shard i/n] [-parallel N]
+//	     [-cache-dir DIR] [-store-url URL] [-gc SPEC] [-shard i/n]
+//	     [-parallel N]
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/artifact"
+	"repro/internal/artifact/httpstore"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -40,6 +45,8 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "print the full 45-metric vector per workload")
 	asCSV := flag.Bool("csv", false, "emit metric vectors as CSV")
 	cacheDir := flag.String("cache-dir", "", "persist profiles and dataset content under this directory and warm-start from it")
+	storeURL := flag.String("store-url", "", "share profiles through the artifactd server at this URL (combine with -cache-dir for a local tier in front)")
+	gcSpec := flag.String("gc", "", `after the run, LRU-sweep the -cache-dir down to this bound: a size, an age, or both ("4GB", "168h", "4GB,168h")`)
 	shardSpec := flag.String("shard", "", "profile only slice i of n (as i/n, 0-based) into the store and skip the reduction; a later run without -shard merges")
 	parallel := flag.Int("parallel", 0, "bound concurrent profiling runs (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -61,13 +68,27 @@ func main() {
 		Budget: *budget, SweepBudget: *budget, RosterBudget: *budget,
 	})
 	sess.Parallelism = *parallel
-	if *cacheDir != "" {
-		st, err := artifact.NewDisk(*cacheDir)
+	gcSweep, err := artifact.GCSweeper(*cacheDir, *gcSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if *cacheDir != "" || *storeURL != "" {
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL)
 		if err != nil {
 			fatal(err)
 		}
 		sess.Store = st
 		datagen.SetStore(st)
+	}
+	sweep := func() {
+		if gcSweep == nil {
+			return
+		}
+		res, err := gcSweep()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wcrt: gc: %s\n", res)
 	}
 
 	if *shardSpec != "" {
@@ -75,8 +96,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *cacheDir == "" {
-			fatal(fmt.Errorf("-shard requires -cache-dir: a shard's profiles must persist for the merge run to find them"))
+		if *cacheDir == "" && *storeURL == "" {
+			fatal(fmt.Errorf("-shard requires -cache-dir or -store-url: a shard's profiles must persist for the merge run to find them"))
 		}
 		slice := workloads.ShardSlice(list, i, n)
 		fmt.Fprintf(os.Stderr, "wcrt: shard %d/%d profiling %d of %d workloads (%d instructions each)...\n",
@@ -87,6 +108,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wcrt: shard done (%d profiling runs executed); run without -shard to merge and reduce\n",
 			sess.ProfileRuns())
+		sweep()
 		return
 	}
 
@@ -122,6 +144,7 @@ func main() {
 		t.Add(red.Names[c.Representative], len(c.Members), names)
 	}
 	t.Render(os.Stdout)
+	sweep()
 }
 
 // printMetrics writes the profiles' 45-metric vectors to stdout as a

@@ -16,25 +16,27 @@
 //   - a concurrency-safe in-memory singleflight map: the first caller
 //     for a key computes, concurrent callers for the same key block on
 //     that one fill, callers for other keys proceed in parallel;
-//   - an optional on-disk gob tier (NewDisk): fills are published
-//     atomically (temp file + rename) so concurrent processes sharing
-//     a directory — e.g. sharded engine runs — never observe torn
-//     entries, and a later process warm-starts from the files. Each
-//     file records the full key label, so hash collisions, format
-//     changes and corrupted or stale entries are detected and fall
-//     back to recomputation.
+//   - an optional persistence Backend (NewWithBackend): a local gob
+//     directory (NewDisk / DiskBackend), an artifactd server reached
+//     over HTTP (httpstore.Client), or a Chain of tiers. Fills publish
+//     atomically so concurrent processes sharing a backend — e.g.
+//     sharded engine runs on different machines — never observe torn
+//     entries, and a later process warm-starts from it. Every
+//     persisted entry records the full key label, so hash collisions,
+//     format changes and corrupted or stale entries are detected and
+//     fall back to recomputation.
 //
-// The disk tier never changes results: a loaded artefact is the gob
-// round-trip of the value the computation would produce (gob encodes
-// float64 bit patterns exactly), and callers can attach a validity
-// check that stale entries must pass before being trusted.
+// The persistence tier never changes results: a loaded artefact is the
+// gob round-trip of the value the computation would produce (gob
+// encodes float64 bit patterns exactly), and callers can attach a
+// validity check that stale entries must pass before being trusted.
 package artifact
 
 import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
+	"io"
 	"sync"
 	"sync/atomic"
 )
@@ -65,10 +67,18 @@ func KeyOf(kind string, cfg any) Key {
 	if err != nil {
 		panic(fmt.Sprintf("artifact: unmarshalable config for kind %q: %v", kind, err))
 	}
+	return KeyFromLabel(kind, string(b))
+}
+
+// KeyFromLabel rebuilds the key for a kind and its already-canonical
+// label — the inverse an artifactd server needs to verify that an
+// uploaded entry's recorded identity hashes to the id it was addressed
+// by.
+func KeyFromLabel(kind, label string) Key {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v%d\x00%s\x00", Version, kind)
-	h.Write(b)
-	return Key{Kind: kind, Label: string(b), hash: fmt.Sprintf("%016x", h.Sum64())}
+	io.WriteString(h, label)
+	return Key{Kind: kind, Label: label, hash: fmt.Sprintf("%016x", h.Sum64())}
 }
 
 // ID names the key: kind plus the 64-bit content hash. It is unique up
@@ -76,18 +86,19 @@ func KeyOf(kind string, cfg any) Key {
 func (k Key) ID() string { return k.Kind + "-" + k.hash }
 
 // Store is the two-tier artifact store. The zero value is not usable;
-// construct with New (memory only) or NewDisk (memory + persistence).
+// construct with New (memory only), NewDisk (memory + a local
+// directory) or NewWithBackend (memory + any persistence tier).
 type Store struct {
 	mu      sync.Mutex
 	entries map[string]*entry
-	// dir is the disk tier root ("" = memory only). Immutable after
-	// construction, so fills read it without locking.
-	dir string
+	// backend is the persistence tier (nil = memory only). Immutable
+	// after construction, so fills read it without locking.
+	backend Backend
 
-	fills        atomic.Int64
-	memHits      atomic.Int64
-	diskHits     atomic.Int64
-	diskDiscards atomic.Int64
+	fills           atomic.Int64
+	memHits         atomic.Int64
+	backendHits     atomic.Int64
+	backendDiscards atomic.Int64
 }
 
 // entry is one key's singleflight slot. The once guards the fill;
@@ -101,19 +112,27 @@ type entry struct {
 // New returns an empty in-memory store.
 func New() *Store { return &Store{entries: map[string]*entry{}} }
 
+// NewWithBackend returns a store whose fills persist through b.
+// Multiple processes (local or remote) may share a backend
+// concurrently.
+func NewWithBackend(b Backend) *Store {
+	s := New()
+	s.backend = b
+	return s
+}
+
 // NewDisk returns a store whose fills persist under dir (created if
 // absent). Multiple processes may share dir concurrently.
 func NewDisk(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("artifact: %w", err)
+	b, err := NewDiskBackend(dir)
+	if err != nil {
+		return nil, err
 	}
-	s := New()
-	s.dir = dir
-	return s, nil
+	return NewWithBackend(b), nil
 }
 
-// Dir returns the disk tier directory ("" when memory-only).
-func (s *Store) Dir() string { return s.dir }
+// Backend returns the persistence tier (nil when memory-only).
+func (s *Store) Backend() Backend { return s.backend }
 
 var defaultStore = New()
 
@@ -128,32 +147,33 @@ type Stats struct {
 	Fills int64
 	// MemHits counts lookups that found an existing in-memory entry.
 	MemHits int64
-	// DiskHits counts fills satisfied by the disk tier.
-	DiskHits int64
-	// DiskDiscards counts disk entries rejected as corrupted, stale,
-	// mislabelled or invalid.
-	DiskDiscards int64
+	// BackendHits counts fills satisfied by the persistence backend
+	// (disk or remote).
+	BackendHits int64
+	// BackendDiscards counts backend entries rejected as corrupted,
+	// stale, mislabelled or invalid.
+	BackendDiscards int64
 }
 
 // Stats returns the current counter snapshot.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Fills:        s.fills.Load(),
-		MemHits:      s.memHits.Load(),
-		DiskHits:     s.diskHits.Load(),
-		DiskDiscards: s.diskDiscards.Load(),
+		Fills:           s.fills.Load(),
+		MemHits:         s.memHits.Load(),
+		BackendHits:     s.backendHits.Load(),
+		BackendDiscards: s.backendDiscards.Load(),
 	}
 }
 
 // Get returns the artefact for key, computing it at most once per
-// store. With a disk tier, a valid persisted entry is loaded instead
-// of computing, and fresh computations are persisted. A compute error
-// is cached and returned to every caller of the key.
+// store. With a persistence backend, a valid persisted entry is loaded
+// instead of computing, and fresh computations are persisted. A
+// compute error is cached and returned to every caller of the key.
 func Get[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 	return fill(s, key, true, nil, compute)
 }
 
-// GetChecked is Get with a validity check applied to disk-loaded
+// GetChecked is Get with a validity check applied to backend-loaded
 // values: an entry failing check is discarded and recomputed. Use it
 // whenever a persisted artefact could have been written against a
 // different roster or shape than the caller expects.
@@ -184,9 +204,9 @@ func fill[T any](s *Store, key Key, disk bool, check func(T) bool, compute func(
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		if disk && s.dir != "" {
-			if v, ok := loadDisk(s, key, check); ok {
-				s.diskHits.Add(1)
+		if disk && s.backend != nil {
+			if v, ok := loadBackend(s, key, check); ok {
+				s.backendHits.Add(1)
 				e.val = v
 				return
 			}
@@ -198,8 +218,8 @@ func fill[T any](s *Store, key Key, disk bool, check func(T) bool, compute func(
 		}
 		s.fills.Add(1)
 		e.val = v
-		if disk && s.dir != "" {
-			saveDisk(s, key, v)
+		if disk && s.backend != nil {
+			saveBackend(s, key, v)
 		}
 	})
 	if e.err != nil {

@@ -9,6 +9,11 @@ import (
 	"testing"
 )
 
+// diskPath locates key's entry file in a disk-backed store's backend.
+func diskPath(s *Store, key Key) string {
+	return s.backend.(*DiskBackend).path(key.ID())
+}
+
 type cfg struct {
 	Name string
 	N    int
@@ -131,7 +136,7 @@ func TestDiskRoundTrip(t *testing.T) {
 		t.Fatalf("disk round trip mangled the value: %+v", got)
 	}
 	st := b.Stats()
-	if st.Fills != 0 || st.DiskHits != 1 {
+	if st.Fills != 0 || st.BackendHits != 1 {
 		t.Fatalf("warm store stats %+v, want 0 fills / 1 disk hit", st)
 	}
 }
@@ -143,7 +148,7 @@ func TestDiskCorruptEntryFallsBack(t *testing.T) {
 	if _, err := Get(a, key, func() (int, error) { return 5, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(a.path(key), []byte("not gob at all"), 0o644); err != nil {
+	if err := os.WriteFile(diskPath(a, key), []byte("not gob at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -153,7 +158,7 @@ func TestDiskCorruptEntryFallsBack(t *testing.T) {
 		t.Fatalf("corrupted entry not recomputed: %d, %v", v, err)
 	}
 	st := b.Stats()
-	if st.DiskDiscards != 1 || st.Fills != 1 {
+	if st.BackendDiscards != 1 || st.Fills != 1 {
 		t.Fatalf("stats %+v, want 1 discard / 1 fill", st)
 	}
 
@@ -178,10 +183,10 @@ func TestDiskMislabelledEntryDiscarded(t *testing.T) {
 	var payload bytes.Buffer
 	gob.NewEncoder(&payload).Encode(999)
 	var buf bytes.Buffer
-	gob.NewEncoder(&buf).Encode(diskEntry{
+	gob.NewEncoder(&buf).Encode(Entry{
 		Version: Version, Kind: key.Kind, Label: `{"Other":"config"}`, Payload: payload.Bytes(),
 	})
-	if err := os.WriteFile(s.path(key), buf.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(diskPath(s, key), buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -189,7 +194,7 @@ func TestDiskMislabelledEntryDiscarded(t *testing.T) {
 	if err != nil || v != 1 {
 		t.Fatalf("mislabelled entry was trusted: %d, %v", v, err)
 	}
-	if st := s.Stats(); st.DiskDiscards != 1 {
+	if st := s.Stats(); st.BackendDiscards != 1 {
 		t.Fatalf("stats %+v, want 1 discard", st)
 	}
 }
@@ -212,7 +217,7 @@ func TestGetCheckedRejectsStale(t *testing.T) {
 	if err != nil || len(v) != 3 {
 		t.Fatalf("stale entry not recomputed: %v, %v", v, err)
 	}
-	if st := b.Stats(); st.DiskDiscards != 1 || st.Fills != 1 {
+	if st := b.Stats(); st.BackendDiscards != 1 || st.Fills != 1 {
 		t.Fatalf("stats %+v, want 1 discard / 1 fill", st)
 	}
 }
@@ -224,7 +229,7 @@ func TestGetMemSkipsDisk(t *testing.T) {
 	if _, err := GetMem(a, key, func() (int, error) { return 3, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(a.path(key)); !os.IsNotExist(err) {
+	if _, err := os.Stat(diskPath(a, key)); !os.IsNotExist(err) {
 		t.Fatal("GetMem persisted to disk")
 	}
 	// Same store: memory hit, no recompute.

@@ -1,0 +1,200 @@
+// Package artifactd implements the artifact store's network tier: the
+// HTTP server behind cmd/artifactd, publishing one disk-backed entry
+// directory to any number of remote shards (internal/artifact/httpstore
+// clients).
+//
+// Endpoints:
+//
+//	GET  /artifact/{id}  one encoded entry (artifact.Entry gob), 404 on
+//	                     miss or on an entry that fails verification
+//	HEAD /artifact/{id}  existence probe
+//	PUT  /artifact/{id}  publish an entry; 400 unless the entry's
+//	                     recorded identity (version, kind, label)
+//	                     hashes to {id}
+//	GET  /stats          counters as JSON (gets, hits, misses, puts,
+//	                     rejects, discards, entries, bytes)
+//	GET  /healthz        liveness probe, "ok"
+//
+// Verification happens on both ends of the wire: the server decodes
+// every uploaded entry and rejects ids that don't match the recorded
+// identity (so one shard can never poison another's keys with a
+// mislabelled upload), re-verifies entries on the way out (corrupted
+// files are reported as misses, costing the client a recomputation,
+// never a wrong result), and the client-side store verifies every
+// entry it downloads against the key it asked for.
+package artifactd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/artifact"
+)
+
+// maxEntryBytes caps an uploaded entry's size.
+const maxEntryBytes = 1 << 30
+
+// idPattern matches well-formed entry ids: "<kind>-<16 hex>", with
+// kinds drawn from [a-z0-9-]. Anything else — path traversal attempts
+// included — is rejected before touching the filesystem.
+var idPattern = regexp.MustCompile(`^[a-z0-9-]{1,128}-[0-9a-f]{16}$`)
+
+// Server serves one entry directory. Construct with New.
+type Server struct {
+	backend *artifact.DiskBackend
+
+	gets, hits, misses      atomic.Int64
+	puts, rejects, discards atomic.Int64
+	putBytes, servedBytes   atomic.Int64
+}
+
+// New returns a server over the entry directory dir (created if
+// absent).
+func New(dir string) (*Server, error) {
+	b, err := artifact.NewDiskBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{backend: b}, nil
+}
+
+// Dir returns the served entry directory.
+func (s *Server) Dir() string { return s.backend.Dir() }
+
+// Stats is a snapshot of the server's counters — the "did the warm
+// pass recompute anything" probe CI reads from /stats (a warm pass
+// adds no puts).
+type Stats struct {
+	// Gets counts artefact lookups; Hits and Misses partition them.
+	Gets, Hits, Misses int64
+	// Puts counts accepted publishes; Rejects counts uploads refused
+	// because the entry's identity did not hash to its id.
+	Puts, Rejects int64
+	// Discards counts stored entries that failed verification on read.
+	Discards int64
+	// PutBytes and ServedBytes total the entry payloads moved.
+	PutBytes, ServedBytes int64
+}
+
+// Stats returns the current counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Gets: s.gets.Load(), Hits: s.hits.Load(), Misses: s.misses.Load(),
+		Puts: s.puts.Load(), Rejects: s.rejects.Load(), Discards: s.discards.Load(),
+		PutBytes: s.putBytes.Load(), ServedBytes: s.servedBytes.Load(),
+	}
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/artifact/", s.handleArtifact)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int64{
+		"gets": st.Gets, "hits": st.Hits, "misses": st.Misses,
+		"puts": st.Puts, "rejects": st.Rejects, "discards": st.Discards,
+		"put_bytes": st.PutBytes, "served_bytes": st.ServedBytes,
+	})
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Path[len("/artifact/"):]
+	if !idPattern.MatchString(id) {
+		http.Error(w, "malformed artifact id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		s.serve(w, r, id)
+	case http.MethodPut:
+		s.accept(w, r, id)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// serve answers GET/HEAD. GET loads, re-verifies and sends: an entry
+// that fails verification (bit rot, a file renamed by hand) is a
+// miss — the client recomputes and republishes a good copy. HEAD is a
+// pure existence probe (one stat, no read or decode); GET still
+// verifies before any payload crosses the wire.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, id string) {
+	s.gets.Add(1)
+	if r.Method == http.MethodHead {
+		size, ok := s.backend.Stat(id)
+		if !ok {
+			s.misses.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		s.hits.Add(1)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		return
+	}
+	b, ok := s.backend.Get(id)
+	if ok {
+		e, err := artifact.DecodeEntry(b)
+		if err != nil || e.Version != artifact.Version || e.Key().ID() != id {
+			s.discards.Add(1)
+			ok = false
+		}
+	}
+	if !ok {
+		s.misses.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	s.hits.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	s.servedBytes.Add(int64(len(b)))
+	w.Write(b)
+}
+
+// accept answers PUT: decode, verify the recorded identity hashes to
+// the addressed id, publish atomically.
+func (s *Server) accept(w http.ResponseWriter, r *http.Request, id string) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		s.rejects.Add(1)
+		http.Error(w, "unreadable body", http.StatusBadRequest)
+		return
+	}
+	e, err := artifact.DecodeEntry(b)
+	if err != nil {
+		s.rejects.Add(1)
+		http.Error(w, "body is not an encoded artifact entry", http.StatusBadRequest)
+		return
+	}
+	if e.Version != artifact.Version {
+		s.rejects.Add(1)
+		http.Error(w, fmt.Sprintf("entry format v%d, server speaks v%d", e.Version, artifact.Version),
+			http.StatusBadRequest)
+		return
+	}
+	if got := e.Key().ID(); got != id {
+		s.rejects.Add(1)
+		http.Error(w, fmt.Sprintf("entry identity hashes to %s, addressed as %s", got, id),
+			http.StatusBadRequest)
+		return
+	}
+	s.backend.Put(id, b)
+	s.puts.Add(1)
+	s.putBytes.Add(int64(len(b)))
+	w.WriteHeader(http.StatusNoContent)
+}

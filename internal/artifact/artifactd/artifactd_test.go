@@ -1,0 +1,159 @@
+package artifactd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+func start(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func encodedEntry(t *testing.T, key artifact.Key, payload []byte) []byte {
+	t.Helper()
+	b, err := artifact.EncodeEntry(artifact.Entry{
+		Version: artifact.Version, Kind: key.Kind, Label: key.Label, Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func put(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestPutGetHead(t *testing.T) {
+	srv, ts := start(t)
+	key := artifact.KeyOf("wire", map[string]int{"n": 1})
+	entry := encodedEntry(t, key, []byte("payload"))
+	url := ts.URL + "/artifact/" + key.ID()
+
+	if resp := put(t, url, entry); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status %d, want 204", resp.StatusCode)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b, entry) {
+		t.Fatalf("GET status %d, %d bytes; want 200 with the %d uploaded bytes",
+			resp.StatusCode, len(b), len(entry))
+	}
+	head, err := http.Head(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK || head.ContentLength != int64(len(entry)) {
+		t.Fatalf("HEAD status %d length %d, want 200 / %d", head.StatusCode, head.ContentLength, len(entry))
+	}
+	missing, err := http.Head(ts.URL + "/artifact/wire-0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD of a missing id returned %d, want 404", missing.StatusCode)
+	}
+	if st := srv.Stats(); st.Puts != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 put / 2 hits / 1 miss", st)
+	}
+}
+
+func TestMalformedIDsRejected(t *testing.T) {
+	_, ts := start(t)
+	for _, id := range []string{
+		"", "noslash", "UPPER-0123456789abcdef", "kind-123", "kind-0123456789abcdeff",
+		"..%2f..%2fetc%2fpasswd-0123456789abcdef", "a/b-0123456789abcdef",
+	} {
+		resp, err := http.Get(ts.URL + "/artifact/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound &&
+			resp.StatusCode != http.StatusMovedPermanently {
+			t.Errorf("id %q: status %d, want a rejection", id, resp.StatusCode)
+		}
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("id %q was served", id)
+		}
+	}
+}
+
+func TestPutGarbageRejected(t *testing.T) {
+	srv, ts := start(t)
+	key := artifact.KeyOf("garbage", 1)
+	url := ts.URL + "/artifact/" + key.ID()
+	if resp := put(t, url, []byte("not an entry")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage PUT status %d, want 400", resp.StatusCode)
+	}
+	// Wrong-version entries are rejected too.
+	stale, err := artifact.EncodeEntry(artifact.Entry{
+		Version: artifact.Version + 1, Kind: key.Kind, Label: key.Label, Payload: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := put(t, url, stale); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stale-version PUT status %d, want 400", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Rejects != 2 || st.Puts != 0 {
+		t.Fatalf("stats %+v, want 2 rejects / 0 puts", st)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := start(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(b)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, b)
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"gets", "hits", "misses", "puts", "rejects", "discards"} {
+		if _, ok := stats[field]; !ok {
+			t.Errorf("stats missing %q: %v", field, stats)
+		}
+	}
+}

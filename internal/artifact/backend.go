@@ -1,0 +1,103 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Backend is one persistence tier behind a Store: opaque encoded
+// entries (EncodeEntry) addressed by key ID. The store owns the
+// encoding and the identity verification; a backend only moves bytes,
+// which is what lets the same Store run over a local directory
+// (DiskBackend), an artifactd server (httpstore.Client) or a chain of
+// both.
+//
+// Implementations must be safe for concurrent use, and Put must be
+// atomic with respect to concurrent Gets of the same id (readers never
+// observe a torn entry). Both operations are best-effort: a failed Get
+// is a miss and a failed Put is dropped — persistence is an
+// optimization, never a correctness requirement.
+type Backend interface {
+	// Get returns the encoded entry stored under id, or ok=false on a
+	// miss (or any failure).
+	Get(id string) (data []byte, ok bool)
+	// Put publishes the encoded entry under id.
+	Put(id string, data []byte)
+}
+
+// Entry is the self-describing envelope every backend stores: the
+// identity that produced a payload travels with the payload, so any
+// reader — a warm-starting store, an artifactd server, a remote
+// shard — can verify an entry against the key it was addressed by
+// without trusting the address.
+type Entry struct {
+	Version int
+	Kind    string
+	Label   string
+	Payload []byte
+}
+
+// Key rebuilds the content key an entry's recorded identity hashes
+// to. An entry stored under an id that differs from e.Key().ID() is
+// mislabelled (a hash collision, a tampered upload, a renamed file)
+// and must be discarded.
+func (e Entry) Key() Key { return KeyFromLabel(e.Kind, e.Label) }
+
+// Matches reports whether e is exactly the entry key addresses:
+// format version, kind and full label.
+func (e Entry) Matches(key Key) bool {
+	return e.Version == Version && e.Kind == key.Kind && e.Label == key.Label
+}
+
+// EncodeEntry serializes an entry to the gob wire/disk format shared
+// by every backend.
+func EncodeEntry(e Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("artifact: encode entry: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry parses an encoded entry. Callers must still verify the
+// identity (Matches / Key().ID()) before trusting the payload.
+func DecodeEntry(b []byte) (Entry, error) {
+	var e Entry
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return Entry{}, fmt.Errorf("artifact: decode entry: %w", err)
+	}
+	return e, nil
+}
+
+// chain composes backends into one read-through tier list.
+type chain []Backend
+
+// Chain composes tiers into a single Backend: Get tries each tier in
+// order and promotes a hit into every tier in front of it (a disk tier
+// chained before an HTTP tier therefore warms locally on first read);
+// Put publishes to every tier. One tier chains to itself.
+func Chain(tiers ...Backend) Backend {
+	if len(tiers) == 1 {
+		return tiers[0]
+	}
+	return chain(tiers)
+}
+
+func (c chain) Get(id string) ([]byte, bool) {
+	for i, t := range c {
+		if b, ok := t.Get(id); ok {
+			for _, front := range c[:i] {
+				front.Put(id, b)
+			}
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+func (c chain) Put(id string, data []byte) {
+	for _, t := range c {
+		t.Put(id, data)
+	}
+}

@@ -3,82 +3,122 @@ package artifact
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
-// diskEntry wraps a persisted payload with the identity that produced
-// it, so a reader can reject hash collisions, format changes and
-// cross-kind mixups without trusting file names.
-type diskEntry struct {
-	Version int
-	Kind    string
-	Label   string
-	Payload []byte
+// DiskBackend persists encoded entries as <id>.gob files under one
+// directory — the local tier of the store. Concurrent processes (and,
+// through artifactd, concurrent machines) may share a directory.
+type DiskBackend struct {
+	dir string
 }
 
-func (s *Store) path(key Key) string {
-	return filepath.Join(s.dir, key.ID()+".gob")
+// NewDiskBackend returns a disk backend rooted at dir (created if
+// absent).
+func NewDiskBackend(dir string) (*DiskBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &DiskBackend{dir: dir}, nil
 }
 
-// loadDisk reads and validates key's persisted entry. Any failure —
-// missing file aside — counts as a discard and falls back to
-// recomputation; the store never propagates disk corruption.
-func loadDisk[T any](s *Store, key Key, check func(T) bool) (T, bool) {
-	var zero T
-	b, err := os.ReadFile(s.path(key))
+// Dir returns the backend's root directory.
+func (d *DiskBackend) Dir() string { return d.dir }
+
+func (d *DiskBackend) path(id string) string {
+	return filepath.Join(d.dir, id+".gob")
+}
+
+// Get reads id's entry. A hit refreshes the file's mtime, which is the
+// recency signal GC's LRU sweep evicts by — recently read entries
+// survive a size-capped sweep ahead of stale ones.
+func (d *DiskBackend) Get(id string) ([]byte, bool) {
+	b, err := os.ReadFile(d.path(id))
 	if err != nil {
-		return zero, false // cold miss (or unreadable: recompute either way)
+		return nil, false // cold miss (or unreadable: recompute either way)
 	}
-	var de diskEntry
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&de); err != nil {
-		s.diskDiscards.Add(1)
-		return zero, false
-	}
-	if de.Version != Version || de.Kind != key.Kind || de.Label != key.Label {
-		s.diskDiscards.Add(1)
-		return zero, false
-	}
-	var v T
-	if err := gob.NewDecoder(bytes.NewReader(de.Payload)).Decode(&v); err != nil {
-		s.diskDiscards.Add(1)
-		return zero, false
-	}
-	if check != nil && !check(v) {
-		s.diskDiscards.Add(1)
-		return zero, false
-	}
-	return v, true
+	now := time.Now()
+	os.Chtimes(d.path(id), now, now) // best-effort LRU touch
+	return b, true
 }
 
-// saveDisk persists a freshly computed value, best-effort: a full
-// write to a temp file followed by an atomic rename, so concurrent
-// writers (sharded runs computing the same deterministic artefact)
-// each publish a complete entry and readers never see a torn file.
-// Write failures are swallowed — persistence is an optimization, not
-// a correctness requirement.
-func saveDisk[T any](s *Store, key Key, v T) {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return
+// Stat reports whether id has an entry and its encoded size, without
+// reading it — the cheap existence probe behind artifactd's HEAD.
+func (d *DiskBackend) Stat(id string) (size int64, ok bool) {
+	info, err := os.Stat(d.path(id))
+	if err != nil {
+		return 0, false
 	}
-	var buf bytes.Buffer
-	de := diskEntry{Version: Version, Kind: key.Kind, Label: key.Label, Payload: payload.Bytes()}
-	if err := gob.NewEncoder(&buf).Encode(de); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(s.dir, key.ID()+".tmp-*")
+	return info.Size(), true
+}
+
+// Put publishes id's entry, best-effort: a full write to a temp file
+// followed by an atomic rename, so concurrent writers (sharded runs
+// computing the same deterministic artefact) each publish a complete
+// entry and readers never see a torn file. Write failures are
+// swallowed — persistence is an optimization, not a correctness
+// requirement.
+func (d *DiskBackend) Put(id string, data []byte) {
+	tmp, err := os.CreateTemp(d.dir, id+".tmp-*")
 	if err != nil {
 		return
 	}
 	name := tmp.Name()
-	_, werr := tmp.Write(buf.Bytes())
+	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(name)
 		return
 	}
-	if err := os.Rename(name, s.path(key)); err != nil {
+	if err := os.Rename(name, d.path(id)); err != nil {
 		os.Remove(name)
 	}
+}
+
+// loadBackend reads and validates key's persisted entry through the
+// store's backend. Any failure — plain miss aside — counts as a
+// discard and falls back to recomputation; the store never propagates
+// backend corruption.
+func loadBackend[T any](s *Store, key Key, check func(T) bool) (T, bool) {
+	var zero T
+	b, ok := s.backend.Get(key.ID())
+	if !ok {
+		return zero, false
+	}
+	de, err := DecodeEntry(b)
+	if err != nil {
+		s.backendDiscards.Add(1)
+		return zero, false
+	}
+	if !de.Matches(key) {
+		s.backendDiscards.Add(1)
+		return zero, false
+	}
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(de.Payload)).Decode(&v); err != nil {
+		s.backendDiscards.Add(1)
+		return zero, false
+	}
+	if check != nil && !check(v) {
+		s.backendDiscards.Add(1)
+		return zero, false
+	}
+	return v, true
+}
+
+// saveBackend persists a freshly computed value through the store's
+// backend, best-effort.
+func saveBackend[T any](s *Store, key Key, v T) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return
+	}
+	b, err := EncodeEntry(Entry{Version: Version, Kind: key.Kind, Label: key.Label, Payload: payload.Bytes()})
+	if err != nil {
+		return
+	}
+	s.backend.Put(key.ID(), b)
 }

@@ -1,0 +1,161 @@
+// Package httpstore is the artifact store's network backend: an
+// artifact.Backend that reads and publishes encoded entries against a
+// cmd/artifactd server, so shards on different machines share one
+// cache and merge to byte-identical output.
+//
+// Wire protocol (see also internal/artifact/artifactd):
+//
+//	GET  {base}/artifact/{id}  -> 200 + encoded entry | 404 miss
+//	HEAD {base}/artifact/{id}  -> 200 | 404
+//	PUT  {base}/artifact/{id}  <- encoded entry; 204, or 400 if the
+//	                              entry's recorded identity does not
+//	                              hash to {id}
+//
+// Entries stay in the store's self-describing envelope
+// (artifact.Entry), so identity is verified on both ends: the server
+// rejects mislabelled uploads and re-verifies on read, and the client
+// store verifies every downloaded entry against the key it asked for
+// before trusting the payload. A corrupted or mislabelled entry —
+// wherever it came from — costs a recomputation, never correctness.
+//
+// Every operation is best-effort: an unreachable or failing server
+// degrades the store to compute-everything, it never breaks a run.
+package httpstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+// maxEntryBytes caps a downloaded entry. Far above any real artefact
+// (the largest are dataset contents, a few MB); guards against a
+// misbehaving server exhausting memory.
+const maxEntryBytes = 1 << 30
+
+// Client is an artifact.Backend over an artifactd server.
+type Client struct {
+	base string
+	// HTTP is the underlying client; replaceable before first use
+	// (tests inject httptest clients, deployments tune timeouts).
+	HTTP *http.Client
+
+	gets, hits, puts, errs atomic.Int64
+}
+
+// New returns a backend talking to the artifactd server at baseURL
+// (e.g. "http://cachehost:9444").
+func New(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpstore: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("httpstore: unsupported store URL %q (want http:// or https://)", baseURL)
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		HTTP: &http.Client{Timeout: 60 * time.Second},
+	}, nil
+}
+
+// URL returns the artefact endpoint for id.
+func (c *Client) URL(id string) string { return c.base + "/artifact/" + id }
+
+// Get fetches id's encoded entry. Any failure — network, non-200,
+// oversized body — is a miss; the caller recomputes.
+func (c *Client) Get(id string) ([]byte, bool) {
+	c.gets.Add(1)
+	resp, err := c.HTTP.Get(c.URL(id))
+	if err != nil {
+		c.errs.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound {
+			c.errs.Add(1)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil || len(b) > maxEntryBytes {
+		c.errs.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return b, true
+}
+
+// Put publishes id's encoded entry, best-effort.
+func (c *Client) Put(id string, data []byte) {
+	req, err := http.NewRequest(http.MethodPut, c.URL(id), bytes.NewReader(data))
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		c.errs.Add(1)
+		return
+	}
+	c.puts.Add(1)
+}
+
+// Stats is a snapshot of the client's activity counters.
+type Stats struct {
+	// Gets counts lookups issued; Hits the ones answered 200.
+	Gets, Hits int64
+	// Puts counts successful publishes.
+	Puts int64
+	// Errors counts failed operations (network errors, unexpected
+	// statuses, oversized bodies) — all degraded to miss/drop.
+	Errors int64
+}
+
+// Stats returns the current counter snapshot.
+func (c *Client) Stats() Stats {
+	return Stats{Gets: c.gets.Load(), Hits: c.hits.Load(), Puts: c.puts.Load(), Errors: c.errs.Load()}
+}
+
+// OpenStore builds the store behind the CLIs' -cache-dir/-store-url
+// flags: a local disk tier under cacheDir (when non-empty) chained in
+// front of an artifactd client at serverURL (when non-empty) — reads
+// hit the local tier first and remote hits are promoted into it, while
+// fresh fills publish to both. At least one of the two must be set.
+func OpenStore(cacheDir, serverURL string) (*artifact.Store, error) {
+	var tiers []artifact.Backend
+	if cacheDir != "" {
+		disk, err := artifact.NewDiskBackend(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, disk)
+	}
+	if serverURL != "" {
+		remote, err := New(serverURL)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, remote)
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("httpstore: OpenStore needs a cache dir or a store URL")
+	}
+	return artifact.NewWithBackend(artifact.Chain(tiers...)), nil
+}

@@ -1,0 +1,258 @@
+package httpstore
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/artifact/artifactd"
+)
+
+type cfg struct {
+	Name string
+	N    int
+}
+
+// startServer spins one artifactd over a temp dir.
+func startServer(t *testing.T) (*artifactd.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := artifactd.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func client(t *testing.T, url string) *Client {
+	t.Helper()
+	c, err := New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+type blob struct {
+	Words []string
+	Vals  []float64
+}
+
+// TestHTTPRoundTrip is the tier's core contract: a second store
+// sharing only the server URL (a remote shard) loads the first
+// store's fill without computing, bit for bit.
+func TestHTTPRoundTrip(t *testing.T) {
+	srv, ts := startServer(t)
+	key := artifact.KeyOf("blob", cfg{Name: "rt", N: 9})
+	want := blob{Words: []string{"a", "b"}, Vals: []float64{1.5, -0.25, 1e-300}}
+
+	a := artifact.NewWithBackend(client(t, ts.URL))
+	if _, err := artifact.Get(a, key, func() (blob, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	b := artifact.NewWithBackend(client(t, ts.URL))
+	got, err := artifact.Get(b, key, func() (blob, error) {
+		t.Error("remote warm store executed the compute")
+		return blob{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Words) != 2 || got.Words[0] != "a" || len(got.Vals) != 3 || got.Vals[2] != 1e-300 {
+		t.Fatalf("HTTP round trip mangled the value: %+v", got)
+	}
+	if st := b.Stats(); st.Fills != 0 || st.BackendHits != 1 {
+		t.Fatalf("warm store stats %+v, want 0 fills / 1 backend hit", st)
+	}
+	if st := srv.Stats(); st.Puts != 1 || st.Hits != 1 {
+		t.Fatalf("server stats %+v, want 1 put / 1 hit", st)
+	}
+}
+
+// TestHTTPCorruptEntryFallsBack corrupts the server's copy on disk:
+// the server must refuse to serve it (a miss) and the client must
+// recompute and republish a good copy.
+func TestHTTPCorruptEntryFallsBack(t *testing.T) {
+	srv, ts := startServer(t)
+	key := artifact.KeyOf("corrupt", cfg{N: 5})
+	a := artifact.NewWithBackend(client(t, ts.URL))
+	if _, err := artifact.Get(a, key, func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(srv.Dir(), key.ID()+".gob")
+	if err := os.WriteFile(path, []byte("not gob at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := artifact.NewWithBackend(client(t, ts.URL))
+	v, err := artifact.Get(b, key, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("corrupted entry not recomputed: %d, %v", v, err)
+	}
+	if st := srv.Stats(); st.Discards != 1 {
+		t.Fatalf("server stats %+v, want 1 discard", st)
+	}
+
+	// The recompute republished: a third store loads the good copy.
+	c := artifact.NewWithBackend(client(t, ts.URL))
+	if _, err := artifact.Get(c, key, func() (int, error) {
+		t.Error("republished entry not loaded")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPMislabelledEntryDiscarded plants a well-formed entry under
+// the wrong id server-side (what an FNV collision would look like):
+// the server refuses to serve it, and a direct client download of a
+// mislabelled entry is rejected by the store's own verification.
+func TestHTTPMislabelledEntryDiscarded(t *testing.T) {
+	srv, ts := startServer(t)
+	key := artifact.KeyOf("label", cfg{N: 1})
+	other := artifact.KeyOf("label", cfg{N: 2})
+	a := artifact.NewWithBackend(client(t, ts.URL))
+	if _, err := artifact.Get(a, other, func() (int, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Rename other's entry file to key's id.
+	if err := os.Rename(
+		filepath.Join(srv.Dir(), other.ID()+".gob"),
+		filepath.Join(srv.Dir(), key.ID()+".gob")); err != nil {
+		t.Fatal(err)
+	}
+
+	b := artifact.NewWithBackend(client(t, ts.URL))
+	v, err := artifact.Get(b, key, func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("mislabelled entry was trusted: %d, %v", v, err)
+	}
+	if st := srv.Stats(); st.Discards == 0 {
+		t.Fatalf("server stats %+v, want a discard", st)
+	}
+}
+
+// TestHTTPRejectsMislabelledUpload PUTs an entry under an id its
+// identity does not hash to: the server must reject it and store
+// nothing — one shard cannot poison another's keys.
+func TestHTTPRejectsMislabelledUpload(t *testing.T) {
+	srv, ts := startServer(t)
+	key := artifact.KeyOf("poison", cfg{N: 1})
+	victim := artifact.KeyOf("poison", cfg{N: 2})
+	entry, err := artifact.EncodeEntry(artifact.Entry{
+		Version: artifact.Version, Kind: key.Kind, Label: key.Label, Payload: []byte{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client(t, ts.URL)
+	c.Put(victim.ID(), entry)
+	if st := c.Stats(); st.Puts != 0 || st.Errors != 1 {
+		t.Fatalf("client stats %+v, want the put counted as an error", st)
+	}
+	if st := srv.Stats(); st.Rejects != 1 || st.Puts != 0 {
+		t.Fatalf("server stats %+v, want 1 reject / 0 puts", st)
+	}
+	if _, err := os.Stat(filepath.Join(srv.Dir(), victim.ID()+".gob")); !os.IsNotExist(err) {
+		t.Fatal("rejected upload reached the entry directory")
+	}
+}
+
+// TestHTTPServerDownDegradesToCompute points a store at a dead server:
+// every fill computes, nothing errors out to the caller.
+func TestHTTPServerDownDegradesToCompute(t *testing.T) {
+	_, ts := startServer(t)
+	url := ts.URL
+	ts.Close()
+	s := artifact.NewWithBackend(client(t, url))
+	v, err := artifact.Get(s, artifact.KeyOf("down", cfg{N: 3}), func() (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("dead server broke the fill: %d, %v", v, err)
+	}
+	if st := s.Stats(); st.Fills != 1 || st.BackendHits != 0 {
+		t.Fatalf("stats %+v, want 1 fill / 0 backend hits", st)
+	}
+}
+
+// TestChainPromotesRemoteHits chains a disk tier in front of the HTTP
+// tier (the CLIs' -cache-dir + -store-url mode): a remote hit is
+// promoted into the local tier, so the next cold process reads purely
+// from disk.
+func TestChainPromotesRemoteHits(t *testing.T) {
+	srv, ts := startServer(t)
+	key := artifact.KeyOf("chain", cfg{N: 7})
+	remoteOnly := artifact.NewWithBackend(client(t, ts.URL))
+	if _, err := artifact.Get(remoteOnly, key, func() (int, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	localDir := t.TempDir()
+	chained, err := OpenStore(localDir, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := artifact.Get(chained, key, func() (int, error) {
+		t.Error("chained store recomputed a remotely cached artefact")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(localDir, key.ID()+".gob")); err != nil {
+		t.Fatal("remote hit was not promoted into the local tier")
+	}
+
+	// A fresh chained store now hits disk without touching the server.
+	gets := srv.Stats().Gets
+	again, err := OpenStore(localDir, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := artifact.Get(again, key, func() (int, error) {
+		t.Error("promoted entry not read from disk")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Gets; got != gets {
+		t.Fatalf("local hit still queried the server (%d -> %d gets)", gets, got)
+	}
+}
+
+// TestChainPutWritesAllTiers pins the other half of the chain
+// contract: a fresh fill publishes to the local tier and the server.
+func TestChainPutWritesAllTiers(t *testing.T) {
+	srv, ts := startServer(t)
+	localDir := t.TempDir()
+	chained, err := OpenStore(localDir, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.KeyOf("chain-put", cfg{N: 8})
+	if _, err := artifact.Get(chained, key, func() (int, error) { return 8, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(localDir, key.ID()+".gob")); err != nil {
+		t.Fatal("fill missing from the local tier")
+	}
+	if _, err := os.Stat(filepath.Join(srv.Dir(), key.ID()+".gob")); err != nil {
+		t.Fatal("fill missing from the server")
+	}
+	if st := srv.Stats(); st.Puts != 1 {
+		t.Fatalf("server stats %+v, want 1 put", st)
+	}
+}
+
+func TestNewRejectsBadURLs(t *testing.T) {
+	for _, bad := range []string{"ftp://host/x", "host:9444", ""} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	if _, err := OpenStore("", ""); err == nil {
+		t.Error("OpenStore with no tiers accepted")
+	}
+}

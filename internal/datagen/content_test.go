@@ -89,7 +89,7 @@ func TestAllDatasetsPersistAcrossStores(t *testing.T) {
 	}
 	// All content comes from disk; the only compute allowed is the
 	// memory-tier Zipf sampler rebuild (derived state, never persisted).
-	if st := warm.Stats(); st.Fills > 1 || st.DiskHits < 8 || st.DiskDiscards != 0 {
+	if st := warm.Stats(); st.Fills > 1 || st.BackendHits < 8 || st.BackendDiscards != 0 {
 		t.Fatalf("warm store stats %+v, want pure disk hits (+1 sampler rebuild)", st)
 	}
 	for i := range want {

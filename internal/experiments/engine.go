@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -69,18 +71,32 @@ type Engine struct {
 
 // ParseShard parses a CLI shard spec "i/n" (0-based, n >= 2),
 // rejecting malformed or out-of-range specs — the one parser shared by
-// cmd/repro, cmd/wcrt and cmd/bdbench.
+// cmd/repro, cmd/wcrt and cmd/bdbench. Both halves must be bare
+// unsigned decimal digits: signed ("-1/3", "+1/3"), spaced, empty or
+// out-of-range ("2/1") specs all fail with a clear error instead of
+// silently producing an empty or aliased shard.
 func ParseShard(spec string) (shard, count int, err error) {
 	bad := func() (int, int, error) {
 		return 0, 0, fmt.Errorf("invalid shard %q (want i/n with 0 <= i < n, n >= 2)", spec)
 	}
+	digits := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for _, r := range s {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return true
+	}
 	is, ns, ok := strings.Cut(spec, "/")
-	if !ok {
+	if !ok || !digits(is) || !digits(ns) {
 		return bad()
 	}
 	shard, err1 := strconv.Atoi(is)
 	count, err2 := strconv.Atoi(ns)
-	if err1 != nil || err2 != nil || count < 2 || shard < 0 || shard >= count {
+	if err1 != nil || err2 != nil || count < 2 || shard >= count {
 		return bad()
 	}
 	return shard, count, nil
@@ -250,7 +266,7 @@ func (e *Engine) run(par int) ([]UnitResult, error) {
 		go func() {
 			for i := range ready {
 				start := time.Now()
-				art, err := units[i].Run(e.Session)
+				art, err := e.runUnit(units[i])
 				res[i] = UnitResult{Unit: units[i], Artifact: art, Err: err, Elapsed: time.Since(start)}
 				completions <- i
 			}
@@ -273,6 +289,46 @@ func (e *Engine) run(par int) ([]UnitResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// renderKey identifies one unit's rendered output in the store: the
+// unit name, everything that determines its content (the session
+// options — all artefacts downstream are deterministic functions of
+// them) and the rendering format. artifact.Version covers code
+// changes that alter output.
+type renderKey struct {
+	Unit   string
+	Opt    Options
+	Format string
+}
+
+// runUnit executes one unit. Visible units of the default experiment
+// set are render-memoized: the unit's rendered bytes are themselves a
+// store artefact, so a warm-started run (same options, persisted
+// store) skips not just the simulation behind a table or figure but
+// the table walk and formatting too — it only copies bytes. Custom
+// unit sets (e.Units != nil) run unmemoized: their names don't
+// identify content the way the fixed paper set's do.
+func (e *Engine) runUnit(u Unit) (Artifact, error) {
+	s := e.Session
+	if u.Hidden || e.Units != nil {
+		return u.Run(s)
+	}
+	key := artifact.KeyOf("render", renderKey{Unit: u.Name, Opt: s.Opt, Format: "text"})
+	b, err := artifact.Get(s.ArtifactStore(), key, func() ([]byte, error) {
+		art, err := u.Run(s)
+		if err != nil || art == nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		art.Render(&buf)
+		s.renders.Add(1)
+		return buf.Bytes(), nil
+	})
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return RenderFunc(func(w io.Writer) { w.Write(b) }), nil
 }
 
 // TimingTable summarizes an engine run: one row per unit with its wall

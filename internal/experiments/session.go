@@ -71,6 +71,7 @@ type Session struct {
 
 	tracePasses atomic.Int64
 	profileRuns atomic.Int64
+	renders     atomic.Int64
 }
 
 // NewSession returns a session with the given options.
@@ -260,6 +261,13 @@ func (s *Session) TracePasses() int64 { return s.tracePasses.Load() }
 // executed (store hits — memory or disk — add nothing); a warm-started
 // session reports 0.
 func (s *Session) ProfileRuns() int64 { return s.profileRuns.Load() }
+
+// Renders reports how many engine units the session has actually
+// rendered. The engine persists each visible unit's rendered bytes as
+// a store artefact keyed by (unit, options, format), so a fully
+// warm-started session reports 0 — such a run executes no simulation
+// at all and only copies bytes out of the store.
+func (s *Session) Renders() int64 { return s.renders.Load() }
 
 // BigDataAverage averages the 17 representatives' vectors.
 func (s *Session) BigDataAverage() metrics.Vector {

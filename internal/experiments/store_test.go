@@ -51,9 +51,9 @@ func TestColdWarmEngineByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	coldOut := renderUnits(t, coldRes)
-	if coldSess.TracePasses() == 0 || coldSess.ProfileRuns() == 0 {
-		t.Fatalf("cold run recomputed nothing (trace=%d profile=%d): probes broken",
-			coldSess.TracePasses(), coldSess.ProfileRuns())
+	if coldSess.TracePasses() == 0 || coldSess.ProfileRuns() == 0 || coldSess.Renders() == 0 {
+		t.Fatalf("cold run recomputed nothing (trace=%d profile=%d renders=%d): probes broken",
+			coldSess.TracePasses(), coldSess.ProfileRuns(), coldSess.Renders())
 	}
 
 	warm, err := artifact.NewDisk(dir)
@@ -78,6 +78,9 @@ func TestColdWarmEngineByteIdentical(t *testing.T) {
 	}
 	if got := datagen.Generations() - gen0; got != 0 {
 		t.Errorf("warm run executed %d dataset generations, want 0", got)
+	}
+	if got := warmSess.Renders(); got != 0 {
+		t.Errorf("warm run rendered %d units, want 0 (render artefacts must persist)", got)
 	}
 	if len(warmOut) != len(coldOut) {
 		t.Fatalf("warm run rendered %d units, cold %d", len(warmOut), len(coldOut))
@@ -144,13 +147,53 @@ func TestShardValidation(t *testing.T) {
 	}
 }
 
+// TestParseShard is the table-driven contract of the one shard-spec
+// parser all three CLIs share: well-formed "i/n" specs parse, and
+// malformed, signed, spaced, out-of-range or trailing-junk specs all
+// fail loudly instead of silently producing an empty or aliased shard.
 func TestParseShard(t *testing.T) {
-	if i, n, err := ParseShard("1/3"); err != nil || i != 1 || n != 3 {
-		t.Fatalf("ParseShard(1/3) = %d, %d, %v", i, n, err)
+	good := []struct {
+		spec     string
+		shard, n int
+	}{
+		{"0/2", 0, 2},
+		{"1/2", 1, 2},
+		{"1/3", 1, 3},
+		{"7/8", 7, 8},
+		{"02/16", 2, 16},
 	}
-	for _, bad := range []string{"", "1", "1/", "/2", "2/2", "-1/2", "0/1", "0/0", "0/2x", "x0/2", "1/3/5"} {
-		if _, _, err := ParseShard(bad); err == nil {
-			t.Errorf("ParseShard(%q) accepted", bad)
+	for _, tc := range good {
+		i, n, err := ParseShard(tc.spec)
+		if err != nil || i != tc.shard || n != tc.n {
+			t.Errorf("ParseShard(%q) = %d, %d, %v; want %d, %d", tc.spec, i, n, err, tc.shard, tc.n)
+		}
+	}
+	bad := []string{
+		"",     // empty
+		"1",    // no slash
+		"1/",   // missing count
+		"/2",   // missing shard
+		"2/2",  // shard == count
+		"3/2",  // shard > count
+		"2/1",  // count < 2 (a "shard" that would silently drop work)
+		"0/1",  // count < 2
+		"0/0",  // count zero
+		"-1/3", // negative shard
+		"1/-3", // negative count
+		"+1/3", // signs are not digits
+		"1/+3",
+		" 1/3", // padding
+		"1/3 ",
+		"1 /3",
+		"0/2x", // trailing junk
+		"x0/2",
+		"1/3/5", // too many parts
+		"a/b",
+		"1.0/3",
+	}
+	for _, spec := range bad {
+		if i, n, err := ParseShard(spec); err == nil {
+			t.Errorf("ParseShard(%q) accepted as %d/%d", spec, i, n)
 		}
 	}
 }

@@ -18,7 +18,10 @@
 package repro
 
 import (
+	"time"
+
 	"repro/internal/artifact"
+	"repro/internal/artifact/httpstore"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
@@ -95,14 +98,40 @@ func Reduce(profiles []Profile, k int) (*Reduction, error) {
 }
 
 // Store is the content-keyed artifact store behind every memoized
-// computation: dataset content, profile records and sweep curves.
+// computation: dataset content, profile records, sweep curves and
+// rendered experiment units.
 type Store = artifact.Store
+
+// StoreBackend is one persistence tier behind a Store: a local
+// directory, an artifactd server, or a chain of tiers.
+type StoreBackend = artifact.Backend
+
+// GCResult summarizes one store GC sweep.
+type GCResult = artifact.GCResult
 
 // NewStore returns an in-memory artifact store.
 func NewStore() *Store { return artifact.New() }
 
 // NewDiskStore returns an artifact store persisting under dir.
 func NewDiskStore(dir string) (*Store, error) { return artifact.NewDisk(dir) }
+
+// NewRemoteStore returns an artifact store persisting through the
+// cmd/artifactd server at serverURL; with a non-empty cacheDir a local
+// disk tier fronts the server (remote hits are promoted into it).
+// Sessions on different machines sharing one server compute each
+// artefact once between them and render byte-identical output.
+func NewRemoteStore(cacheDir, serverURL string) (*Store, error) {
+	return httpstore.OpenStore(cacheDir, serverURL)
+}
+
+// GCStore sweeps an on-disk store directory down to the given bounds:
+// entries older than maxAge are removed, then the least recently used
+// are evicted until the directory fits maxBytes (zero = unbounded).
+// Safe to run while stores are filling; an evicted artefact is simply
+// recomputed on next use.
+func GCStore(dir string, maxBytes int64, maxAge time.Duration) (GCResult, error) {
+	return artifact.GC(dir, maxBytes, maxAge)
+}
 
 // NewSession returns an experiment session with full budgets.
 func NewSession() *Session { return experiments.NewSession(experiments.Default()) }
@@ -122,6 +151,27 @@ func NewQuickSession() *Session { return experiments.NewSession(experiments.Quic
 // deterministic), only where datasets persist.
 func NewPersistentSession(dir string) (*Session, error) {
 	st, err := artifact.NewDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	datagen.SetStore(st)
+	s := experiments.NewSession(experiments.Default())
+	s.Store = st
+	return s, nil
+}
+
+// NewRemoteSession is NewPersistentSession's network counterpart: a
+// full-budget session whose artifacts persist through the
+// cmd/artifactd server at serverURL, fronted by a local disk tier when
+// cacheDir is non-empty. Sessions on different machines sharing one
+// server compute each artefact — dataset content included — once
+// between them and render byte-identical output.
+//
+// Like NewPersistentSession, this redirects the whole process's
+// dataset caching to the returned store (datagen.SetStore); the last
+// New*Session wins for datasets, results are unaffected either way.
+func NewRemoteSession(cacheDir, serverURL string) (*Session, error) {
+	st, err := httpstore.OpenStore(cacheDir, serverURL)
 	if err != nil {
 		return nil, err
 	}
