@@ -22,6 +22,9 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sim/machine"
+	"repro/internal/sim/trace"
+	"repro/internal/workloads"
 )
 
 var (
@@ -269,8 +272,10 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepFiguresSerial is the seed's Fig. 6-9 path: every curve
-// re-traces its workload group (10 group sweeps, ~58 trace passes).
+// BenchmarkSweepFiguresSerial is the seed's Fig. 6-9 path, retained
+// verbatim as the pre-PR reference: every curve re-traces its workload
+// group (10 group sweeps, ~58 trace passes), each pass delivered
+// per-instruction with every cache accessed inline.
 func BenchmarkSweepFiguresSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		figs := experiments.SerialSweepFigures(experiments.NewSession(experiments.Quick()))
@@ -280,10 +285,12 @@ func BenchmarkSweepFiguresSerial(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepFiguresMemoized is the engine path: one trace pass per
-// workload, all three views extracted from it and shared by the four
-// figures.
-func BenchmarkSweepFiguresMemoized(b *testing.B) {
+// BenchmarkSweepFiguresBlocked is the engine path: one block-replayed
+// trace pass per workload (blocks decoded once into packed access
+// streams, 30 caches fanned out per block), all three views extracted
+// from it and shared by the four figures. The equivalence tests prove
+// its curves bit-identical to the serial reference.
+func BenchmarkSweepFiguresBlocked(b *testing.B) {
 	var passes int64
 	for i := 0; i < b.N; i++ {
 		s := experiments.NewSession(experiments.Quick())
@@ -296,6 +303,34 @@ func BenchmarkSweepFiguresMemoized(b *testing.B) {
 		passes = s.TracePasses()
 	}
 	b.ReportMetric(float64(passes), "trace-passes")
+}
+
+// sweepPassBudget sizes the single-pass replay benchmarks.
+const sweepPassBudget = 600_000
+
+// BenchmarkSweepPassSerial measures ONE cold sweep trace pass through
+// the retained per-instruction path — the pre-PR hot loop: a virtual
+// probe call per instruction, every cache accessed inline.
+func BenchmarkSweepPassSerial(b *testing.B) {
+	w := Representative17()[14] // H-WordCount
+	for i := 0; i < b.N; i++ {
+		sw := machine.NewSweep(machine.DefaultSweepSizesKB)
+		workloads.Run(w, trace.Unblocked(sw), sweepPassBudget)
+	}
+	b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSweepPassBlocked measures the same pass through the block
+// pipeline: per-block decode into packed run-merged access streams,
+// caches replayed via the bulk path (parallel fan-out when cores
+// allow).
+func BenchmarkSweepPassBlocked(b *testing.B) {
+	w := Representative17()[14]
+	for i := 0; i < b.N; i++ {
+		sw := machine.NewSweep(machine.DefaultSweepSizesKB)
+		workloads.Run(w, sw, sweepPassBudget)
+	}
+	b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
 }
 
 // BenchmarkWorkloadThroughput measures raw simulation speed (the cost

@@ -17,9 +17,16 @@
 // size bound. Eviction is safe at any moment — an evicted artefact is
 // recomputed by the next shard that needs it.
 //
+// With -token (or $ARTIFACTD_TOKEN) every artifact request must carry
+// a matching "Authorization: Bearer" header — set it before exposing
+// the server beyond a trusted LAN; clients pass the token via
+// -store-token or $REPRO_STORE_TOKEN. /stats, /metrics (Prometheus
+// text format) and /healthz stay open for probes and scrapers.
+//
 // Usage:
 //
-//	artifactd [-addr :9444] [-dir DIR] [-gc "4GB,168h"] [-gc-interval 10m]
+//	artifactd [-addr :9444] [-dir DIR] [-token SECRET]
+//	          [-gc "4GB,168h"] [-gc-interval 10m]
 package main
 
 import (
@@ -37,6 +44,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":9444", "listen address")
 	dir := flag.String("dir", ".artifactd", "entry directory to serve (created if absent)")
+	token := flag.String("token", os.Getenv("ARTIFACTD_TOKEN"),
+		"require this bearer token on artifact requests (default $ARTIFACTD_TOKEN; empty = open server)")
 	gcSpec := flag.String("gc", "", `bound the entry directory, as a size, an age, or both: "4GB", "168h", "4GB,168h" (LRU sweep; empty = never collect)`)
 	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc sweep")
 	flag.Parse()
@@ -44,6 +53,10 @@ func main() {
 	srv, err := artifactd.New(*dir)
 	if err != nil {
 		fatal(err)
+	}
+	if *token != "" {
+		srv.SetToken(*token)
+		log.Printf("artifactd: bearer-token auth enabled")
 	}
 
 	if *gcSpec != "" {

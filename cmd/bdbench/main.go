@@ -12,8 +12,8 @@
 // Usage:
 //
 //	bdbench [-budget N] [-machine xeon|atom] [-set reps|mpi|all|roster]
-//	        [-parallel N] [-cache-dir DIR] [-store-url URL] [-gc SPEC]
-//	        [-shard i/n] [id ...]
+//	        [-parallel N] [-block N] [-cache-dir DIR] [-store-url URL]
+//	        [-store-token T] [-gc SPEC] [-shard i/n] [id ...]
 package main
 
 import (
@@ -48,8 +48,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "bound concurrent workload runs (0 = GOMAXPROCS, 1 = serial)")
 	cacheDir := flag.String("cache-dir", "", "persist per-workload rows and dataset content under this directory and warm-start from it")
 	storeURL := flag.String("store-url", "", "share rows through the artifactd server at this URL (combine with -cache-dir for a local tier in front)")
+	storeToken := flag.String("store-token", "", "bearer token for a -token'd artifactd server (default $REPRO_STORE_TOKEN)")
 	gcSpec := flag.String("gc", "", `after the run, LRU-sweep the -cache-dir down to this bound: a size, an age, or both ("4GB", "168h", "4GB,168h")`)
 	shardSpec := flag.String("shard", "", "run only slice i of n of the set, as i/n (0-based)")
+	block := flag.Int("block", 0, "trace-replay block size in instructions (0 = default); output is byte-identical for every size")
 	flag.Parse()
 
 	var list []workloads.Workload
@@ -95,7 +97,7 @@ func main() {
 	}
 	store := artifact.Default()
 	if *cacheDir != "" || *storeURL != "" {
-		st, err := httpstore.OpenStore(*cacheDir, *storeURL)
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL, *storeToken)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
 			os.Exit(1)
@@ -129,7 +131,7 @@ func main() {
 			func(r row) bool { return r.ID == w.ID },
 			func() (row, error) {
 				m := machine.New(cfg)
-				res := workloads.Run(w, m, *budget)
+				res := workloads.RunBlock(w, m, *budget, *block)
 				m.Finish()
 				v := metrics.Compute(m)
 				st := m.BP.Stats()

@@ -23,11 +23,17 @@
 // single full run. -gc bounds the -cache-dir by size and/or entry age
 // (LRU sweep) after the run.
 //
+// -store-token (default $REPRO_STORE_TOKEN) authenticates against an
+// artifactd started with -token. -block tunes the trace-replay block
+// size (instructions per delivered batch); every value renders
+// byte-identical output — the block pipeline only changes how fast the
+// caches replay the stream.
+//
 // Usage:
 //
-//	repro [-quick] [-serial] [-parallel N] [-timing] [-stats]
-//	      [-cache-dir DIR] [-store-url URL] [-gc SPEC] [-shard i/n]
-//	      [-out DIR] [item ...]
+//	repro [-quick] [-serial] [-parallel N] [-block N] [-timing] [-stats]
+//	      [-cache-dir DIR] [-store-url URL] [-store-token T] [-gc SPEC]
+//	      [-shard i/n] [-out DIR] [item ...]
 //
 // Items: table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6
 // fig7 fig8 fig9 reduction stack. Default: all.
@@ -55,9 +61,11 @@ func main() {
 	timing := flag.Bool("timing", false, "print the per-experiment timing table to stderr")
 	cacheDir := flag.String("cache-dir", "", "persist artifacts (datasets, profiles, sweep curves, rendered units) under this directory and warm-start from it")
 	storeURL := flag.String("store-url", "", "share artifacts through the artifactd server at this URL (combine with -cache-dir for a local tier in front)")
+	storeToken := flag.String("store-token", "", "bearer token for a -token'd artifactd server (default $REPRO_STORE_TOKEN)")
 	gcSpec := flag.String("gc", "", `after the run, LRU-sweep the -cache-dir down to this bound: a size, an age, or both ("4GB", "168h", "4GB,168h")`)
 	shardSpec := flag.String("shard", "", "run only shard i of n visible items, as i/n (0-based); cooperating shards share a store and merge byte-identically")
 	stats := flag.Bool("stats", false, "print artifact-store and recomputation probes to stderr")
+	block := flag.Int("block", 0, "trace-replay block size in instructions (0 = default); output is byte-identical for every size")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -88,8 +96,9 @@ func main() {
 
 	sess := experiments.NewSession(opt)
 	sess.Parallelism = *parallel
+	sess.BlockSize = *block
 	if *cacheDir != "" || *storeURL != "" {
-		st, err := httpstore.OpenStore(*cacheDir, *storeURL)
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL, *storeToken)
 		if err != nil {
 			fatal(err)
 		}

@@ -18,8 +18,8 @@
 // Usage:
 //
 //	wcrt [-k N] [-budget N] [-set roster|reps] [-metrics] [-csv]
-//	     [-cache-dir DIR] [-store-url URL] [-gc SPEC] [-shard i/n]
-//	     [-parallel N]
+//	     [-cache-dir DIR] [-store-url URL] [-store-token T] [-gc SPEC]
+//	     [-shard i/n] [-parallel N] [-block N]
 package main
 
 import (
@@ -46,9 +46,11 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit metric vectors as CSV")
 	cacheDir := flag.String("cache-dir", "", "persist profiles and dataset content under this directory and warm-start from it")
 	storeURL := flag.String("store-url", "", "share profiles through the artifactd server at this URL (combine with -cache-dir for a local tier in front)")
+	storeToken := flag.String("store-token", "", "bearer token for a -token'd artifactd server (default $REPRO_STORE_TOKEN)")
 	gcSpec := flag.String("gc", "", `after the run, LRU-sweep the -cache-dir down to this bound: a size, an age, or both ("4GB", "168h", "4GB,168h")`)
 	shardSpec := flag.String("shard", "", "profile only slice i of n (as i/n, 0-based) into the store and skip the reduction; a later run without -shard merges")
 	parallel := flag.Int("parallel", 0, "bound concurrent profiling runs (0 = GOMAXPROCS)")
+	block := flag.Int("block", 0, "trace-replay block size in instructions (0 = default); output is byte-identical for every size")
 	flag.Parse()
 
 	var list []workloads.Workload
@@ -68,12 +70,13 @@ func main() {
 		Budget: *budget, SweepBudget: *budget, RosterBudget: *budget,
 	})
 	sess.Parallelism = *parallel
+	sess.BlockSize = *block
 	gcSweep, err := artifact.GCSweeper(*cacheDir, *gcSpec)
 	if err != nil {
 		fatal(err)
 	}
 	if *cacheDir != "" || *storeURL != "" {
-		st, err := httpstore.OpenStore(*cacheDir, *storeURL)
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL, *storeToken)
 		if err != nil {
 			fatal(err)
 		}

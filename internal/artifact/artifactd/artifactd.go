@@ -13,7 +13,17 @@
 //	                     hashes to {id}
 //	GET  /stats          counters as JSON (gets, hits, misses, puts,
 //	                     rejects, discards, entries, bytes)
+//	GET  /metrics        the same counters in Prometheus text format
 //	GET  /healthz        liveness probe, "ok"
+//
+// With a bearer token configured (SetToken / artifactd -token), every
+// artifact operation — GET, HEAD and PUT — requires a matching
+// "Authorization: Bearer <token>" header and is answered 401
+// otherwise; /stats, /metrics and /healthz stay open for probes and
+// scrapers. Entry payloads cross the wire gzip-compressed when the
+// peer advertises it (Accept-Encoding on GET, Content-Encoding on
+// PUT); gob-encoded entries are repetitive, so this typically shrinks
+// wire bytes several-fold while the on-disk form stays raw.
 //
 // Verification happens on both ends of the wire: the server decodes
 // every uploaded entry and rejects ids that don't match the recorded
@@ -25,19 +35,24 @@
 package artifactd
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"regexp"
 	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/artifact"
 )
 
-// maxEntryBytes caps an uploaded entry's size.
-const maxEntryBytes = 1 << 30
+// maxEntryBytes caps an entry's size on the wire, raw or expanded
+// from gzip (artifact.MaxWireEntryBytes — shared with the client so
+// anything storable is also servable, and a gzip bomb cannot buy a
+// large allocation with a tiny body).
+const maxEntryBytes = artifact.MaxWireEntryBytes
 
 // idPattern matches well-formed entry ids: "<kind>-<16 hex>", with
 // kinds drawn from [a-z0-9-]. Anything else — path traversal attempts
@@ -47,10 +62,27 @@ var idPattern = regexp.MustCompile(`^[a-z0-9-]{1,128}-[0-9a-f]{16}$`)
 // Server serves one entry directory. Construct with New.
 type Server struct {
 	backend *artifact.DiskBackend
+	token   string
 
 	gets, hits, misses      atomic.Int64
 	puts, rejects, discards atomic.Int64
 	putBytes, servedBytes   atomic.Int64
+	unauthorized            atomic.Int64
+}
+
+// SetToken requires "Authorization: Bearer token" on every artifact
+// operation (GET/HEAD/PUT). An empty token (the default) leaves the
+// server open — appropriate only on a trusted network. Call before
+// serving.
+func (s *Server) SetToken(token string) { s.token = token }
+
+// authorized reports whether r carries the configured bearer token.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.token == "" {
+		return true
+	}
+	auth, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(auth), []byte(s.token)) == 1
 }
 
 // New returns a server over the entry directory dir (created if
@@ -77,8 +109,12 @@ type Stats struct {
 	Puts, Rejects int64
 	// Discards counts stored entries that failed verification on read.
 	Discards int64
-	// PutBytes and ServedBytes total the entry payloads moved.
+	// PutBytes and ServedBytes total the entry payloads moved, as wire
+	// bytes (after any transport compression).
 	PutBytes, ServedBytes int64
+	// Unauthorized counts artifact requests refused for a missing or
+	// wrong bearer token.
+	Unauthorized int64
 }
 
 // Stats returns the current counter snapshot.
@@ -87,6 +123,7 @@ func (s *Server) Stats() Stats {
 		Gets: s.gets.Load(), Hits: s.hits.Load(), Misses: s.misses.Load(),
 		Puts: s.puts.Load(), Rejects: s.rejects.Load(), Discards: s.discards.Load(),
 		PutBytes: s.putBytes.Load(), ServedBytes: s.servedBytes.Load(),
+		Unauthorized: s.unauthorized.Load(),
 	}
 }
 
@@ -95,6 +132,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/artifact/", s.handleArtifact)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -108,10 +146,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"gets": st.Gets, "hits": st.Hits, "misses": st.Misses,
 		"puts": st.Puts, "rejects": st.Rejects, "discards": st.Discards,
 		"put_bytes": st.PutBytes, "served_bytes": st.ServedBytes,
+		"unauthorized": st.Unauthorized,
 	})
 }
 
+// handleMetrics exposes the counters in the Prometheus text exposition
+// format (version 0.0.4), one counter family per Stats field, so a
+// scraper can watch hit rates and wire volume without bespoke glue.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, m := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"artifactd_gets_total", "Artifact lookups received (GET and HEAD).", st.Gets},
+		{"artifactd_hits_total", "Lookups answered with an entry.", st.Hits},
+		{"artifactd_misses_total", "Lookups answered 404.", st.Misses},
+		{"artifactd_puts_total", "Entry publishes accepted.", st.Puts},
+		{"artifactd_rejects_total", "Uploads refused by identity verification.", st.Rejects},
+		{"artifactd_discards_total", "Stored entries that failed verification on read.", st.Discards},
+		{"artifactd_put_bytes_total", "Wire bytes received in accepted publishes.", st.PutBytes},
+		{"artifactd_served_bytes_total", "Wire bytes sent serving entries.", st.ServedBytes},
+		{"artifactd_unauthorized_total", "Artifact requests refused for a bad bearer token.", st.Unauthorized},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+}
+
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		s.unauthorized.Add(1)
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+		return
+	}
 	id := r.URL.Path[len("/artifact/"):]
 	if !idPattern.MatchString(id) {
 		http.Error(w, "malformed artifact id", http.StatusBadRequest)
@@ -161,19 +230,43 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, id string) {
 	}
 	s.hits.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	// Compress on the wire when the client accepts it; storage stays
+	// raw so the directory remains a plain DiskBackend. The entry is
+	// compressed into a buffer first — wire bytes are counted exactly
+	// and Content-Length stays correct.
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		zb := artifact.GzipBytes(b)
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(zb)))
+		s.servedBytes.Add(int64(len(zb)))
+		w.Write(zb)
+		return
+	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	s.servedBytes.Add(int64(len(b)))
 	w.Write(b)
 }
 
 // accept answers PUT: decode, verify the recorded identity hashes to
-// the addressed id, publish atomically.
+// the addressed id, publish atomically. A gzip Content-Encoding is
+// unwrapped first (wire bytes are counted compressed; the stored form
+// is always the raw encoded entry, so mixed-transport clients share
+// entries transparently).
 func (s *Server) accept(w http.ResponseWriter, r *http.Request, id string) {
-	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	wire, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
 	if err != nil {
 		s.rejects.Add(1)
 		http.Error(w, "unreadable body", http.StatusBadRequest)
 		return
+	}
+	b := wire
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		b, err = artifact.GunzipBytes(wire)
+		if err != nil {
+			s.rejects.Add(1)
+			http.Error(w, "bad gzip body", http.StatusBadRequest)
+			return
+		}
 	}
 	e, err := artifact.DecodeEntry(b)
 	if err != nil {
@@ -195,6 +288,6 @@ func (s *Server) accept(w http.ResponseWriter, r *http.Request, id string) {
 	}
 	s.backend.Put(id, b)
 	s.puts.Add(1)
-	s.putBytes.Add(int64(len(b)))
+	s.putBytes.Add(int64(len(wire)))
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -2,6 +2,7 @@ package artifactd
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -156,4 +157,193 @@ func TestHealthzAndStats(t *testing.T) {
 			t.Errorf("stats missing %q: %v", field, stats)
 		}
 	}
+}
+
+func TestBearerTokenAuth(t *testing.T) {
+	srv, ts := start(t)
+	srv.SetToken("sesame")
+	key := artifact.KeyOf("auth", 1)
+	entry := encodedEntry(t, key, []byte("payload"))
+	url := ts.URL + "/artifact/" + key.ID()
+
+	// Unauthenticated PUT, GET and HEAD are all refused 401.
+	if resp := put(t, url, entry); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless PUT status %d, want 401", resp.StatusCode)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless GET status %d, want 401", resp.StatusCode)
+	}
+	resp, err = http.Head(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless HEAD status %d, want 401", resp.StatusCode)
+	}
+
+	// A wrong token is refused too.
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong-token GET status %d, want 401", resp.StatusCode)
+	}
+
+	// The right token round-trips.
+	req, _ = http.NewRequest(http.MethodPut, url, bytes.NewReader(entry))
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("authorized PUT status %d, want 204", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got, entry) {
+		t.Fatalf("authorized GET status %d", resp.StatusCode)
+	}
+
+	// Probes stay open; the refusals were counted.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz behind auth: status %d", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.Unauthorized != 4 {
+		t.Fatalf("unauthorized count %d, want 4", st.Unauthorized)
+	}
+}
+
+func TestGzipWire(t *testing.T) {
+	srv, ts := start(t)
+	// A repetitive payload, like gob output.
+	payload := bytes.Repeat([]byte("sweep-curve-payload "), 400)
+	key := artifact.KeyOf("zip", 7)
+	entry := encodedEntry(t, key, payload)
+	url := ts.URL + "/artifact/" + key.ID()
+
+	// Gzip PUT: compressed body with Content-Encoding.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(entry)
+	zw.Close()
+	req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(buf.Bytes()))
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("gzip PUT status %d, want 204", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.PutBytes != int64(buf.Len()) {
+		t.Fatalf("PutBytes %d, want compressed size %d", st.PutBytes, buf.Len())
+	}
+
+	// Plain GET returns the raw entry (stored form is uncompressed).
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(plain, entry) {
+		t.Fatal("plain GET did not return the raw entry")
+	}
+
+	// Gzip GET: compressed on the wire, identical after expansion.
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatal("gzip GET not gzip-encoded")
+	}
+	if len(wire) >= len(entry) {
+		t.Fatalf("wire bytes %d not smaller than entry %d", len(wire), len(entry))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded, err := io.ReadAll(zr)
+	if err != nil || !bytes.Equal(expanded, entry) {
+		t.Fatal("gzip GET payload does not expand to the entry")
+	}
+
+	// A corrupt gzip PUT is rejected, not stored.
+	req, _ = http.NewRequest(http.MethodPut, url, strings.NewReader("not gzip at all"))
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt gzip PUT status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := start(t)
+	key := artifact.KeyOf("prom", 3)
+	put(t, ts.URL+"/artifact/"+key.ID(), encodedEntry(t, key, []byte("x")))
+	resp, err := http.Get(ts.URL + "/artifact/" + key.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE artifactd_gets_total counter",
+		"artifactd_gets_total 1",
+		"artifactd_puts_total 1",
+		"artifactd_hits_total 1",
+		"# HELP artifactd_served_bytes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	_ = srv
 }

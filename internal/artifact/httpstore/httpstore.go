@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -35,10 +36,16 @@ import (
 	"repro/internal/artifact"
 )
 
-// maxEntryBytes caps a downloaded entry. Far above any real artefact
-// (the largest are dataset contents, a few MB); guards against a
-// misbehaving server exhausting memory.
-const maxEntryBytes = 1 << 30
+// TokenEnv is the environment variable New reads the default bearer
+// token from, so every CLI pointed at an authenticated artifactd works
+// without repeating -store-token.
+const TokenEnv = "REPRO_STORE_TOKEN"
+
+// maxEntryBytes caps a downloaded entry, raw or expanded from gzip
+// (artifact.MaxWireEntryBytes — shared with the server, so anything
+// it can store this client can load, and a hostile or broken server
+// cannot turn a small wire body into a huge allocation here).
+const maxEntryBytes = artifact.MaxWireEntryBytes
 
 // Client is an artifact.Backend over an artifactd server.
 type Client struct {
@@ -46,12 +53,18 @@ type Client struct {
 	// HTTP is the underlying client; replaceable before first use
 	// (tests inject httptest clients, deployments tune timeouts).
 	HTTP *http.Client
+	// Token, when non-empty, is sent as "Authorization: Bearer" on
+	// every request — required by artifactd servers started with
+	// -token. New initializes it from $REPRO_STORE_TOKEN; set it
+	// before first use to override.
+	Token string
 
 	gets, hits, puts, errs atomic.Int64
 }
 
 // New returns a backend talking to the artifactd server at baseURL
-// (e.g. "http://cachehost:9444").
+// (e.g. "http://cachehost:9444"), authenticating with
+// $REPRO_STORE_TOKEN when set.
 func New(baseURL string) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
@@ -61,19 +74,32 @@ func New(baseURL string) (*Client, error) {
 		return nil, fmt.Errorf("httpstore: unsupported store URL %q (want http:// or https://)", baseURL)
 	}
 	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		HTTP: &http.Client{Timeout: 60 * time.Second},
+		base:  strings.TrimRight(baseURL, "/"),
+		HTTP:  &http.Client{Timeout: 60 * time.Second},
+		Token: os.Getenv(TokenEnv),
 	}, nil
 }
 
 // URL returns the artefact endpoint for id.
 func (c *Client) URL(id string) string { return c.base + "/artifact/" + id }
 
-// Get fetches id's encoded entry. Any failure — network, non-200,
-// oversized body — is a miss; the caller recomputes.
+// Get fetches id's encoded entry, advertising gzip transport (the
+// server compresses gob entries several-fold on the wire; the raw
+// entry is restored here before the store verifies it). Any failure —
+// network, non-200, oversized or corrupt body — is a miss; the caller
+// recomputes.
 func (c *Client) Get(id string) ([]byte, bool) {
 	c.gets.Add(1)
-	resp, err := c.HTTP.Get(c.URL(id))
+	req, err := http.NewRequest(http.MethodGet, c.URL(id), nil)
+	if err != nil {
+		c.errs.Add(1)
+		return nil, false
+	}
+	// Set explicitly (disabling the transport's hidden auto-gzip) so
+	// the encoding is part of the wire protocol and testable.
+	req.Header.Set("Accept-Encoding", "gzip")
+	c.auth(req)
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		c.errs.Add(1)
 		return nil, false
@@ -91,30 +117,60 @@ func (c *Client) Get(id string) ([]byte, bool) {
 		c.errs.Add(1)
 		return nil, false
 	}
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		if b, err = artifact.GunzipBytes(b); err != nil {
+			c.errs.Add(1)
+			return nil, false
+		}
+	}
 	c.hits.Add(1)
 	return b, true
 }
 
-// Put publishes id's encoded entry, best-effort.
+// Put publishes id's encoded entry gzip-compressed, best-effort. A
+// 400 answer to the compressed attempt triggers one raw retry: a
+// server predating gzip transport gob-decodes the compressed body,
+// fails, and rejects 400 — the retry keeps mixed-version deployments
+// publishing (against a current server a valid entry never 400s, so
+// the retry only fires on that version skew).
 func (c *Client) Put(id string, data []byte) {
-	req, err := http.NewRequest(http.MethodPut, c.URL(id), bytes.NewReader(data))
-	if err != nil {
-		c.errs.Add(1)
-		return
+	status := c.put(id, artifact.GzipBytes(data), "gzip")
+	if status == http.StatusBadRequest {
+		status = c.put(id, data, "")
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		c.errs.Add(1)
-		return
-	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
+	if status/100 != 2 {
 		c.errs.Add(1)
 		return
 	}
 	c.puts.Add(1)
+}
+
+// put performs one PUT attempt and returns the HTTP status (0 on a
+// transport error).
+func (c *Client) put(id string, body []byte, encoding string) int {
+	req, err := http.NewRequest(http.MethodPut, c.URL(id), bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	c.auth(req)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// auth attaches the bearer token when one is configured.
+func (c *Client) auth(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 }
 
 // Stats is a snapshot of the client's activity counters.
@@ -138,7 +194,9 @@ func (c *Client) Stats() Stats {
 // front of an artifactd client at serverURL (when non-empty) — reads
 // hit the local tier first and remote hits are promoted into it, while
 // fresh fills publish to both. At least one of the two must be set.
-func OpenStore(cacheDir, serverURL string) (*artifact.Store, error) {
+// token authenticates against a -token'd artifactd; empty keeps the
+// client's default ($REPRO_STORE_TOKEN, or unauthenticated).
+func OpenStore(cacheDir, serverURL, token string) (*artifact.Store, error) {
 	var tiers []artifact.Backend
 	if cacheDir != "" {
 		disk, err := artifact.NewDiskBackend(cacheDir)
@@ -151,6 +209,9 @@ func OpenStore(cacheDir, serverURL string) (*artifact.Store, error) {
 		remote, err := New(serverURL)
 		if err != nil {
 			return nil, err
+		}
+		if token != "" {
+			remote.Token = token
 		}
 		tiers = append(tiers, remote)
 	}

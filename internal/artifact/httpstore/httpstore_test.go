@@ -1,6 +1,7 @@
 package httpstore
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -154,8 +155,10 @@ func TestHTTPRejectsMislabelledUpload(t *testing.T) {
 	if st := c.Stats(); st.Puts != 0 || st.Errors != 1 {
 		t.Fatalf("client stats %+v, want the put counted as an error", st)
 	}
-	if st := srv.Stats(); st.Rejects != 1 || st.Puts != 0 {
-		t.Fatalf("server stats %+v, want 1 reject / 0 puts", st)
+	// Two rejects: the gzip attempt plus the client's raw retry (a
+	// 400 is indistinguishable from a pre-gzip server's rejection).
+	if st := srv.Stats(); st.Rejects != 2 || st.Puts != 0 {
+		t.Fatalf("server stats %+v, want 2 rejects / 0 puts", st)
 	}
 	if _, err := os.Stat(filepath.Join(srv.Dir(), victim.ID()+".gob")); !os.IsNotExist(err) {
 		t.Fatal("rejected upload reached the entry directory")
@@ -191,7 +194,7 @@ func TestChainPromotesRemoteHits(t *testing.T) {
 	}
 
 	localDir := t.TempDir()
-	chained, err := OpenStore(localDir, ts.URL)
+	chained, err := OpenStore(localDir, ts.URL, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +210,7 @@ func TestChainPromotesRemoteHits(t *testing.T) {
 
 	// A fresh chained store now hits disk without touching the server.
 	gets := srv.Stats().Gets
-	again, err := OpenStore(localDir, ts.URL)
+	again, err := OpenStore(localDir, ts.URL, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +230,7 @@ func TestChainPromotesRemoteHits(t *testing.T) {
 func TestChainPutWritesAllTiers(t *testing.T) {
 	srv, ts := startServer(t)
 	localDir := t.TempDir()
-	chained, err := OpenStore(localDir, ts.URL)
+	chained, err := OpenStore(localDir, ts.URL, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +255,174 @@ func TestNewRejectsBadURLs(t *testing.T) {
 			t.Errorf("New(%q) accepted", bad)
 		}
 	}
-	if _, err := OpenStore("", ""); err == nil {
+	if _, err := OpenStore("", "", ""); err == nil {
 		t.Error("OpenStore with no tiers accepted")
+	}
+}
+
+// TestClientTokenAuth proves the client side of bearer auth: a
+// tokenless client degrades to compute-everything against a token'd
+// server (and publishes nothing), while a token'd client round-trips
+// and a second one reads the entry back without recomputation.
+func TestClientTokenAuth(t *testing.T) {
+	srv, ts := startServer(t)
+	srv.SetToken("sesame")
+	key := artifact.KeyOf("auth-blob", cfg{"a", 1})
+	want := blob{Words: []string{"x", "y"}, Vals: []float64{1, 2}}
+
+	tokenless := client(t, ts.URL)
+	st := artifact.NewWithBackend(tokenless)
+	got, err := artifact.Get(st, key, func() (blob, error) { return want, nil })
+	if err != nil || len(got.Words) != 2 {
+		t.Fatalf("tokenless fill failed: %v", err)
+	}
+	if cs := tokenless.Stats(); cs.Puts != 0 || cs.Errors == 0 {
+		t.Fatalf("tokenless client stats %+v: want zero puts, some errors", cs)
+	}
+	if ss := srv.Stats(); ss.Puts != 0 {
+		t.Fatal("tokenless client published through auth")
+	}
+
+	writer := client(t, ts.URL)
+	writer.Token = "sesame"
+	if _, err := artifact.Get(artifact.NewWithBackend(writer), key,
+		func() (blob, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ss := srv.Stats(); ss.Puts != 1 {
+		t.Fatalf("server puts %d, want 1", ss.Puts)
+	}
+
+	reader := client(t, ts.URL)
+	reader.Token = "sesame"
+	cold := artifact.NewWithBackend(reader)
+	got, err = artifact.Get(cold, key, func() (blob, error) {
+		t.Fatal("authorized reader recomputed")
+		return blob{}, nil
+	})
+	if err != nil || got.Words[1] != "y" {
+		t.Fatalf("authorized read failed: %v", err)
+	}
+}
+
+// TestClientTokenFromEnv checks New picks up $REPRO_STORE_TOKEN.
+func TestClientTokenFromEnv(t *testing.T) {
+	t.Setenv(TokenEnv, "envtoken")
+	c := client(t, "http://localhost:1")
+	if c.Token != "envtoken" {
+		t.Fatalf("Token = %q, want env default", c.Token)
+	}
+}
+
+// TestGzipRoundTripShrinksWire checks entries cross the wire
+// compressed in both directions and verification still passes.
+func TestGzipRoundTripShrinksWire(t *testing.T) {
+	srv, ts := startServer(t)
+	key := artifact.KeyOf("zip-blob", cfg{"z", 2})
+	// Repetitive payload, as gob-encoded curves and profiles are.
+	big := blob{}
+	for i := 0; i < 2000; i++ {
+		big.Words = append(big.Words, "repetitive-token")
+		big.Vals = append(big.Vals, 0.5)
+	}
+
+	writer := client(t, ts.URL)
+	if _, err := artifact.Get(artifact.NewWithBackend(writer), key,
+		func() (blob, error) { return big, nil }); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := dirEntrySize(t, srv.Dir())
+	ss := srv.Stats()
+	if ss.PutBytes >= entrySize/2 {
+		t.Fatalf("gzip PUT moved %d wire bytes for a %d-byte entry", ss.PutBytes, entrySize)
+	}
+
+	reader := client(t, ts.URL)
+	got, err := artifact.Get(artifact.NewWithBackend(reader), key, func() (blob, error) {
+		t.Fatal("remote hit recomputed")
+		return blob{}, nil
+	})
+	if err != nil || len(got.Words) != 2000 || got.Words[1999] != "repetitive-token" {
+		t.Fatalf("gzip GET round trip failed: %v", err)
+	}
+	ss = srv.Stats()
+	if ss.ServedBytes >= entrySize/2 {
+		t.Fatalf("gzip GET moved %d wire bytes for a %d-byte entry", ss.ServedBytes, entrySize)
+	}
+}
+
+// dirEntrySize returns the size of the single entry file under dir.
+func dirEntrySize(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if total == 0 {
+		t.Fatal("no stored entry found")
+	}
+	return total
+}
+
+// TestOpenStoreToken threads the CLI flag through to the client tier.
+func TestOpenStoreToken(t *testing.T) {
+	srv, ts := startServer(t)
+	srv.SetToken("sesame")
+	key := artifact.KeyOf("openstore-auth", cfg{"o", 3})
+
+	authed, err := OpenStore("", ts.URL, "sesame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := artifact.Get(authed, key, func() (int, error) { return 42, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ss := srv.Stats(); ss.Puts != 1 {
+		t.Fatalf("authed OpenStore did not publish (puts %d)", ss.Puts)
+	}
+}
+
+// TestPutRawRetryAgainstPreGzipServer pins the mixed-version path: a
+// server that cannot decode gzip bodies (as pre-gzip artifactd
+// versions gob-decode the compressed bytes and reject 400) still
+// receives the entry via the client's one raw retry.
+func TestPutRawRetryAgainstPreGzipServer(t *testing.T) {
+	srv, err := artifactd.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut && r.Header.Get("Content-Encoding") == "gzip" {
+			http.Error(w, "body is not an encoded artifact entry", http.StatusBadRequest)
+			return
+		}
+		r.Header.Del("Content-Encoding")
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	key := artifact.KeyOf("compat", cfg{N: 9})
+	entry, err := artifact.EncodeEntry(artifact.Entry{
+		Version: artifact.Version, Kind: key.Kind, Label: key.Label, Payload: []byte{4, 5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client(t, ts.URL)
+	c.Put(key.ID(), entry)
+	if st := c.Stats(); st.Puts != 1 || st.Errors != 0 {
+		t.Fatalf("client stats %+v, want the raw retry to succeed", st)
+	}
+	if st := srv.Stats(); st.Puts != 1 {
+		t.Fatalf("server stats %+v, want the entry stored", st)
 	}
 }

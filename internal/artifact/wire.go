@@ -1,0 +1,55 @@
+// Wire-transport helpers shared by both ends of the artifact network
+// tier (internal/artifact/httpstore and internal/artifact/artifactd).
+// The size bound and the gzip plumbing are protocol invariants — one
+// definition here keeps the two ends from desynchronizing.
+
+package artifact
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxWireEntryBytes caps any entry crossing the network tier, raw or
+// expanded from gzip — an order of magnitude above the largest real
+// artefact (dataset contents, a few MB). One uniform cap keeps the
+// protocol coherent (anything storable is also servable) and bounds
+// what a gzip bomb can make either end allocate: kilobytes of wire
+// can never buy a gigabyte of memory.
+const MaxWireEntryBytes = 64 << 20
+
+// gzWriters recycles gzip writers; gzip.NewWriter allocates large
+// internal buffers, and cold runs publish (and servers re-serve)
+// hundreds of entries.
+var gzWriters = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// GzipBytes returns b gzip-compressed.
+func GzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzWriters.Get().(*gzip.Writer)
+	zw.Reset(&buf)
+	zw.Write(b)
+	zw.Close()
+	gzWriters.Put(zw)
+	return buf.Bytes()
+}
+
+// GunzipBytes expands a gzip body, refusing malformed input and
+// expansions beyond MaxWireEntryBytes.
+func GunzipBytes(zb []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(zb))
+	if err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(io.LimitReader(zr, MaxWireEntryBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > MaxWireEntryBytes {
+		return nil, fmt.Errorf("artifact: gzip body expands past %d bytes", MaxWireEntryBytes)
+	}
+	return b, nil
+}

@@ -1,8 +1,10 @@
 package conc
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachVisitsEveryIndexOnce(t *testing.T) {
@@ -38,4 +40,66 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 
 func TestForEachZeroN(t *testing.T) {
 	ForEach(2, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestPoolForEach(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	out := make([]int, 100)
+	// Many small fan-outs over the same pool, like per-block replay.
+	for round := 0; round < 50; round++ {
+		p.ForEach(len(out), func(i int) { out[i]++ })
+	}
+	for i, v := range out {
+		if v != 50 {
+			t.Fatalf("out[%d] = %d, want 50", i, v)
+		}
+	}
+}
+
+func TestPoolConcurrentForEach(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	sums := make([]int64, 8)
+	for g := range sums {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				p.ForEach(30, func(i int) {
+					atomic.AddInt64(&sums[g], int64(i))
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, s := range sums {
+		if s != 20*435 { // sum 0..29 = 435
+			t.Fatalf("goroutine %d sum %d, want %d", g, s, 20*435)
+		}
+	}
+}
+
+func TestPoolForEachNBoundsConcurrency(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var inFlight, maxSeen int64
+	p.ForEachN(2, 40, func(i int) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			m := atomic.LoadInt64(&maxSeen)
+			if cur <= m || atomic.CompareAndSwapInt64(&maxSeen, m, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&inFlight, -1)
+	})
+	if maxSeen > 2 {
+		t.Fatalf("ForEachN(2) had %d tasks in flight", maxSeen)
+	}
+	if maxSeen < 1 {
+		t.Fatal("nothing ran")
+	}
 }

@@ -29,6 +29,10 @@ type Profiler struct {
 	Budget int64
 	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
 	Parallelism int
+	// BlockSize is the trace-replay batch size (instructions per
+	// delivered block; 0 = trace.DefaultBlockSize). Purely a plumbing
+	// knob: every size produces byte-identical profiles.
+	BlockSize int
 }
 
 // Profile is one workload's collected characterization.
@@ -38,10 +42,12 @@ type Profile struct {
 	Run      *workloads.Result
 }
 
-// Profile characterizes one workload on a fresh machine model.
+// Profile characterizes one workload on a fresh machine model. The
+// machine consumes the trace through the block path (trace.BlockProbe),
+// so the Table 2 / Fig. 1-5 profiling runs ride the batched hot loop.
 func (p *Profiler) Profile(w workloads.Workload) Profile {
 	m := machine.New(p.Machine)
-	res := workloads.Run(w, m, p.Budget)
+	res := workloads.RunBlock(w, m, p.Budget, p.BlockSize)
 	m.Finish()
 	return Profile{Workload: w, Vector: metrics.Compute(m), Run: res}
 }

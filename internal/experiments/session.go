@@ -57,8 +57,15 @@ type Session struct {
 	// Parallelism bounds the worker pool of every profiling and sweep
 	// fan-out this session performs (0 = GOMAXPROCS). The Engine's own
 	// Parallelism bounds concurrent experiments; this bounds the work
-	// inside each one.
+	// inside each one — including the per-cache fan-out of block-based
+	// sweep replay (machine.Sweep.Parallelism is threaded from here).
 	Parallelism int
+
+	// BlockSize is the trace-replay batch size for every simulation
+	// this session runs (instructions per delivered block; 0 =
+	// trace.DefaultBlockSize). A plumbing knob only: results — and
+	// therefore artifact-store keys — are identical for every size.
+	BlockSize int
 
 	// Store backs every memoized fill. Set it (before first use) to a
 	// shared or disk-backed store to share artefacts between sessions
@@ -118,7 +125,7 @@ func (s *Session) profileOne(cfg machine.Config, w workloads.Workload, budget in
 		func(r core.ProfileRecord) bool { return r.Matches(w) },
 		func() (core.ProfileRecord, error) {
 			s.profileRuns.Add(1)
-			p := core.Profiler{Machine: cfg, Budget: budget}
+			p := core.Profiler{Machine: cfg, Budget: budget, BlockSize: s.BlockSize}
 			return core.Record(p.Profile(w)), nil
 		}))
 	return rec.Rebind(w)
@@ -245,8 +252,14 @@ func (s *Session) SweepCurves(w workloads.Workload, budget int64) machine.Curves
 				len(c.Data) == len(sizes) && len(c.Unified) == len(sizes)
 		},
 		func() (machine.Curves, error) {
+			// Block-based replay: the trace is decoded into packed
+			// access streams once per block and the 30 caches replay
+			// them through a worker pool bounded by s.Parallelism —
+			// bit-identical to the retained serial path, so the store
+			// key needs neither knob.
 			sw := machine.NewSweep(sizes)
-			workloads.Run(w, sw, budget)
+			sw.Parallelism = s.Parallelism
+			workloads.RunBlock(w, sw, budget, s.BlockSize)
 			s.tracePasses.Add(1)
 			return sw.Curves(), nil
 		}))

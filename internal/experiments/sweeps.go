@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sim/machine"
+	"repro/internal/sim/trace"
 	"repro/internal/suites"
 	"repro/internal/workloads"
 )
@@ -51,14 +52,17 @@ func sweepGroup(s *Session, list []workloads.Workload, view func(machine.Curves)
 }
 
 // sweepGroupSerial is the seed's reference implementation: a fresh
-// machine.Sweep and a full trace pass per workload per call. Retained
-// for the equivalence tests and the serial-vs-memoized benchmark.
+// machine.Sweep and a full trace pass per workload per call, delivered
+// per-instruction (trace.Unblocked pins the pre-PR path: no block
+// decode, every cache accessed inline instruction by instruction).
+// Retained for the equivalence tests and the serial-vs-block
+// benchmarks.
 func sweepGroupSerial(list []workloads.Workload, budget int64, view func(*machine.Sweep) []float64) []float64 {
 	sizes := machine.DefaultSweepSizesKB
 	sum := make([]float64, len(sizes))
 	for _, w := range list {
 		sw := machine.NewSweep(sizes)
-		workloads.Run(w, sw, budget)
+		workloads.Run(w, trace.Unblocked(sw), budget)
 		for i, v := range view(sw) {
 			sum[i] += v
 		}

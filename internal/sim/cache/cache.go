@@ -32,20 +32,31 @@ func (c Config) Valid() bool {
 
 // Cache is a single set-associative cache with true-LRU replacement.
 // The zero value is not usable; construct with New.
+//
+// A set's whole state lives in one contiguous meta slab region — its
+// ways' tags followed by its ways' LRU stamps, with the dirty flag
+// folded into the tag word — so one access touches one small span of
+// one array (and one TLB page) instead of scattering loads across
+// three parallel arrays. For the 8-way geometries every model uses,
+// that is two adjacent 64-byte lines per set.
 type Cache struct {
 	cfg       Config
 	sets      uint64
+	setMask   uint64 // sets-1 when sets is a power of two
+	pow2      bool   // set indexing may use the mask instead of %
 	lineShift uint
-	tags      []uint64 // sets*ways; 0 means invalid (tags stored as line+1)
-	stamp     []uint64 // LRU timestamps, parallel to tags
-	dirty     []bool
-	clock     uint64
+	// meta holds sets*ways*2 words: for set s, tags occupy
+	// [s*2W, s*2W+W) and stamps [s*2W+W, s*2W+2W). A tag word is the
+	// line address + 1 (0 stays "invalid") with the dirty flag in the
+	// top bit.
+	meta  []uint64
+	clock uint64
 
-	// lastTag/lastIdx remember the immediately preceding access: the
-	// line is guaranteed resident there (nothing can evict it without
-	// going through Access, which rewrites these), so a repeat access
-	// to the same line skips the way scan. State evolution is
-	// bit-identical to the scanning path.
+	// lastTag/lastIdx remember the immediately preceding access (the
+	// meta index of its tag word): the line is guaranteed resident
+	// there (nothing can evict it without going through Access, which
+	// rewrites these), so a repeat access to the same line skips the
+	// way scan. State evolution is bit-identical to the scanning path.
 	lastTag uint64
 	lastIdx uint64
 	// mru hints the most recently touched way per set, checked before
@@ -69,17 +80,24 @@ func New(cfg Config) *Cache {
 	for 1<<shift < cfg.LineSize {
 		shift++
 	}
-	n := sets * cfg.Ways
 	return &Cache{
 		cfg:       cfg,
 		sets:      uint64(sets),
+		setMask:   uint64(sets - 1),
+		pow2:      sets&(sets-1) == 0,
 		lineShift: shift,
-		tags:      make([]uint64, n),
-		stamp:     make([]uint64, n),
-		dirty:     make([]bool, n),
+		meta:      make([]uint64, sets*cfg.Ways*2),
 		mru:       make([]uint8, sets),
 	}
 }
+
+// dirtyBit marks a dirty line in its tag word. Tags are line+1 with
+// line = addr >> lineShift < 2^58, so the top bit is always free.
+const dirtyBit = 1 << 63
+
+// LineShift returns log2 of the line size — the shift callers packing
+// AccessBlock records must apply to byte addresses.
+func (c *Cache) LineShift() uint { return c.lineShift }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
@@ -91,31 +109,41 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	line := addr >> c.lineShift
 	tag := line + 1 // 0 stays "invalid"
 	c.clock++
+	meta := c.meta
 	if tag == c.lastTag {
-		c.stamp[c.lastIdx] = c.clock
+		w := uint64(0)
 		if write {
-			c.dirty[c.lastIdx] = true
+			w = dirtyBit
 		}
+		idx := c.lastIdx
+		meta[idx] |= w
+		meta[idx+uint64(c.cfg.Ways)] = c.clock
 		return true
 	}
-	setNo := line % c.sets
-	set := setNo * uint64(c.cfg.Ways)
-	if idx := set + uint64(c.mru[setNo]); c.tags[idx] == tag {
-		c.stamp[idx] = c.clock
+	var setNo uint64
+	if c.pow2 {
+		setNo = line & c.setMask
+	} else {
+		setNo = line % c.sets
+	}
+	ways := uint64(c.cfg.Ways)
+	set := setNo * ways * 2 // tag words at set..set+ways, stamps follow
+	if idx := set + uint64(c.mru[setNo]); meta[idx]&^dirtyBit == tag {
 		if write {
-			c.dirty[idx] = true
+			meta[idx] |= dirtyBit
 		}
+		meta[idx+ways] = c.clock
 		c.lastTag, c.lastIdx = tag, idx
 		return true
 	}
-	ways := c.tags[set : set+uint64(c.cfg.Ways)]
-	for w := range ways {
-		if ways[w] == tag {
+	wayTags := meta[set : set+ways]
+	for w := range wayTags {
+		if wayTags[w]&^dirtyBit == tag {
 			idx := set + uint64(w)
-			c.stamp[idx] = c.clock
 			if write {
-				c.dirty[idx] = true
+				meta[idx] |= dirtyBit
 			}
+			meta[idx+ways] = c.clock
 			c.lastTag, c.lastIdx = tag, idx
 			c.mru[setNo] = uint8(w)
 			return true
@@ -123,23 +151,169 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	}
 	c.Misses++
 	// Evict true-LRU way.
-	victim := set
-	oldest := c.stamp[set]
-	for w := uint64(1); w < uint64(c.cfg.Ways); w++ {
-		if c.stamp[set+w] < oldest {
-			oldest = c.stamp[set+w]
-			victim = set + w
+	stamps := meta[set+ways : set+2*ways]
+	victim := uint64(0)
+	oldest := stamps[0]
+	for w := uint64(1); w < ways; w++ {
+		if stamps[w] < oldest {
+			oldest = stamps[w]
+			victim = w
 		}
 	}
-	if c.tags[victim] != 0 && c.dirty[victim] {
+	vIdx := set + victim
+	if old := meta[vIdx]; old != 0 && old&dirtyBit != 0 {
 		c.Writebacks++
 	}
-	c.tags[victim] = tag
-	c.stamp[victim] = c.clock
-	c.dirty[victim] = write
-	c.lastTag, c.lastIdx = tag, victim
-	c.mru[setNo] = uint8(victim - set)
+	nw := tag
+	if write {
+		nw |= dirtyBit
+	}
+	meta[vIdx] = nw
+	stamps[victim] = c.clock
+	c.lastTag, c.lastIdx = tag, vIdx
+	c.mru[setNo] = uint8(victim)
 	return false
+}
+
+// A Rec is one packed access run for AccessBlock: the cache-line
+// address (the byte address shifted down by LineShift) in bits 1..47,
+// the write flag in bit 0, and a run counter in the top 16 bits — a
+// record stands for 1 + counter back-to-back accesses to its line,
+// with the write flag OR-ed over the run. Packing drops everything
+// Access recomputes per call (offset bits, op class, sizes) and
+// run-merging drops the accesses themselves: after the first access
+// of a run the line is resident, so the rest can only refresh its LRU
+// stamp, bump the clock and counters, and accumulate dirtiness — all
+// O(1) on the merged record, and exactly what Access would have done
+// one call at a time.
+type Rec = uint64
+
+const (
+	recCountShift = 48
+	// recLineMask bounds the line address a record can carry (47
+	// bits — byte addresses up to 2^53 at 64-byte lines, far beyond
+	// the simulated layout).
+	recLineMask = (uint64(1)<<recCountShift - 1) >> 1
+	recCountMax = 1<<(64-recCountShift) - 1
+)
+
+// PackRec builds the AccessBlock record for a single access.
+func PackRec(line uint64, write bool) Rec {
+	r := line << 1
+	if write {
+		r |= 1
+	}
+	return r
+}
+
+// TryMerge folds one access into the immediately preceding record when
+// it targets the same line and the run counter has room, returning
+// whether it merged. Decoders call it once per access; every cache
+// replaying the stream then gets the run for free.
+func TryMerge(prev *Rec, line uint64, write bool) bool {
+	p := *prev
+	if (p>>1)&recLineMask != line || p>>recCountShift == recCountMax {
+		return false
+	}
+	p += 1 << recCountShift
+	if write {
+		p |= 1
+	}
+	*prev = p
+	return true
+}
+
+// AccessBlock replays a packed record stream through the cache:
+// exactly equivalent — counter-for-counter and bit-for-bit in
+// replacement state — to calling Access(line<<LineShift, write) for
+// each record in order, but with the per-call overhead hoisted out of
+// the loop: set indexing uses the power-of-two mask instead of %,
+// array bases and the LRU clock live in locals (one bounds-check
+// region per set scan), and the demand counters accumulate per block
+// instead of per access.
+//
+// The sweep experiments fan 30 of these out per block; each cache's
+// state is touched by exactly one AccessBlock call at a time.
+func (c *Cache) AccessBlock(recs []Rec) {
+	if len(recs) == 0 {
+		return
+	}
+	ways := uint64(c.cfg.Ways)
+	meta, mru := c.meta, c.mru
+	sets, setMask, pow2 := c.sets, c.setMask, c.pow2
+	clock := c.clock
+	lastTag, lastIdx := c.lastTag, c.lastIdx
+	var accesses, misses, writebacks uint64
+	for _, rec := range recs {
+		line := (rec >> 1) & recLineMask
+		wbit := (rec & 1) << 63 // dirtyBit iff the run wrote
+		tag := line + 1         // 0 stays "invalid"
+		// A record's whole run retires here: the clock advances once
+		// per represented access and the stamp below lands on the
+		// run's final clock value, exactly as per-access replay would
+		// leave it.
+		run := rec >> recCountShift
+		clock += run + 1
+		accesses += run + 1
+		if tag == lastTag {
+			meta[lastIdx] |= wbit
+			meta[lastIdx+ways] = clock
+			continue
+		}
+		var setNo uint64
+		if pow2 {
+			setNo = line & setMask
+		} else {
+			setNo = line % sets
+		}
+		set := setNo * ways * 2 // tag words at set..set+ways, stamps follow
+		if idx := set + uint64(mru[setNo]); meta[idx]&^dirtyBit == tag {
+			meta[idx] |= wbit
+			meta[idx+ways] = clock
+			lastTag, lastIdx = tag, idx
+			continue
+		}
+		wayTags := meta[set : set+ways]
+		hit := false
+		for w := range wayTags {
+			if wayTags[w]&^dirtyBit == tag {
+				idx := set + uint64(w)
+				meta[idx] |= wbit
+				meta[idx+ways] = clock
+				lastTag, lastIdx = tag, idx
+				mru[setNo] = uint8(w)
+				hit = true
+				break
+			}
+		}
+		if hit {
+			continue
+		}
+		misses++
+		// Evict true-LRU way.
+		stamps := meta[set+ways : set+2*ways]
+		victim := uint64(0)
+		oldest := stamps[0]
+		for w := uint64(1); w < ways; w++ {
+			if stamps[w] < oldest {
+				oldest = stamps[w]
+				victim = w
+			}
+		}
+		vIdx := set + victim
+		if meta[vIdx]&dirtyBit != 0 {
+			writebacks++
+		}
+		meta[vIdx] = tag | wbit
+		stamps[victim] = clock
+		lastTag, lastIdx = tag, vIdx
+		mru[setNo] = uint8(victim)
+	}
+	c.clock = clock
+	c.lastTag, c.lastIdx = lastTag, lastIdx
+	c.Accesses += accesses
+	c.Misses += misses
+	c.Writebacks += writebacks
 }
 
 // Touch installs addr without affecting the demand counters; it is
@@ -162,10 +336,8 @@ func (c *Cache) MissRatio() float64 {
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.stamp[i] = 0
-		c.dirty[i] = false
+	for i := range c.meta {
+		c.meta[i] = 0
 	}
 	for i := range c.mru {
 		c.mru[i] = 0

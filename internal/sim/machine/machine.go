@@ -170,6 +170,17 @@ func (m *Machine) Inst(i *isa.Inst) {
 	m.Pipe.Step(i, ilevel, dlevel, mispredict, frontExtra, dtlbExtra)
 }
 
+// InstBlock implements trace.BlockProbe. The pipeline, predictor and
+// TLB models are inherently sequential, so the block is consumed in
+// order — the win is one probe dispatch per block instead of per
+// instruction, and a hot loop the compiler sees whole. State is
+// bit-identical to per-instruction delivery.
+func (m *Machine) InstBlock(block []isa.Inst) {
+	for k := range block {
+		m.Inst(&block[k])
+	}
+}
+
 // stlbHitLatency is the extra latency of a first-level TLB miss that
 // hits the second-level TLB.
 const stlbHitLatency = 7

@@ -1,9 +1,29 @@
 package machine
 
 import (
+	"runtime"
+	"sync"
+
+	"repro/internal/conc"
 	"repro/internal/sim/cache"
 	"repro/internal/sim/isa"
 )
+
+// replayPool is the process-wide worker pool behind every sweep's
+// per-block cache fan-out, created on first parallel replay. Sharing
+// one GOMAXPROCS-sized pool amortizes goroutine creation across the
+// thousands of blocks a trace pass delivers and caps total replay
+// concurrency at the machine regardless of how many sweeps run at
+// once (sweepGroup fans workloads out on top of this).
+var (
+	replayPoolOnce sync.Once
+	replayPool     *conc.Pool
+)
+
+func sharedReplayPool() *conc.Pool {
+	replayPoolOnce.Do(func() { replayPool = conc.NewPool(0) })
+	return replayPool
+}
 
 // Sweep reproduces the methodology of the paper's locality study
 // (§5.4, Fig. 6-9): an Atom-like in-order core with a two-level cache
@@ -13,20 +33,45 @@ import (
 // three views: instruction-only, data-only, and unified
 // (instructions + data, Fig. 8).
 //
-// Sweep implements trace.Probe.
+// Sweep implements both trace.Probe (the retained per-instruction
+// reference: every cache accessed inline, instruction by instruction)
+// and trace.BlockProbe (the hot path: each block is decoded once into
+// packed access streams, then the 30 caches replay those streams via
+// cache.AccessBlock, fanned out across a bounded worker pool). The two
+// paths produce bit-identical curves by construction — every cache
+// sees the identical access sequence either way; the block path only
+// changes when it looks.
 type Sweep struct {
 	// SizesKB lists the evaluated L1 capacities.
 	SizesKB []int
+
+	// Parallelism bounds the per-cache fan-out of block replay:
+	// 1 replays serially in the calling goroutine; other values fan
+	// the caches out across a shared process-wide worker pool (sized
+	// by GOMAXPROCS) with at most Parallelism replays in flight for
+	// this sweep (0 = no per-sweep bound beyond the pool). The caches
+	// are independent, so every setting yields the same curves.
+	Parallelism int
 
 	icaches []*cache.Cache
 	dcaches []*cache.Cache
 	ucaches []*cache.Cache
 
 	lastILine uint64
+
+	// Per-block scratch streams, reused across blocks: instruction
+	// line records, data records, and the interleaved unified view
+	// (order matters to LRU state, so U keeps its own stream).
+	iRecs, dRecs, uRecs []cache.Rec
 }
 
 // DefaultSweepSizesKB are the paper's ten L1 capacities.
 var DefaultSweepSizesKB = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// sweepLineShift is log2 of the sweep caches' 64-byte line size; the
+// block decoder packs line addresses with it once per access instead
+// of letting every cache re-shift the byte address.
+const sweepLineShift = 6
 
 // NewSweep builds a sweep over the given sizes (8-way, 64-byte lines
 // per the paper's simulator configuration).
@@ -44,13 +89,13 @@ func NewSweep(sizesKB []int) *Sweep {
 	return s
 }
 
-// Inst implements trace.Probe.
+// Inst implements trace.Probe — the retained serial reference.
 //
 // Instruction fetches are counted per fetched line (as MARSSx86's
 // cache statistics do), so sequential code issues one I-access per
 // 64-byte block; data references are counted per access.
 func (s *Sweep) Inst(i *isa.Inst) {
-	if line := i.PC >> 6; line != s.lastILine {
+	if line := i.PC >> sweepLineShift; line != s.lastILine {
 		s.lastILine = line
 		for k := range s.icaches {
 			s.icaches[k].Access(i.PC, false)
@@ -64,6 +109,78 @@ func (s *Sweep) Inst(i *isa.Inst) {
 			s.ucaches[k].Access(i.Addr, wr)
 		}
 	}
+}
+
+// InstBlock implements trace.BlockProbe. Stage one decodes the block
+// exactly once into three packed access streams — I-line dedup and
+// same-line run merging applied here, once, instead of per cache —
+// and stage two fans the 30 caches out across the worker pool, each
+// replaying its view's stream through cache.AccessBlock. The streams
+// are read-only during the fan-out and each cache is owned by exactly
+// one worker, so the replay is deterministic under any schedule.
+func (s *Sweep) InstBlock(block []isa.Inst) {
+	iRecs, dRecs, uRecs := s.iRecs[:0], s.dRecs[:0], s.uRecs[:0]
+	last := s.lastILine
+	for k := range block {
+		i := &block[k]
+		if line := i.PC >> sweepLineShift; line != last {
+			last = line
+			// Adjacent I records always name different lines (that is
+			// the dedup), so no run merging is possible on the I side;
+			// in the unified stream the preceding record can only be a
+			// different I line or a data line from a disjoint region.
+			rec := cache.PackRec(line, false)
+			iRecs = append(iRecs, rec)
+			uRecs = append(uRecs, rec)
+		}
+		if i.Op == isa.Load || i.Op == isa.Store {
+			line := i.Addr >> sweepLineShift
+			write := i.Op == isa.Store
+			// Sequential scans revisit a 64-byte line several times in
+			// a row; merging the run into one record makes the revisit
+			// O(1) in every one of the 20 caches replaying it (the
+			// line is resident after its first access — only the LRU
+			// stamp, clock and dirtiness can change).
+			if len(dRecs) == 0 || !cache.TryMerge(&dRecs[len(dRecs)-1], line, write) {
+				dRecs = append(dRecs, cache.PackRec(line, write))
+			}
+			if len(uRecs) == 0 || !cache.TryMerge(&uRecs[len(uRecs)-1], line, write) {
+				uRecs = append(uRecs, cache.PackRec(line, write))
+			}
+		}
+	}
+	s.lastILine = last
+	s.iRecs, s.dRecs, s.uRecs = iRecs, dRecs, uRecs
+
+	n := len(s.icaches)
+	par := s.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par == 1 {
+		// Serial replay skips the pool; still one AccessBlock per
+		// cache per block, which is where the batching win lives.
+		for k := 0; k < n; k++ {
+			s.icaches[k].AccessBlock(iRecs)
+		}
+		for k := 0; k < n; k++ {
+			s.dcaches[k].AccessBlock(dRecs)
+		}
+		for k := 0; k < n; k++ {
+			s.ucaches[k].AccessBlock(uRecs)
+		}
+		return
+	}
+	sharedReplayPool().ForEachN(par, 3*n, func(k int) {
+		switch k / n {
+		case 0:
+			s.icaches[k%n].AccessBlock(iRecs)
+		case 1:
+			s.dcaches[k%n].AccessBlock(dRecs)
+		default:
+			s.ucaches[k%n].AccessBlock(uRecs)
+		}
+	})
 }
 
 // Curves bundles the three per-size miss-ratio views a single Sweep

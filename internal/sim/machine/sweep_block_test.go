@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim/mem"
+	"repro/internal/sim/trace"
+	"repro/internal/xrand"
+)
+
+// driveSweep emits a mixed synthetic stream into e (the same workload
+// shape TestSweepMonotonic uses, plus stores and sequential phases so
+// run merging and dirty lines are exercised).
+func driveSweep(e *trace.Emitter) {
+	l := mem.NewLayout()
+	r := trace.NewRoutine(l, "k", 256<<10)
+	st := trace.Stream{
+		Mix:  trace.Mix{Load: 0.25, Store: 0.12, Branch: 0.18, IntAddr: 0.2, Taken: 0.35, Chain: 0.3},
+		Pri:  trace.NewWalk(mem.HeapBase, 4<<20, 8), // sequential: long mergeable runs
+		Sec:  trace.NewRandomWalk(mem.HeapBase, 8<<20),
+		SecP: 0.3,
+		Rng:  xrand.New(11),
+	}
+	for e.OK() {
+		st.Emit(e, r, e.Emitted()%r.Size, 500)
+	}
+	e.Flush()
+}
+
+// TestSweepBlockMatchesSerial is the replay-equivalence core: the
+// block-based sweep (decode + fan-out) must produce bit-identical
+// curves to the retained per-instruction path, for block sizes that
+// are tiny, prime, exactly dividing the stream, and budget-truncated,
+// and for serial and parallel cache fan-out.
+func TestSweepBlockMatchesSerial(t *testing.T) {
+	const budget = 60000
+	ref := NewSweep(DefaultSweepSizesKB)
+	driveSweep(trace.NewEmitter(trace.Unblocked(ref), budget))
+	want := ref.Curves()
+	if want.Inst[0] == 0 || want.Data[0] == 0 {
+		t.Fatal("reference curves empty")
+	}
+	for _, bs := range []int{1, 7, 500, 4096, trace.DefaultBlockSize} {
+		for _, par := range []int{1, 4} {
+			sw := NewSweep(DefaultSweepSizesKB)
+			sw.Parallelism = par
+			driveSweep(trace.NewBlockEmitter(sw, budget, bs))
+			if got := sw.Curves(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("block size %d, parallelism %d: curves differ from serial reference", bs, par)
+			}
+		}
+	}
+}
+
+// TestSweepBlockRaceHammer drives several block sweeps with a wide
+// cache fan-out concurrently; under -race this proves the per-cache
+// parallel replay shares nothing but the read-only streams.
+func TestSweepBlockRaceHammer(t *testing.T) {
+	var wg sync.WaitGroup
+	results := make([]Curves, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sw := NewSweep(DefaultSweepSizesKB)
+			sw.Parallelism = 8
+			driveSweep(trace.NewBlockEmitter(sw, 20000, 512))
+			results[i] = sw.Curves()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent sweep %d diverged", i)
+		}
+	}
+}
+
+// TestMachineBlockMatchesSerial checks the Machine's block path leaves
+// every counter identical to per-instruction delivery.
+func TestMachineBlockMatchesSerial(t *testing.T) {
+	ref := New(XeonE5645())
+	driveSweep(trace.NewEmitter(trace.Unblocked(ref), 30000))
+	ref.Finish()
+	for _, bs := range []int{1, 64, 4096} {
+		m := New(XeonE5645())
+		driveSweep(trace.NewBlockEmitter(m, 30000, bs))
+		m.Finish()
+		if m.C != ref.C {
+			t.Fatalf("block size %d: counters diverged", bs)
+		}
+		if m.Pipe.Cycles != ref.Pipe.Cycles {
+			t.Fatalf("block size %d: cycle counts diverged", bs)
+		}
+		if m.H.L1I.Misses != ref.H.L1I.Misses || m.H.L2.Misses != ref.H.L2.Misses {
+			t.Fatalf("block size %d: cache state diverged", bs)
+		}
+	}
+}

@@ -149,9 +149,7 @@ func (s *Stream) Emit(e *Emitter, rtn *Routine, off uint64, n int) {
 				tgt := rtn.Base + (xrand.Hash64(e.pc)%rtn.Size)&^(isa.InstBytes-1)
 				e.inst = isa.Inst{Op: isa.Branch, Kind: isa.BrIndirectJump, Taken: true, Target: tgt, Src1: last}
 				e.inst.PC = e.pc
-				e.p.Inst(&e.inst)
-				e.budget--
-				e.emitted++
+				e.send()
 				e.pc = tgt
 				continue
 			}
@@ -223,9 +221,7 @@ func (s *Stream) branch(e *Emitter, dep isa.Reg) {
 	target := e.pc + uint64((skip+1)*isa.InstBytes)
 	e.inst = isa.Inst{Op: isa.Branch, Kind: isa.BrCond, Taken: taken, Target: target, Src1: dep}
 	e.inst.PC = e.pc
-	e.p.Inst(&e.inst)
-	e.budget--
-	e.emitted++
+	e.send()
 	if taken {
 		e.pc = target
 	} else {

@@ -21,6 +21,49 @@ type Probe interface {
 	Inst(i *isa.Inst)
 }
 
+// BlockProbe is the batched delivery path: the emitter accumulates
+// instructions into a fixed-size block and hands the whole block over
+// in one call. Blocks only change *when* a probe observes the stream,
+// never *what* it observes — the concatenation of all delivered blocks
+// is exactly the per-instruction sequence, so any probe implementing
+// both interfaces must produce bit-identical state either way.
+// Implementations must not retain the slice across calls: emitters
+// reuse the block buffer.
+type BlockProbe interface {
+	InstBlock(block []isa.Inst)
+}
+
+// DefaultBlockSize is the emitter's block buffer size (instructions)
+// when a BlockProbe consumer doesn't pick one. Sized so the buffer
+// (~160 KB) plus one cache model's hot tag arrays fit the host L2 —
+// large enough to amortize per-block decode and fan-out, small enough
+// that replaying a block against one simulated cache at a time stays
+// cache-resident on the host.
+const DefaultBlockSize = 4096
+
+// DeliverBlock feeds one block to p, using its bulk path when it has
+// one and falling back to per-instruction delivery otherwise — the
+// adapter that lets block emitters drive legacy probes unchanged.
+func DeliverBlock(p Probe, block []isa.Inst) {
+	if bp, ok := p.(BlockProbe); ok {
+		bp.InstBlock(block)
+		return
+	}
+	for i := range block {
+		p.Inst(&block[i])
+	}
+}
+
+// Unblocked returns a view of p without its block path: an emitter
+// driving the result always delivers per-instruction, even when p
+// implements BlockProbe. It is the retained serial reference the
+// block-replay equivalence tests and benchmarks compare against.
+func Unblocked(p Probe) Probe { return unblocked{p} }
+
+type unblocked struct{ p Probe }
+
+func (u unblocked) Inst(i *isa.Inst) { u.p.Inst(i) }
+
 // MultiProbe fans one instruction stream out to several probes
 // (used by the cache-size sweep experiments).
 type MultiProbe []Probe
@@ -29,6 +72,14 @@ type MultiProbe []Probe
 func (m MultiProbe) Inst(i *isa.Inst) {
 	for _, p := range m {
 		p.Inst(i)
+	}
+}
+
+// InstBlock implements BlockProbe: each member gets the block through
+// its own bulk path when it has one.
+func (m MultiProbe) InstBlock(block []isa.Inst) {
+	for _, p := range m {
+		DeliverBlock(p, block)
 	}
 }
 
@@ -49,6 +100,13 @@ func (c *CountProbe) Inst(i *isa.Inst) {
 	}
 	if i.Op.IsMem() {
 		c.Memory++
+	}
+}
+
+// InstBlock implements BlockProbe.
+func (c *CountProbe) InstBlock(block []isa.Inst) {
+	for i := range block {
+		c.Inst(&block[i])
 	}
 }
 
@@ -105,6 +163,8 @@ const maxCallDepth = 64
 // advance the PC by isa.InstBytes (branches may relocate it).
 type Emitter struct {
 	p       Probe
+	bp      BlockProbe // non-nil enables block-buffered delivery
+	block   []isa.Inst // accumulating block; cap is the block size
 	inst    isa.Inst
 	pc      uint64
 	rtn     *Routine
@@ -118,9 +178,56 @@ type Emitter struct {
 // NewEmitter returns an emitter feeding p with an instruction budget.
 // Kernels poll OK() and stop when the budget is exhausted, so every
 // workload run retires a comparable instruction count regardless of
-// dataset size.
+// dataset size. Delivery is per-instruction; use NewBlockEmitter for
+// the batched path.
 func NewEmitter(p Probe, budget int64) *Emitter {
 	return &Emitter{p: p, budget: budget, nextReg: 8}
+}
+
+// NewBlockEmitter returns an emitter that, when p implements
+// BlockProbe, accumulates instructions into a blockSize-instruction
+// buffer and delivers full blocks through InstBlock (callers must
+// Flush once emission ends). blockSize <= 0 picks DefaultBlockSize.
+// For probes without a block path it behaves exactly like NewEmitter.
+// The probe observes the identical instruction sequence either way.
+func NewBlockEmitter(p Probe, budget int64, blockSize int) *Emitter {
+	e := &Emitter{p: p, budget: budget, nextReg: 8}
+	if bp, ok := p.(BlockProbe); ok {
+		if blockSize <= 0 {
+			blockSize = DefaultBlockSize
+		}
+		e.bp = bp
+		e.block = make([]isa.Inst, 0, blockSize)
+	}
+	return e
+}
+
+// Flush delivers any buffered partial block. It must be called when
+// emission ends (workloads.Run does); calling it on a per-instruction
+// emitter, or twice, is a no-op.
+func (e *Emitter) Flush() {
+	if e.bp != nil && len(e.block) > 0 {
+		e.bp.InstBlock(e.block)
+		e.block = e.block[:0]
+	}
+}
+
+// send delivers the staged instruction record — appended to the block
+// buffer on the batched path, pushed through Probe.Inst otherwise —
+// and retires it against the budget. Every emission funnels through
+// here, so both delivery modes see the same sequence.
+func (e *Emitter) send() {
+	if e.bp != nil {
+		e.block = append(e.block, e.inst)
+		if len(e.block) == cap(e.block) {
+			e.bp.InstBlock(e.block)
+			e.block = e.block[:0]
+		}
+	} else {
+		e.p.Inst(&e.inst)
+	}
+	e.budget--
+	e.emitted++
 }
 
 // OK reports whether instruction budget remains.
@@ -167,9 +274,7 @@ func (e *Emitter) Fixed(i int) isa.Reg {
 func (e *Emitter) emit() {
 	e.inst.PC = e.pc
 	e.advance()
-	e.p.Inst(&e.inst)
-	e.budget--
-	e.emitted++
+	e.send()
 }
 
 func (e *Emitter) advance() {
@@ -258,9 +363,7 @@ func (e *Emitter) Loop(l Label, taken bool, dep isa.Reg) {
 		Target: l.pc, Src1: dep,
 	}
 	e.inst.PC = e.pc
-	e.p.Inst(&e.inst)
-	e.budget--
-	e.emitted++
+	e.send()
 	if taken {
 		e.pc = l.pc
 		e.rtn = l.rtn
@@ -282,9 +385,7 @@ func (e *Emitter) If(cond bool, thenN int, then func()) {
 		Op: isa.Branch, Kind: isa.BrCond, Taken: !cond, Target: target,
 	}
 	e.inst.PC = e.pc
-	e.p.Inst(&e.inst)
-	e.budget--
-	e.emitted++
+	e.send()
 	if cond {
 		e.pc += isa.InstBytes
 		before := e.emitted
@@ -328,9 +429,7 @@ func (e *Emitter) CallIndirect(r *Routine, dep isa.Reg) {
 func (e *Emitter) call(r *Routine, kind isa.BranchKind, dep isa.Reg) {
 	e.inst = isa.Inst{Op: isa.Branch, Kind: kind, Taken: true, Target: r.Base, Src1: dep}
 	e.inst.PC = e.pc
-	e.p.Inst(&e.inst)
-	e.budget--
-	e.emitted++
+	e.send()
 	ret := e.pc + isa.InstBytes
 	if e.depth < maxCallDepth {
 		e.stack[e.depth] = frame{pc: ret, rtn: e.rtn}
@@ -352,9 +451,7 @@ func (e *Emitter) Ret() {
 	}
 	e.inst = isa.Inst{Op: isa.Branch, Kind: isa.BrRet, Taken: true, Target: target.pc}
 	e.inst.PC = e.pc
-	e.p.Inst(&e.inst)
-	e.budget--
-	e.emitted++
+	e.send()
 	e.pc = target.pc
 	e.rtn = target.rtn
 }

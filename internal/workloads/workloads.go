@@ -122,9 +122,24 @@ type Result struct {
 // returns the run summary. Each run gets a fresh simulated address
 // space and deterministic seeds derived from the workload ID, so runs
 // are reproducible and independent.
+//
+// Probes implementing trace.BlockProbe receive the stream in
+// trace.DefaultBlockSize batches; use RunBlock to pick the batch size.
+// Results are identical either way — blocking changes when the probe
+// observes the stream, never what it observes.
 func Run(w Workload, p trace.Probe, budget int64) *Result {
+	return RunBlock(w, p, budget, 0)
+}
+
+// RunBlock is Run with an explicit trace-replay block size
+// (instructions per delivered batch; <= 0 means
+// trace.DefaultBlockSize). The block size is a plumbing knob: every
+// size yields byte-identical results, it only tunes batching overhead
+// against buffer footprint. Probes without a block path are driven
+// per-instruction regardless.
+func RunBlock(w Workload, p trace.Probe, budget int64, blockSize int) *Result {
 	l := mem.NewLayout()
-	e := trace.NewEmitter(p, budget)
+	e := trace.NewBlockEmitter(p, budget, blockSize)
 	seed := idSeed(w.ID)
 	rt := stack.NewRuntime(w.Stack, e, l, seed)
 	kb := w.KernelKB
@@ -135,6 +150,7 @@ func Run(w Workload, p trace.Probe, budget int64) *Result {
 	e.Enter(code)
 	c := &Ctx{E: e, RT: rt, L: l, Rng: xrand.New(seed ^ 0xC0FFEE), Code: code}
 	w.Kernel.Run(c)
+	e.Flush()
 	insts := e.Emitted()
 	cw := c.CPUWeight
 	if cw <= 0 {

@@ -121,7 +121,7 @@ func NewDiskStore(dir string) (*Store, error) { return artifact.NewDisk(dir) }
 // Sessions on different machines sharing one server compute each
 // artefact once between them and render byte-identical output.
 func NewRemoteStore(cacheDir, serverURL string) (*Store, error) {
-	return httpstore.OpenStore(cacheDir, serverURL)
+	return httpstore.OpenStore(cacheDir, serverURL, "")
 }
 
 // GCStore sweeps an on-disk store directory down to the given bounds:
@@ -171,7 +171,7 @@ func NewPersistentSession(dir string) (*Session, error) {
 // dataset caching to the returned store (datagen.SetStore); the last
 // New*Session wins for datasets, results are unaffected either way.
 func NewRemoteSession(cacheDir, serverURL string) (*Session, error) {
-	st, err := httpstore.OpenStore(cacheDir, serverURL)
+	st, err := httpstore.OpenStore(cacheDir, serverURL, "")
 	if err != nil {
 		return nil, err
 	}
