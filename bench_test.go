@@ -12,6 +12,8 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/sim/machine"
 	"repro/internal/sim/trace"
 	"repro/internal/workloads"
@@ -331,6 +334,59 @@ func BenchmarkSweepPassBlocked(b *testing.B) {
 		workloads.Run(w, sw, sweepPassBudget)
 	}
 	b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSweepFanout measures one cold sweep trace pass with the
+// per-cache block-replay fan-out pinned to 1, 2, 4 and 8 in-flight
+// replays — the numbers behind the Sweep.Parallelism default
+// (DESIGN.md "Sweep fan-out parallelism"). The fan-out distributes 30
+// independent caches per ~4096-instruction block across the shared
+// replay pool, so the win tracks physical cores: on a single-core host
+// all widths converge on the serial time (the pool adds only
+// scheduling overhead), and wider hosts shorten the per-block barrier
+// proportionally. workers-1 replays serially in the caller (no pool
+// hop) and is the floor every width must not regress below on one
+// core.
+func BenchmarkSweepFanout(b *testing.B) {
+	w := Representative17()[14] // H-WordCount
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sw := machine.NewSweep(machine.DefaultSweepSizesKB)
+				sw.Parallelism = workers
+				workloads.Run(w, sw, sweepPassBudget)
+			}
+			b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+		})
+	}
+}
+
+// BenchmarkServeWarmUnit measures the daemon's warm fast path: one
+// GET /units answered straight from the store (artifact.Peek), no
+// session, no engine — the request shape a warmed reprod serves under
+// load.
+func BenchmarkServeWarmUnit(b *testing.B) {
+	opt := experiments.Options{Budget: 50_000, SweepBudget: 25_000, RosterBudget: 10_000}
+	srv := serve.New(serve.Config{Opt: opt})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	warm, err := http.Get(ts.URL + "/units/table1")
+	if err != nil || warm.StatusCode != 200 {
+		b.Fatalf("warmup: %v %v", err, warm)
+	}
+	warm.Body.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/units/table1")
+		if err != nil || resp.StatusCode != 200 {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if st := srv.Stats(); st.Computes != 1 {
+		b.Fatalf("warm serving recomputed: %+v", st)
+	}
 }
 
 // BenchmarkWorkloadThroughput measures raw simulation speed (the cost

@@ -5,11 +5,13 @@
 // computed by exactly one shard and downloaded by the rest, and the
 // merged outputs are byte-identical to a single full run.
 //
-// Endpoints: GET/HEAD/PUT /artifact/{id}, GET /stats (JSON counters),
-// GET /healthz. Uploads are verified — an entry whose recorded
-// identity does not hash to its id is rejected — and entries are
-// re-verified on the way out, so corruption anywhere costs a
-// recomputation, never a wrong result.
+// Endpoints: GET/HEAD/PUT /artifact/{id}, POST /closure (bulk
+// download of many entries in one round trip — how a cold shard or
+// reprod instance warms up), GET /stats (JSON counters), GET
+// /healthz. Uploads are verified — an entry whose recorded identity
+// does not hash to its id is rejected — and entries are re-verified
+// on the way out, so corruption anywhere costs a recomputation, never
+// a wrong result.
 //
 // With -gc the entry directory is swept at startup and every
 // -gc-interval: entries older than the age bound are removed, and the

@@ -40,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,6 +67,7 @@ func main() {
 	shardSpec := flag.String("shard", "", "run only shard i of n visible items, as i/n (0-based); cooperating shards share a store and merge byte-identically")
 	stats := flag.Bool("stats", false, "print artifact-store and recomputation probes to stderr")
 	block := flag.Int("block", 0, "trace-replay block size in instructions (0 = default); output is byte-identical for every size")
+	scenarioFile := flag.String("scenario", "", `run one ad-hoc scenario spec (JSON file, "-" for stdin) instead of paper items; the rendered bytes go to stdout`)
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -105,6 +107,43 @@ func main() {
 		sess.Store = st
 		datagen.SetStore(st)
 	}
+	if *scenarioFile != "" {
+		// Scenario mode: canonicalize, compute (or fetch warm) and
+		// write exactly the rendered bytes — the same bytes reprod
+		// serves for the same spec against the same store, which the
+		// serving CI job diffs.
+		if len(sel) > 0 {
+			fatal(fmt.Errorf("-scenario and item selection are mutually exclusive"))
+		}
+		var raw []byte
+		if *scenarioFile == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(*scenarioFile)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		var spec experiments.Scenario
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			fatal(fmt.Errorf("scenario %s: %w", *scenarioFile, err))
+		}
+		if err := experiments.RenderScenario(sess, spec, os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *stats {
+			printStats(sess)
+		}
+		if sweep != nil {
+			res, err := sweep()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "repro: gc: %s\n", res)
+		}
+		return
+	}
+
 	e := &experiments.Engine{
 		Session:     sess,
 		Parallelism: *parallel,
@@ -161,11 +200,7 @@ func main() {
 		t.Render(os.Stderr)
 	}
 	if *stats {
-		ss := sess.ArtifactStore().Stats()
-		fmt.Fprintf(os.Stderr, "repro: trace passes: %d; profile runs: %d; dataset generations: %d; unit renders: %d\n",
-			sess.TracePasses(), sess.ProfileRuns(), datagen.Generations(), sess.Renders())
-		fmt.Fprintf(os.Stderr, "repro: store: %d fills, %d memory hits, %d backend hits, %d backend discards\n",
-			ss.Fills, ss.MemHits, ss.BackendHits, ss.BackendDiscards)
+		printStats(sess)
 	}
 	if sweep != nil {
 		res, err := sweep()
@@ -177,6 +212,14 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func printStats(sess *experiments.Session) {
+	ss := sess.ArtifactStore().Stats()
+	fmt.Fprintf(os.Stderr, "repro: trace passes: %d; profile runs: %d; dataset generations: %d; unit renders: %d\n",
+		sess.TracePasses(), sess.ProfileRuns(), datagen.Generations(), sess.Renders())
+	fmt.Fprintf(os.Stderr, "repro: store: %d fills, %d memory hits, %d backend hits, %d backend discards, %d prefetched\n",
+		ss.Fills, ss.MemHits, ss.BackendHits, ss.BackendDiscards, ss.Prefetched)
 }
 
 func fatal(err error) {

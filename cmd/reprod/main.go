@@ -1,0 +1,135 @@
+// Command reprod serves the paper's tables, figures and ad-hoc
+// scenarios on demand over HTTP — the request/response face of the
+// reproduction pipeline. Where cmd/repro runs a batch and exits,
+// reprod stays up: requests canonicalize into artifact keys, warm
+// requests are answered straight from the store, cold ones are
+// computed exactly once no matter how many clients ask (per-key
+// request coalescing), and client disconnects cancel the simulation
+// work they abandoned.
+//
+// Endpoints (see internal/serve): GET /units/{unit}, POST /scenarios,
+// POST /jobs + GET /jobs/{id} + DELETE /jobs/{id} for async batches,
+// GET /stats, GET /metrics (Prometheus text), GET /healthz.
+//
+// -cache-dir persists every artefact locally; -store-url shares them
+// through a cmd/artifactd server (cold starts issue one bulk closure
+// download instead of per-key fetches); with both, the disk tier
+// fronts the server. Output bytes are identical to cmd/repro's for the
+// same options — a unit fetched over HTTP diffs clean against the
+// batch CLI's file.
+//
+// SIGTERM / SIGINT drains: in-flight requests and running jobs finish,
+// queued jobs are cancelled, new submissions are refused 503, then the
+// process exits 0.
+//
+// Usage:
+//
+//	reprod [-addr :9555] [-quick] [-parallel N] [-workers N] [-block N]
+//	       [-cache-dir DIR] [-store-url URL] [-store-token T]
+//	       [-gc SPEC] [-gc-interval D] [-drain-timeout D]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/artifact/httpstore"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9555", "listen address")
+	quick := flag.Bool("quick", false, "serve reduced instruction budgets (tests/CI)")
+	parallel := flag.Int("parallel", 0, "bound workers inside each computation (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "bound concurrently executing computations (0 = GOMAXPROCS)")
+	block := flag.Int("block", 0, "trace-replay block size (0 = default); output is byte-identical for every size")
+	cacheDir := flag.String("cache-dir", "", "persist artifacts under this directory and warm-start from it")
+	storeURL := flag.String("store-url", "", "share artifacts through the artifactd server at this URL")
+	storeToken := flag.String("store-token", "", "bearer token for a -token'd artifactd server (default $REPRO_STORE_TOKEN)")
+	gcSpec := flag.String("gc", "", `LRU-sweep the -cache-dir to this bound periodically: "4GB", "168h", "4GB,168h"`)
+	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc sweep")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight work")
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+
+	cfg := serve.Config{Opt: opt, Parallelism: *parallel, BlockSize: *block, Workers: *workers}
+	if *cacheDir != "" || *storeURL != "" {
+		st, err := httpstore.OpenStore(*cacheDir, *storeURL, *storeToken)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Store = st
+		datagen.SetStore(st)
+	}
+	srv := serve.New(cfg)
+
+	if *gcSpec != "" {
+		if *cacheDir == "" {
+			fatal(fmt.Errorf("-gc needs -cache-dir"))
+		}
+		policy, err := artifact.ParseGCSpec(*gcSpec)
+		if err != nil {
+			fatal(err)
+		}
+		sweep := func() {
+			res, err := artifact.GC(*cacheDir, policy.MaxBytes, policy.MaxAge)
+			if err != nil {
+				log.Printf("reprod: gc: %v", err)
+				return
+			}
+			log.Printf("reprod: gc: %s", res)
+		}
+		sweep()
+		go func() {
+			for range time.Tick(*gcInterval) {
+				sweep()
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		sig := <-stop
+		log.Printf("reprod: %s: draining (in-flight work finishes, queued jobs abort)", sig)
+		srv.BeginShutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("reprod: http shutdown: %v", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("reprod: job drain: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("reprod: serving experiments on %s (quick=%v)", *addr, *quick)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-done
+	log.Printf("reprod: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reprod:", err)
+	os.Exit(1)
+}

@@ -33,7 +33,9 @@
 package artifact
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -95,18 +97,28 @@ type Store struct {
 	// after construction, so fills read it without locking.
 	backend Backend
 
+	// prefetched holds encoded entries bulk-downloaded ahead of use
+	// (Prefetch); loadBackend consumes them before asking the backend,
+	// so a prefetched closure costs zero per-key backend reads.
+	pmu        sync.Mutex
+	prefetched map[string][]byte
+
 	fills           atomic.Int64
 	memHits         atomic.Int64
 	backendHits     atomic.Int64
 	backendDiscards atomic.Int64
+	prefetches      atomic.Int64
 }
 
 // entry is one key's singleflight slot. The once guards the fill;
-// val/err are written inside it and read only after it returns.
+// val/err are written inside it and read only after it returns. done
+// flips once the fill finished (either way), which lets Peek read a
+// completed value without risking a block on an in-flight fill.
 type entry struct {
 	once sync.Once
 	val  any
 	err  error
+	done atomic.Bool
 }
 
 // New returns an empty in-memory store.
@@ -153,6 +165,8 @@ type Stats struct {
 	// BackendDiscards counts backend entries rejected as corrupted,
 	// stale, mislabelled or invalid.
 	BackendDiscards int64
+	// Prefetched counts entries staged by bulk Prefetch downloads.
+	Prefetched int64
 }
 
 // Stats returns the current counter snapshot.
@@ -162,13 +176,105 @@ func (s *Store) Stats() Stats {
 		MemHits:         s.memHits.Load(),
 		BackendHits:     s.backendHits.Load(),
 		BackendDiscards: s.backendDiscards.Load(),
+		Prefetched:      s.prefetches.Load(),
 	}
+}
+
+// BulkCapable reports whether the store's persistence tier can serve
+// closure downloads (a BulkFetcher backend, or a chain containing
+// one) — the cheap guard callers consult before assembling a key
+// closure for Prefetch.
+func (s *Store) BulkCapable() bool {
+	switch b := s.backend.(type) {
+	case nil:
+		return false
+	case chain:
+		for _, t := range b {
+			if _, ok := t.(BulkFetcher); ok {
+				return true
+			}
+		}
+		return false
+	default:
+		_, ok := b.(BulkFetcher)
+		return ok
+	}
+}
+
+// Prefetch stages the closure of keys in one bulk backend download
+// instead of the per-key Gets later fills would issue. Keys already
+// filled in memory or already staged are skipped; everything the bulk
+// tier returns is parked as encoded bytes and consumed (verified, as
+// always) by the next fill of that key. Returns the number of entries
+// staged. A store without a bulk-capable backend stages nothing — the
+// call is free to make unconditionally.
+func (s *Store) Prefetch(keys []Key) int {
+	if !s.BulkCapable() {
+		return 0
+	}
+	bf, ok := s.backend.(BulkFetcher)
+	if !ok {
+		return 0
+	}
+	var ids []string
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		id := k.ID()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		s.mu.Lock()
+		e := s.entries[memID(k)]
+		s.mu.Unlock()
+		if e != nil && e.done.Load() && e.err == nil {
+			continue // already filled in memory
+		}
+		s.pmu.Lock()
+		_, staged := s.prefetched[id]
+		s.pmu.Unlock()
+		if staged {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	got := bf.FetchAll(ids)
+	if len(got) == 0 {
+		return 0
+	}
+	s.pmu.Lock()
+	if s.prefetched == nil {
+		s.prefetched = make(map[string][]byte, len(got))
+	}
+	for id, b := range got {
+		s.prefetched[id] = b
+	}
+	s.pmu.Unlock()
+	s.prefetches.Add(int64(len(got)))
+	return len(got)
+}
+
+// takePrefetched consumes a staged encoded entry for id, if any.
+func (s *Store) takePrefetched(id string) ([]byte, bool) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	b, ok := s.prefetched[id]
+	if ok {
+		delete(s.prefetched, id)
+	}
+	return b, ok
 }
 
 // Get returns the artefact for key, computing it at most once per
 // store. With a persistence backend, a valid persisted entry is loaded
 // instead of computing, and fresh computations are persisted. A
-// compute error is cached and returned to every caller of the key.
+// deterministic compute error is cached and returned to every caller
+// of the key; a cancellation (context error) is returned only to the
+// caller whose compute was cancelled — concurrent waiters with live
+// contexts retry, and later callers recompute.
 func Get[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 	return fill(s, key, true, nil, compute)
 }
@@ -188,13 +294,46 @@ func GetMem[T any](s *Store, key Key, compute func() (T, error)) (T, error) {
 	return fill(s, key, false, nil, compute)
 }
 
+// memID is the in-memory tier's map key: the full identity (kind +
+// label), not the hash, so an FNV collision can never alias two
+// artifacts in memory; the hash names disk files, where the stored
+// label is verified on load.
+func memID(key Key) string { return key.Kind + "\x00" + key.Label }
+
+// retryable reports whether a fill failure is transient — the caller
+// gave up (context cancellation), not the computation itself — and so
+// must not be cached against the key: the next caller retries.
+// Deterministic compute errors stay cached, as ever.
+func retryable(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 func fill[T any](s *Store, key Key, disk bool, check func(T) bool, compute func() (T, error)) (T, error) {
-	// The memory tier keys on the full identity (kind + label), not the
-	// hash, so an FNV collision can never alias two artifacts in
-	// memory; the hash names disk files, where the stored label is
-	// verified on load.
-	id := key.Kind + "\x00" + key.Label
+	for {
+		v, err, owner := fillAttempt(s, key, disk, check, compute)
+		// A waiter that inherited another caller's cancellation (the
+		// computing goroutine's context died, not this one's) retries
+		// against the now-vacated slot: its own compute runs under its
+		// own context, so a live caller converges on a real answer
+		// instead of a spurious abort. The cancelled owner itself gets
+		// its error back unchanged. Each retry either wins the slot
+		// (and returns as owner) or waits on whoever did.
+		if err != nil && !owner && retryable(err) {
+			continue
+		}
+		return v, err
+	}
+}
+
+// fillAttempt is one pass of the two-tier fill; owner reports whether
+// this caller executed the fill body (computed or loaded) rather than
+// waiting on another goroutine's in-flight fill.
+func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, compute func() (T, error)) (T, error, bool) {
+	id := memID(key)
 	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[string]*entry{}
+	}
 	e, ok := s.entries[id]
 	if !ok {
 		e = &entry{}
@@ -203,7 +342,43 @@ func fill[T any](s *Store, key Key, disk bool, check func(T) bool, compute func(
 		s.memHits.Add(1)
 	}
 	s.mu.Unlock()
+	owner := false
 	e.once.Do(func() {
+		owner = true
+		// A panic out of compute would leave the once consumed with a
+		// zero value — every waiter would read garbage. Record the
+		// failure and drop the entry before letting the panic unwind
+		// (sync.Once counts a panicking f as done, so waiters proceed
+		// and see e.err), then re-raise it on the computing goroutine:
+		// panic-based unwinding — the experiment session's cancellation
+		// signal — keeps working through nested fills.
+		defer func() {
+			failed := e.err != nil
+			var rethrow any
+			if p := recover(); p != nil {
+				failed = true
+				if perr, ok := p.(error); ok {
+					e.err = perr
+				} else {
+					e.err = fmt.Errorf("artifact: compute for %s panicked: %v", key.ID(), p)
+				}
+				rethrow = p
+			}
+			// Transient failures (cancellation, panics) are not held
+			// against the key: waiters of THIS fill see the error, the
+			// next caller gets a fresh slot and recomputes.
+			if failed && (rethrow != nil || retryable(e.err)) {
+				s.mu.Lock()
+				if s.entries[id] == e {
+					delete(s.entries, id)
+				}
+				s.mu.Unlock()
+			}
+			e.done.Store(true)
+			if rethrow != nil {
+				panic(rethrow)
+			}
+		}()
 		if disk && s.backend != nil {
 			if v, ok := loadBackend(s, key, check); ok {
 				s.backendHits.Add(1)
@@ -224,12 +399,54 @@ func fill[T any](s *Store, key Key, disk bool, check func(T) bool, compute func(
 	})
 	if e.err != nil {
 		var zero T
-		return zero, e.err
+		return zero, e.err, owner
 	}
 	v, ok2 := e.val.(T)
 	if !ok2 {
 		var zero T
-		return zero, fmt.Errorf("artifact: key %s holds %T, caller wants %T", key.ID(), e.val, zero)
+		return zero, fmt.Errorf("artifact: key %s holds %T, caller wants %T", key.ID(), e.val, zero), owner
 	}
-	return v, nil
+	return v, nil, owner
+}
+
+// Peek returns key's artefact when it is already available — a
+// completed in-memory fill, or a valid persisted entry — without ever
+// computing, blocking on an in-flight fill, or caching an error. A
+// backend hit is installed into the memory tier so repeated peeks (the
+// serving daemon's warm fast path) cost one map lookup. check, when
+// non-nil, is applied to backend-loaded values exactly as in
+// GetChecked.
+func Peek[T any](s *Store, key Key, check func(T) bool) (T, bool) {
+	var zero T
+	id := memID(key)
+	s.mu.Lock()
+	e := s.entries[id]
+	s.mu.Unlock()
+	if e != nil {
+		if !e.done.Load() || e.err != nil {
+			return zero, false
+		}
+		v, ok := e.val.(T)
+		return v, ok
+	}
+	if s.backend == nil {
+		return zero, false
+	}
+	v, ok := loadBackend(s, key, check)
+	if !ok {
+		return zero, false
+	}
+	s.backendHits.Add(1)
+	ne := &entry{val: v}
+	ne.once.Do(func() {}) // consume: a later Get must not re-fill over val
+	ne.done.Store(true)
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[string]*entry{}
+	}
+	if _, exists := s.entries[id]; !exists {
+		s.entries[id] = ne
+	}
+	s.mu.Unlock()
+	return v, true
 }

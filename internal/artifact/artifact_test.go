@@ -2,11 +2,14 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // diskPath locates key's entry file in a disk-backed store's backend.
@@ -252,5 +255,304 @@ func TestComputeErrorPropagates(t *testing.T) {
 	}
 	if st := s.Stats(); st.Fills != 0 {
 		t.Fatalf("failed compute counted as fill: %+v", st)
+	}
+}
+
+func TestContextErrorNotCached(t *testing.T) {
+	s := New()
+	key := KeyOf("ctxerr", cfg{N: 9})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Get(s, key, func() (int, error) { return 0, ctx.Err() }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Unlike a deterministic compute error, a cancellation is the
+	// caller's fault: the next caller must recompute and succeed.
+	v, err := Get(s, key, func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("retry after cancellation: v=%d err=%v", v, err)
+	}
+}
+
+func TestPanickingComputeNotCachedAndRethrown(t *testing.T) {
+	s := New()
+	key := KeyOf("panic", cfg{N: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("compute panic was swallowed")
+			}
+		}()
+		Get(s, key, func() (int, error) { panic("compute exploded") })
+	}()
+	v, err := Get(s, key, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after panic: v=%d err=%v", v, err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("peek", cfg{N: 3})
+	if _, ok := Peek[int](a, key, nil); ok {
+		t.Fatal("peek hit on an empty store")
+	}
+	if _, err := Get(a, key, func() (int, error) { return 33, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := Peek[int](a, key, nil); !ok || v != 33 {
+		t.Fatalf("peek after fill: v=%d ok=%v", v, ok)
+	}
+	// A fresh store over the same directory peeks the persisted entry
+	// without computing, and installs it for the next peek.
+	b, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := Peek[int](b, key, nil); !ok || v != 33 {
+		t.Fatalf("cross-process peek: v=%d ok=%v", v, ok)
+	}
+	if st := b.Stats(); st.Fills != 0 || st.BackendHits != 1 {
+		t.Fatalf("peek stats: %+v", st)
+	}
+	if v, ok := Peek[int](b, key, nil); !ok || v != 33 {
+		t.Fatalf("second peek: v=%d ok=%v", v, ok)
+	}
+	if st := b.Stats(); st.BackendHits != 1 {
+		t.Fatalf("second peek re-read the backend: %+v", st)
+	}
+	// And a Get after a peek must not recompute over the installed value.
+	v, err := Get(b, key, func() (int, error) {
+		t.Fatal("Get recomputed a peeked value")
+		return 0, nil
+	})
+	if err != nil || v != 33 {
+		t.Fatalf("get after peek: v=%d err=%v", v, err)
+	}
+}
+
+// bulkBackend wraps a map backend with FetchAll, counting calls.
+type bulkBackend struct {
+	mu       sync.Mutex
+	entries  map[string][]byte
+	gets     int
+	bulkGets int
+}
+
+func newBulkBackend() *bulkBackend { return &bulkBackend{entries: map[string][]byte{}} }
+
+func (b *bulkBackend) Get(id string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gets++
+	e, ok := b.entries[id]
+	return e, ok
+}
+
+func (b *bulkBackend) Put(id string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entries[id] = data
+}
+
+func (b *bulkBackend) FetchAll(ids []string) map[string][]byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bulkGets++
+	out := map[string][]byte{}
+	for _, id := range ids {
+		if e, ok := b.entries[id]; ok {
+			out[id] = e
+		}
+	}
+	return out
+}
+
+func TestPrefetchStagesClosureInOneRoundTrip(t *testing.T) {
+	bb := newBulkBackend()
+	producer := NewWithBackend(bb)
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i] = KeyOf("bulk", cfg{N: i})
+		if _, err := Get(producer, keys[i], func() (int, error) { return i * 11, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	consumer := NewWithBackend(bb)
+	if !consumer.BulkCapable() {
+		t.Fatal("bulk backend not recognized")
+	}
+	bb.mu.Lock()
+	bb.gets = 0
+	bb.mu.Unlock()
+	if n := consumer.Prefetch(keys); n != 8 {
+		t.Fatalf("prefetched %d of 8", n)
+	}
+	for i, k := range keys {
+		v, err := Get(consumer, k, func() (int, error) {
+			t.Fatalf("key %d recomputed despite prefetch", i)
+			return 0, nil
+		})
+		if err != nil || v != i*11 {
+			t.Fatalf("key %d: v=%d err=%v", i, v, err)
+		}
+	}
+	bb.mu.Lock()
+	gets, bulk := bb.gets, bb.bulkGets
+	bb.mu.Unlock()
+	if gets != 0 {
+		t.Fatalf("fills issued %d per-key backend gets after prefetch", gets)
+	}
+	if bulk != 1 {
+		t.Fatalf("prefetch issued %d bulk round trips, want 1", bulk)
+	}
+	if st := consumer.Stats(); st.Prefetched != 8 || st.BackendHits != 8 {
+		t.Fatalf("prefetch stats: %+v", st)
+	}
+	// A second prefetch of already-filled keys stages nothing.
+	if n := consumer.Prefetch(keys); n != 0 {
+		t.Fatalf("re-prefetch staged %d entries", n)
+	}
+}
+
+func TestPrefetchNoopWithoutBulkBackend(t *testing.T) {
+	s := New()
+	if s.BulkCapable() {
+		t.Fatal("memory-only store claims bulk capability")
+	}
+	if n := s.Prefetch([]Key{KeyOf("x", cfg{N: 1})}); n != 0 {
+		t.Fatalf("prefetch staged %d entries with no backend", n)
+	}
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BulkCapable() {
+		t.Fatal("disk-only store claims bulk capability")
+	}
+}
+
+func TestChainFetchAllPromotesAndSkipsLocalHits(t *testing.T) {
+	bb := newBulkBackend()
+	producer := NewWithBackend(bb)
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = KeyOf("chainbulk", cfg{N: i})
+		if _, err := Get(producer, keys[i], func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	disk, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the local tier with key 0 only.
+	if b, ok := bb.Get(keys[0].ID()); ok {
+		disk.Put(keys[0].ID(), b)
+	}
+	ch := Chain(disk, bb).(BulkFetcher)
+	bb.mu.Lock()
+	bb.bulkGets = 0
+	bb.mu.Unlock()
+	ids := make([]string, len(keys))
+	for i, k := range keys {
+		ids[i] = k.ID()
+	}
+	got := ch.FetchAll(ids)
+	if len(got) != 4 {
+		t.Fatalf("chain FetchAll returned %d of 4", len(got))
+	}
+	bb.mu.Lock()
+	bulk := bb.bulkGets
+	bb.mu.Unlock()
+	if bulk != 1 {
+		t.Fatalf("chain issued %d bulk calls, want 1", bulk)
+	}
+	// Remote entries were promoted into the disk tier.
+	for _, k := range keys[1:] {
+		if _, ok := disk.Get(k.ID()); !ok {
+			t.Fatalf("entry %s not promoted into the front tier", k.ID())
+		}
+	}
+	// A chain without any bulk tier fetches nothing.
+	if got := Chain(disk).(Backend); got == nil {
+		t.Fatal("unreachable")
+	}
+	plain := chain{disk}
+	if got := plain.FetchAll(ids); got != nil {
+		t.Fatalf("bulk-less chain returned %d entries", len(got))
+	}
+}
+
+func TestClosureWireRoundTrip(t *testing.T) {
+	entries := []ClosureEntry{
+		{ID: "a-0000000000000001", Data: []byte("alpha")},
+		{ID: "b-0000000000000002", Data: []byte("beta")},
+	}
+	b, err := EncodeClosure(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeClosure(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a-0000000000000001" || string(got[1].Data) != "beta" {
+		t.Fatalf("round trip mangled entries: %+v", got)
+	}
+	if _, err := DecodeClosure([]byte("not gob")); err == nil {
+		t.Fatal("garbage closure decoded")
+	}
+}
+
+// TestWaiterRetriesAfterForeignCancellation pins the coalescing
+// repair: a caller blocked on another goroutine's fill must not
+// inherit that goroutine's cancellation — it retries under its own
+// (live) context and converges on a real answer.
+func TestWaiterRetriesAfterForeignCancellation(t *testing.T) {
+	s := New()
+	key := KeyOf("shared", cfg{N: 1})
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := Get(s, key, func() (int, error) {
+			close(computing)
+			<-release
+			return 0, ctx.Err() // the owner's context died mid-compute
+		})
+		ownerErr <- err
+	}()
+	<-computing
+
+	waiterVal := make(chan int, 1)
+	go func() {
+		// Arrives while the doomed fill is in flight; must end up
+		// computing (or waiting on a successful fill), never seeing
+		// the owner's context error.
+		v, err := Get(s, key, func() (int, error) { return 99, nil })
+		if err != nil {
+			t.Errorf("waiter err = %v", err)
+		}
+		waiterVal <- v
+	}()
+	// Let the waiter reach the singleflight, then cancel the owner.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	close(release)
+
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	if v := <-waiterVal; v != 99 {
+		t.Fatalf("waiter got %d, want its own compute (99)", v)
 	}
 }

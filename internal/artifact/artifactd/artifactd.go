@@ -11,6 +11,10 @@
 //	PUT  /artifact/{id}  publish an entry; 400 unless the entry's
 //	                     recorded identity (version, kind, label)
 //	                     hashes to {id}
+//	POST /closure        bulk download: {"ids": [...]} answered with
+//	                     one encoded body holding every named entry
+//	                     the server has and can verify — a cold peer's
+//	                     single round trip instead of a GET per key
 //	GET  /stats          counters as JSON (gets, hits, misses, puts,
 //	                     rejects, discards, entries, bytes)
 //	GET  /metrics        the same counters in Prometheus text format
@@ -68,6 +72,8 @@ type Server struct {
 	puts, rejects, discards atomic.Int64
 	putBytes, servedBytes   atomic.Int64
 	unauthorized            atomic.Int64
+	closureReqs             atomic.Int64
+	closureServed           atomic.Int64
 }
 
 // SetToken requires "Authorization: Bearer token" on every artifact
@@ -115,6 +121,10 @@ type Stats struct {
 	// Unauthorized counts artifact requests refused for a missing or
 	// wrong bearer token.
 	Unauthorized int64
+	// ClosureRequests counts bulk closure downloads (POST /closure);
+	// ClosureServed totals the entries they returned. One closure
+	// request replaces ClosureServed per-key GETs for a cold peer.
+	ClosureRequests, ClosureServed int64
 }
 
 // Stats returns the current counter snapshot.
@@ -123,7 +133,8 @@ func (s *Server) Stats() Stats {
 		Gets: s.gets.Load(), Hits: s.hits.Load(), Misses: s.misses.Load(),
 		Puts: s.puts.Load(), Rejects: s.rejects.Load(), Discards: s.discards.Load(),
 		PutBytes: s.putBytes.Load(), ServedBytes: s.servedBytes.Load(),
-		Unauthorized: s.unauthorized.Load(),
+		Unauthorized:    s.unauthorized.Load(),
+		ClosureRequests: s.closureReqs.Load(), ClosureServed: s.closureServed.Load(),
 	}
 }
 
@@ -131,6 +142,7 @@ func (s *Server) Stats() Stats {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/artifact/", s.handleArtifact)
+	mux.HandleFunc("/closure", s.handleClosure)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -146,7 +158,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"gets": st.Gets, "hits": st.Hits, "misses": st.Misses,
 		"puts": st.Puts, "rejects": st.Rejects, "discards": st.Discards,
 		"put_bytes": st.PutBytes, "served_bytes": st.ServedBytes,
-		"unauthorized": st.Unauthorized,
+		"unauthorized":     st.Unauthorized,
+		"closure_requests": st.ClosureRequests, "closure_served": st.ClosureServed,
 	})
 }
 
@@ -169,6 +182,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"artifactd_put_bytes_total", "Wire bytes received in accepted publishes.", st.PutBytes},
 		{"artifactd_served_bytes_total", "Wire bytes sent serving entries.", st.ServedBytes},
 		{"artifactd_unauthorized_total", "Artifact requests refused for a bad bearer token.", st.Unauthorized},
+		{"artifactd_closure_requests_total", "Bulk closure downloads served.", st.ClosureRequests},
+		{"artifactd_closure_served_total", "Entries returned by closure downloads.", st.ClosureServed},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
 	}
@@ -290,4 +305,89 @@ func (s *Server) accept(w http.ResponseWriter, r *http.Request, id string) {
 	s.puts.Add(1)
 	s.putBytes.Add(int64(len(wire)))
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleClosure answers POST /closure: a JSON body {"ids": [...]}
+// names the entries a cold peer wants, and the response is one
+// artifact.EncodeClosure body holding every named entry the server has
+// and can verify (in request order; misses and corrupt entries are
+// simply absent — the peer recomputes them, exactly as with a per-key
+// miss). One round trip replaces hundreds of per-key GETs when a fresh
+// shard or serving instance warms up. Requires the bearer token like
+// any artifact operation, and compresses like a single GET when the
+// peer accepts gzip.
+func (s *Server) handleClosure(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		s.unauthorized.Add(1)
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		IDs []string `json:"ids"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil || json.Unmarshal(body, &req) != nil {
+		http.Error(w, "body is not a JSON id list", http.StatusBadRequest)
+		return
+	}
+	if len(req.IDs) > artifact.MaxClosureIDs {
+		http.Error(w, fmt.Sprintf("closure of %d ids exceeds %d", len(req.IDs), artifact.MaxClosureIDs),
+			http.StatusBadRequest)
+		return
+	}
+	for _, id := range req.IDs {
+		if !idPattern.MatchString(id) {
+			http.Error(w, "malformed artifact id "+id, http.StatusBadRequest)
+			return
+		}
+	}
+	s.closureReqs.Add(1)
+	entries := make([]artifact.ClosureEntry, 0, len(req.IDs))
+	seen := make(map[string]bool, len(req.IDs))
+	total := 0
+	for _, id := range req.IDs {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		b, ok := s.backend.Get(id)
+		if !ok {
+			continue
+		}
+		if total+len(b) > artifact.MaxWireClosureBytes {
+			// Response full: the remaining ids fall back to per-key
+			// reads on the client, which is merely slower, never wrong.
+			break
+		}
+		e, err := artifact.DecodeEntry(b)
+		if err != nil || e.Version != artifact.Version || e.Key().ID() != id {
+			s.discards.Add(1)
+			continue
+		}
+		total += len(b)
+		entries = append(entries, artifact.ClosureEntry{ID: id, Data: b})
+	}
+	s.closureServed.Add(int64(len(entries)))
+	payload, err := artifact.EncodeClosure(entries)
+	if err != nil {
+		http.Error(w, "closure encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		zb := artifact.GzipBytes(payload)
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Content-Length", strconv.Itoa(len(zb)))
+		s.servedBytes.Add(int64(len(zb)))
+		w.Write(zb)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	s.servedBytes.Add(int64(len(payload)))
+	w.Write(payload)
 }

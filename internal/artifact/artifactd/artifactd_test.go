@@ -347,3 +347,128 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	_ = srv
 }
+
+// postClosure issues one POST /closure for ids.
+func postClosure(t *testing.T, url string, ids []string, headers map[string]string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(map[string][]string{"ids": ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/closure", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestClosureServesVerifiedEntriesInRequestOrder(t *testing.T) {
+	srv, ts := start(t)
+	keys := make([]artifact.Key, 3)
+	ids := make([]string, 3)
+	for i := range keys {
+		keys[i] = artifact.KeyOf("cl", map[string]int{"n": i})
+		ids[i] = keys[i].ID()
+		resp := put(t, ts.URL+"/artifact/"+ids[i], encodedEntry(t, keys[i], []byte{byte(i)}))
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("seed put %d: %d", i, resp.StatusCode)
+		}
+	}
+	// Corrupt the middle entry on disk: it must be silently absent.
+	srv.backend.Put(ids[1], []byte("garbage"))
+
+	resp := postClosure(t, ts.URL, []string{ids[2], ids[1], ids[0], ids[0]}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("closure status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := artifact.DecodeClosure(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].ID != ids[2] || entries[1].ID != ids[0] {
+		t.Fatalf("closure entries: %+v", entries)
+	}
+	st := srv.Stats()
+	if st.ClosureRequests != 1 || st.ClosureServed != 2 || st.Discards != 1 {
+		t.Fatalf("closure stats: %+v", st)
+	}
+}
+
+func TestClosureGzipTransport(t *testing.T) {
+	_, ts := start(t)
+	key := artifact.KeyOf("clz", map[string]int{"n": 0})
+	put(t, ts.URL+"/artifact/"+key.ID(), encodedEntry(t, key, bytes.Repeat([]byte("abc"), 500)))
+	resp := postClosure(t, ts.URL, []string{key.ID()}, map[string]string{"Accept-Encoding": "gzip"})
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("status %d encoding %q", resp.StatusCode, resp.Header.Get("Content-Encoding"))
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := artifact.DecodeClosure(body)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("gzip closure: %d entries, err=%v", len(entries), err)
+	}
+}
+
+func TestClosureRejectsBadRequests(t *testing.T) {
+	_, ts := start(t)
+	// Malformed id.
+	if resp := postClosure(t, ts.URL, []string{"../etc/passwd"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("traversal id: %d", resp.StatusCode)
+	}
+	// Not JSON.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/closure", strings.NewReader("not json"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/closure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET closure: %d", getResp.StatusCode)
+	}
+}
+
+func TestClosureRequiresToken(t *testing.T) {
+	srv, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetToken("sekrit")
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp := postClosure(t, ts.URL, []string{"a-0000000000000000"}, nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless closure: %d", resp.StatusCode)
+	}
+	ok := postClosure(t, ts.URL, []string{"a-0000000000000000"},
+		map[string]string{"Authorization": "Bearer sekrit"})
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated closure: %d", ok.StatusCode)
+	}
+}

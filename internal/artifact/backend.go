@@ -26,6 +26,16 @@ type Backend interface {
 	Put(id string, data []byte)
 }
 
+// BulkFetcher is the optional closure-download side of a backend: one
+// round trip for many ids instead of a Get per id. Missing or invalid
+// ids are simply absent from the result — like Get, the operation is
+// best-effort and each returned entry is still verified by the store
+// before use. The artifactd network tier implements it over
+// POST /closure; a Chain forwards to its first bulk-capable tier.
+type BulkFetcher interface {
+	FetchAll(ids []string) map[string][]byte
+}
+
 // Entry is the self-describing envelope every backend stores: the
 // identity that produced a payload travels with the payload, so any
 // reader — a warm-starting store, an artifactd server, a remote
@@ -100,4 +110,51 @@ func (c chain) Put(id string, data []byte) {
 	for _, t := range c {
 		t.Put(id, data)
 	}
+}
+
+// FetchAll implements BulkFetcher over the chain: cheap front tiers
+// are consulted with per-id Gets (they are local), the remaining ids
+// go to the first bulk-capable tier in one round trip, and everything
+// that tier returns is promoted into the tiers in front of it — the
+// same read-through discipline as Get. Without a bulk-capable tier it
+// returns nothing: a chain of local directories has no wire round
+// trips worth batching.
+func (c chain) FetchAll(ids []string) map[string][]byte {
+	bulkAt := -1
+	for i, t := range c {
+		if _, ok := t.(BulkFetcher); ok {
+			bulkAt = i
+			break
+		}
+	}
+	if bulkAt < 0 {
+		return nil
+	}
+	out := make(map[string][]byte, len(ids))
+	remaining := ids
+	for i, t := range c {
+		if len(remaining) == 0 {
+			break
+		}
+		if i == bulkAt {
+			got := t.(BulkFetcher).FetchAll(remaining)
+			for id, b := range got {
+				out[id] = b
+				for _, front := range c[:i] {
+					front.Put(id, b)
+				}
+			}
+			break
+		}
+		var miss []string
+		for _, id := range remaining {
+			if b, ok := t.Get(id); ok {
+				out[id] = b
+			} else {
+				miss = append(miss, id)
+			}
+		}
+		remaining = miss
+	}
+	return out
 }

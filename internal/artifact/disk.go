@@ -84,7 +84,13 @@ func (d *DiskBackend) Put(id string, data []byte) {
 // backend corruption.
 func loadBackend[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 	var zero T
-	b, ok := s.backend.Get(key.ID())
+	// A bulk-prefetched entry short-circuits the backend read: the
+	// bytes already crossed the wire once, verification below is
+	// identical either way.
+	b, ok := s.takePrefetched(key.ID())
+	if !ok {
+		b, ok = s.backend.Get(key.ID())
+	}
 	if !ok {
 		return zero, false
 	}

@@ -24,6 +24,7 @@ package httpstore
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -60,6 +61,7 @@ type Client struct {
 	Token string
 
 	gets, hits, puts, errs atomic.Int64
+	bulkGets, bulkEntries  atomic.Int64
 }
 
 // New returns a backend talking to the artifactd server at baseURL
@@ -166,6 +168,70 @@ func (c *Client) put(id string, body []byte, encoding string) int {
 	return resp.StatusCode
 }
 
+// FetchAll implements artifact.BulkFetcher: one POST /closure round
+// trip downloads every named entry the server has, instead of a GET
+// per id. Like every other operation it is best-effort — a server
+// without the endpoint (404/405 from older artifactd versions), a
+// network failure or a corrupt body all degrade to an empty result and
+// the store falls back to per-key reads. Each returned entry is still
+// verified by the store before use.
+func (c *Client) FetchAll(ids []string) map[string][]byte {
+	if len(ids) == 0 || len(ids) > artifact.MaxClosureIDs {
+		return nil
+	}
+	c.bulkGets.Add(1)
+	body, err := json.Marshal(struct {
+		IDs []string `json:"ids"`
+	}{IDs: ids})
+	if err != nil {
+		c.errs.Add(1)
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/closure", bytes.NewReader(body))
+	if err != nil {
+		c.errs.Add(1)
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "gzip")
+	c.auth(req)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		c.errs.Add(1)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusMethodNotAllowed {
+			c.errs.Add(1)
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
+		return nil
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, artifact.MaxWireClosureBytes+1))
+	if err != nil || len(b) > artifact.MaxWireClosureBytes {
+		c.errs.Add(1)
+		return nil
+	}
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		if b, err = artifact.GunzipBytesMax(b, artifact.MaxWireClosureBytes); err != nil {
+			c.errs.Add(1)
+			return nil
+		}
+	}
+	entries, err := artifact.DecodeClosure(b)
+	if err != nil {
+		c.errs.Add(1)
+		return nil
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		out[e.ID] = e.Data
+	}
+	c.bulkEntries.Add(int64(len(out)))
+	return out
+}
+
 // auth attaches the bearer token when one is configured.
 func (c *Client) auth(req *http.Request) {
 	if c.Token != "" {
@@ -182,11 +248,17 @@ type Stats struct {
 	// Errors counts failed operations (network errors, unexpected
 	// statuses, oversized bodies) — all degraded to miss/drop.
 	Errors int64
+	// BulkGets counts closure round trips issued; BulkEntries totals
+	// the entries they returned (each replacing one per-key Get).
+	BulkGets, BulkEntries int64
 }
 
 // Stats returns the current counter snapshot.
 func (c *Client) Stats() Stats {
-	return Stats{Gets: c.gets.Load(), Hits: c.hits.Load(), Puts: c.puts.Load(), Errors: c.errs.Load()}
+	return Stats{
+		Gets: c.gets.Load(), Hits: c.hits.Load(), Puts: c.puts.Load(), Errors: c.errs.Load(),
+		BulkGets: c.bulkGets.Load(), BulkEntries: c.bulkEntries.Load(),
+	}
 }
 
 // OpenStore builds the store behind the CLIs' -cache-dir/-store-url

@@ -426,3 +426,84 @@ func TestPutRawRetryAgainstPreGzipServer(t *testing.T) {
 		t.Fatalf("server stats %+v, want the entry stored", st)
 	}
 }
+
+// TestFetchAllBulkClosure pins the prefetch wire path end to end: a
+// producer publishes a closure of entries, a cold consumer stages them
+// with one POST /closure and then fills every key without a single
+// per-key GET.
+func TestFetchAllBulkClosure(t *testing.T) {
+	srv, ts := startServer(t)
+	producer := artifact.NewWithBackend(client(t, ts.URL))
+	keys := make([]artifact.Key, 10)
+	for i := range keys {
+		keys[i] = artifact.KeyOf("closure", cfg{Name: "bulk", N: i})
+		i := i
+		if _, err := artifact.Get(producer, keys[i], func() (blob, error) {
+			return blob{Vals: []float64{float64(i)}}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := client(t, ts.URL)
+	consumer := artifact.NewWithBackend(c)
+	if !consumer.BulkCapable() {
+		t.Fatal("httpstore client not bulk-capable")
+	}
+	if n := consumer.Prefetch(keys); n != 10 {
+		t.Fatalf("prefetched %d of 10", n)
+	}
+	for i, k := range keys {
+		v, err := artifact.Get(consumer, k, func() (blob, error) {
+			t.Fatalf("key %d recomputed despite prefetch", i)
+			return blob{}, nil
+		})
+		if err != nil || v.Vals[0] != float64(i) {
+			t.Fatalf("key %d: %+v err=%v", i, v, err)
+		}
+	}
+	cs := c.Stats()
+	if cs.Gets != 0 {
+		t.Fatalf("consumer issued %d per-key GETs after bulk prefetch", cs.Gets)
+	}
+	if cs.BulkGets != 1 || cs.BulkEntries != 10 {
+		t.Fatalf("bulk stats: %+v", cs)
+	}
+	ss := srv.Stats()
+	if ss.ClosureRequests != 1 || ss.ClosureServed != 10 {
+		t.Fatalf("server closure stats: %+v", ss)
+	}
+}
+
+// TestFetchAllMissesAreAbsent pins the degradation contract: unknown
+// ids are simply missing from the result, and the store falls back to
+// computing them.
+func TestFetchAllMissesAreAbsent(t *testing.T) {
+	_, ts := startServer(t)
+	c := client(t, ts.URL)
+	got := c.FetchAll([]string{"nosuch-0000000000000000"})
+	if len(got) != 0 {
+		t.Fatalf("missing ids returned entries: %v", got)
+	}
+	st := artifact.NewWithBackend(c)
+	key := artifact.KeyOf("closure", cfg{Name: "missing", N: 1})
+	st.Prefetch([]artifact.Key{key})
+	v, err := artifact.Get(st, key, func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("fallback compute: v=%d err=%v", v, err)
+	}
+}
+
+// TestFetchAllAgainstServerWithoutEndpoint pins mixed-version
+// deployments: a 404 degrades to an empty result, no error surfaced.
+func TestFetchAllAgainstServerWithoutEndpoint(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	c := client(t, ts.URL)
+	if got := c.FetchAll([]string{"x-0000000000000000"}); got != nil {
+		t.Fatalf("got %v from a server without /closure", got)
+	}
+	if st := c.Stats(); st.Errors != 0 {
+		t.Fatalf("404 closure counted as error: %+v", st)
+	}
+}

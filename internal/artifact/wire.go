@@ -8,6 +8,7 @@ package artifact
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"sync"
@@ -20,6 +21,58 @@ import (
 // what a gzip bomb can make either end allocate: kilobytes of wire
 // can never buy a gigabyte of memory.
 const MaxWireEntryBytes = 64 << 20
+
+// MaxClosureIDs caps one closure request — generous against the real
+// primer closures (a full paper run is a few hundred artefacts) while
+// bounding what one request can make a server read and send.
+const MaxClosureIDs = 4096
+
+// MaxWireClosureBytes caps one closure response body (raw or expanded
+// from gzip): the aggregate analogue of MaxWireEntryBytes. Servers
+// stop packing entries at this bound (the rest fall back to per-key
+// reads, still correct) and clients refuse bodies beyond it, so the
+// protocol never lets 4096 maximum-size entries force a multi-GB
+// allocation on either end.
+const MaxWireClosureBytes = 256 << 20
+
+// ClosureEntry is one (id, encoded entry) pair of a bulk closure
+// download. Data is the same self-describing encoded Entry a single
+// GET serves; receivers verify each entry exactly as they would a
+// per-key download.
+type ClosureEntry struct {
+	ID   string
+	Data []byte
+}
+
+// EncodeClosure serializes a closure response body (gob — the same
+// codec as the entries themselves). Entries keep the encoder's order;
+// servers answer in request order so responses are deterministic.
+func EncodeClosure(entries []ClosureEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, fmt.Errorf("artifact: encode closure: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeClosure parses a closure response body, rejecting oversized
+// individual entries (each is bounded by MaxWireEntryBytes like any
+// single download).
+func DecodeClosure(b []byte) ([]ClosureEntry, error) {
+	var entries []ClosureEntry
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("artifact: decode closure: %w", err)
+	}
+	if len(entries) > MaxClosureIDs {
+		return nil, fmt.Errorf("artifact: closure of %d entries exceeds %d", len(entries), MaxClosureIDs)
+	}
+	for _, e := range entries {
+		if len(e.Data) > MaxWireEntryBytes {
+			return nil, fmt.Errorf("artifact: closure entry %s exceeds %d bytes", e.ID, MaxWireEntryBytes)
+		}
+	}
+	return entries, nil
+}
 
 // gzWriters recycles gzip writers; gzip.NewWriter allocates large
 // internal buffers, and cold runs publish (and servers re-serve)
@@ -40,16 +93,23 @@ func GzipBytes(b []byte) []byte {
 // GunzipBytes expands a gzip body, refusing malformed input and
 // expansions beyond MaxWireEntryBytes.
 func GunzipBytes(zb []byte) ([]byte, error) {
+	return GunzipBytesMax(zb, MaxWireEntryBytes)
+}
+
+// GunzipBytesMax is GunzipBytes with an explicit expansion bound —
+// closure bodies aggregate many entries and are bounded by
+// MaxWireClosureBytes instead of the single-entry cap.
+func GunzipBytesMax(zb []byte, max int) ([]byte, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(zb))
 	if err != nil {
 		return nil, err
 	}
-	b, err := io.ReadAll(io.LimitReader(zr, MaxWireEntryBytes+1))
+	b, err := io.ReadAll(io.LimitReader(zr, int64(max)+1))
 	if err != nil {
 		return nil, err
 	}
-	if len(b) > MaxWireEntryBytes {
-		return nil, fmt.Errorf("artifact: gzip body expands past %d bytes", MaxWireEntryBytes)
+	if len(b) > max {
+		return nil, fmt.Errorf("artifact: gzip body expands past %d bytes", max)
 	}
 	return b, nil
 }

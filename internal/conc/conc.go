@@ -1,8 +1,10 @@
-// Package conc holds the bounded fan-out primitive shared by the
-// profiler, the experiment engine's sweep cache and the CLIs.
+// Package conc holds the bounded fan-out primitives shared by the
+// profiler, the experiment engine's sweep cache, the serving daemon
+// and the CLIs.
 package conc
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -11,22 +13,66 @@ import (
 // goroutines (par <= 0 means GOMAXPROCS) and waits for all of them.
 // Callers communicate results by writing to distinct indices of a
 // pre-sized slice; ForEach imposes no ordering beyond that.
+//
+// A panic inside fn does not crash the worker goroutine: the first
+// panic value is captured and re-raised on the calling goroutine after
+// every worker finishes, so fan-outs compose with panic-based
+// unwinding (the experiment session signals cancellation that way).
 func ForEach(par, n int, fn func(i int)) {
+	ForEachCtx(nil, par, n, fn)
+}
+
+// ForEachCtx is ForEach bound to a context: once ctx is cancelled no
+// further indices start (in-flight calls run to completion — fn
+// observes cancellation through whatever it carries), and the return
+// value is ctx.Err(). A nil or background context never cancels and
+// always returns nil.
+func ForEachCtx(ctx context.Context, par, n int, fn func(i int)) error {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	var pval any
+	var panicked bool
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					pmu.Lock()
+					if !panicked {
+						panicked, pval = true, p
+					}
+					pmu.Unlock()
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if done != nil {
+				select {
+				case <-done:
+					return // cancelled before this index started
+				default:
+				}
+			}
 			fn(i)
 		}(i)
 	}
 	wg.Wait()
+	if panicked {
+		panic(pval)
+	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Pool is a fixed set of long-lived workers executing submitted index
@@ -44,6 +90,36 @@ type poolTask struct {
 	fn  func(int)
 	idx int
 	wg  *sync.WaitGroup
+	pb  *panicBox
+}
+
+// panicBox collects the first panic of one submitted fan-out so the
+// submitting goroutine can re-raise it; the pool's worker goroutines
+// (shared by every caller in the process) survive.
+type panicBox struct {
+	mu   sync.Mutex
+	val  any
+	seen bool
+}
+
+func (b *panicBox) capture(p any) {
+	b.mu.Lock()
+	if !b.seen {
+		b.seen, b.val = true, p
+	}
+	b.mu.Unlock()
+}
+
+// run executes one task, capturing a panic instead of unwinding the
+// worker.
+func (t poolTask) run() {
+	defer t.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			t.pb.capture(p)
+		}
+	}()
+	t.fn(t.idx)
 }
 
 // NewPool starts workers long-lived worker goroutines (<= 0 means
@@ -60,8 +136,7 @@ func NewPool(workers int) *Pool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for t := range p.tasks {
-				t.fn(t.idx)
-				t.wg.Done()
+				t.run()
 			}
 		}()
 	}
@@ -77,26 +152,32 @@ func (p *Pool) ForEach(n int, fn func(i int)) { p.ForEachN(0, n, fn) }
 // bounded to par tasks in flight (par <= 0 means unbounded — the pool
 // size is then the only limit). The bound is enforced on the
 // submitting side, so a capped call never parks pool workers that
-// other callers could use.
+// other callers could use. As with the package-level ForEach, the
+// first panic inside fn is re-raised on the submitting goroutine once
+// every task of this call finishes.
 func (p *Pool) ForEachN(par, n int, fn func(i int)) {
 	var wg sync.WaitGroup
+	var pb panicBox
 	wg.Add(n)
 	if par > 0 && par < n {
 		window := make(chan struct{}, par)
 		bounded := func(i int) {
+			defer func() { <-window }() // release even when fn panics
 			fn(i)
-			<-window
 		}
 		for i := 0; i < n; i++ {
 			window <- struct{}{}
-			p.tasks <- poolTask{fn: bounded, idx: i, wg: &wg}
+			p.tasks <- poolTask{fn: bounded, idx: i, wg: &wg, pb: &pb}
 		}
 	} else {
 		for i := 0; i < n; i++ {
-			p.tasks <- poolTask{fn: fn, idx: i, wg: &wg}
+			p.tasks <- poolTask{fn: fn, idx: i, wg: &wg, pb: &pb}
 		}
 	}
 	wg.Wait()
+	if pb.seen {
+		panic(pb.val)
+	}
 }
 
 // Close stops the workers once queued tasks finish. ForEach after

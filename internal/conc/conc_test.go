@@ -1,6 +1,7 @@
 package conc
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -101,5 +102,99 @@ func TestPoolForEachNBoundsConcurrency(t *testing.T) {
 	}
 	if maxSeen < 1 {
 		t.Fatal("nothing ran")
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p != "boom-7" {
+			t.Fatalf("recovered %v, want boom-7", p)
+		}
+	}()
+	var ran atomic.Int64
+	ForEach(4, 20, func(i int) {
+		ran.Add(1)
+		if i == 7 {
+			panic("boom-7")
+		}
+	})
+	t.Fatal("panic did not propagate")
+}
+
+func TestForEachCtxStopsStartingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEachCtx(ctx, 1, 100, func(i int) {
+		if started.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// par=1: after the cancelling call returns, no further index may
+	// start. A few in-flight launches can slip through the window, but
+	// nowhere near the full 100.
+	if n := started.Load(); n >= 100 {
+		t.Fatalf("all %d indices ran despite cancellation", n)
+	}
+}
+
+func TestForEachCtxNilAndBackgroundRunEverything(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var ran atomic.Int64
+		if err := ForEachCtx(ctx, 4, 50, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("err = %v", err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("ran %d of 50", ran.Load())
+		}
+	}
+}
+
+func TestPoolSurvivesPanickingTask(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("pool fan-out swallowed the panic")
+			}
+		}()
+		p.ForEach(4, func(i int) {
+			if i == 2 {
+				panic("task boom")
+			}
+		})
+	}()
+	// The workers must still be alive for the next caller.
+	var ran atomic.Int64
+	p.ForEach(8, func(i int) { ran.Add(1) })
+	if ran.Load() != 8 {
+		t.Fatalf("pool ran %d of 8 after a panicking task", ran.Load())
+	}
+}
+
+func TestPoolForEachNBoundedPanicReleasesWindow(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.ForEachN(2, 10, func(i int) {
+			panic("every task panics")
+		})
+	}()
+	// If a panicking task leaked its window slot, this second bounded
+	// call would deadlock; run it with a watchdog.
+	done := make(chan struct{})
+	go func() {
+		p.ForEachN(2, 10, func(i int) {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("bounded fan-out deadlocked after panics")
 	}
 }

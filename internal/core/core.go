@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,10 +47,22 @@ type Profile struct {
 // machine consumes the trace through the block path (trace.BlockProbe),
 // so the Table 2 / Fig. 1-5 profiling runs ride the batched hot loop.
 func (p *Profiler) Profile(w workloads.Workload) Profile {
+	prof, _ := p.ProfileCtx(nil, w) // a nil context never cancels
+	return prof
+}
+
+// ProfileCtx is Profile bound to a context: a cancelled ctx aborts the
+// simulation within a few thousand instructions and returns ctx.Err()
+// with a zero Profile — a truncated run is never turned into a vector.
+// A nil or background context behaves exactly like Profile.
+func (p *Profiler) ProfileCtx(ctx context.Context, w workloads.Workload) (Profile, error) {
 	m := machine.New(p.Machine)
-	res := workloads.RunBlock(w, m, p.Budget, p.BlockSize)
+	res, err := workloads.RunBlockCtx(ctx, w, m, p.Budget, p.BlockSize)
+	if err != nil {
+		return Profile{}, err
+	}
 	m.Finish()
-	return Profile{Workload: w, Vector: metrics.Compute(m), Run: res}
+	return Profile{Workload: w, Vector: metrics.Compute(m), Run: res}, nil
 }
 
 // ProfileAll characterizes every workload and returns profiles in

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -105,17 +106,33 @@ func ParseShard(spec string) (shard, count int, err error) {
 // Run executes the selected units concurrently and returns results in
 // unit-definition order.
 func (e *Engine) Run() ([]UnitResult, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run bound to a context. Cancellation is plumbed all
+// the way down: units not yet started are skipped (their result
+// carries ctx.Err()), in-flight simulation work stops within a few
+// thousand instructions (the session threads the context into every
+// emitter and sweep fan-out), aborted fills are discarded — a
+// cancelled run never publishes a partial artefact — and the call
+// returns ctx.Err().
+//
+// The context is installed as the session's Ctx for the duration when
+// the session has none; an engine run and other cancellable work must
+// therefore not share one Session concurrently (the serving daemon
+// builds a session per request).
+func (e *Engine) RunContext(ctx context.Context) ([]UnitResult, error) {
 	par := e.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	return e.run(par)
+	return e.run(ctx, par)
 }
 
 // RunSerial executes the selected units one at a time in dependency
 // order — the reference the concurrent path is benchmarked against.
 func (e *Engine) RunSerial() ([]UnitResult, error) {
-	return e.run(1)
+	return e.run(context.Background(), 1)
 }
 
 func (e *Engine) units() []Unit {
@@ -242,12 +259,19 @@ func (e *Engine) plan(units []Unit) (*schedule, error) {
 	return sc, nil
 }
 
-func (e *Engine) run(par int) ([]UnitResult, error) {
+func (e *Engine) run(ctx context.Context, par int) ([]UnitResult, error) {
 	units := e.units()
 	sc, err := e.plan(units)
 	if err != nil {
 		return nil, err
 	}
+	// Install the context as the session's for the duration, so unit
+	// bodies (which only see the Session) observe cancellation.
+	if e.Session != nil && e.Session.Ctx == nil && ctx != context.Background() {
+		e.Session.Ctx = ctx
+		defer func() { e.Session.Ctx = nil }()
+	}
+	e.prefetch(units, sc)
 	selected, indeg, dependents := sc.selected, sc.indeg, sc.dependents
 
 	n := len(selected)
@@ -266,7 +290,7 @@ func (e *Engine) run(par int) ([]UnitResult, error) {
 		go func() {
 			for i := range ready {
 				start := time.Now()
-				art, err := e.runUnit(units[i])
+				art, err := e.runUnit(ctx, units[i])
 				res[i] = UnitResult{Unit: units[i], Artifact: art, Err: err, Elapsed: time.Since(start)}
 				completions <- i
 			}
@@ -288,7 +312,39 @@ func (e *Engine) run(par int) ([]UnitResult, error) {
 			out = append(out, res[i])
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	return out, nil
+}
+
+// prefetch stages every persisted artefact the planned run can reuse —
+// the primer closures (profile records, sweep curves) plus the
+// selected units' rendered bytes — in one bulk backend download, so a
+// cold engine against a remote store issues one POST /closure instead
+// of a GET per key. Free when the store has no bulk-capable tier;
+// custom unit sets have no computable keys and skip the render tier.
+func (e *Engine) prefetch(units []Unit, sc *schedule) {
+	s := e.Session
+	if s == nil {
+		return
+	}
+	st := s.ArtifactStore()
+	if !st.BulkCapable() {
+		return
+	}
+	var keys []artifact.Key
+	for i, u := range units {
+		if !sc.selected[i] {
+			continue
+		}
+		if u.Hidden {
+			keys = append(keys, s.primerKeys(u.Name)...)
+		} else if e.Units == nil {
+			keys = append(keys, UnitRenderKey(s.Opt, u.Name))
+		}
+	}
+	st.Prefetch(keys)
 }
 
 // renderKey identifies one unit's rendered output in the store: the
@@ -302,6 +358,15 @@ type renderKey struct {
 	Format string
 }
 
+// UnitRenderKey returns the store identity of a visible paper unit's
+// rendered bytes at the given options — the key the engine memoizes
+// runUnit under, exported so the serving daemon's warm fast path can
+// answer a request straight from the store without planning an engine
+// run.
+func UnitRenderKey(opt Options, unit string) artifact.Key {
+	return artifact.KeyOf("render", renderKey{Unit: unit, Opt: opt, Format: "text"})
+}
+
 // runUnit executes one unit. Visible units of the default experiment
 // set are render-memoized: the unit's rendered bytes are themselves a
 // store artefact, so a warm-started run (same options, persisted
@@ -309,12 +374,20 @@ type renderKey struct {
 // the table walk and formatting too — it only copies bytes. Custom
 // unit sets (e.Units != nil) run unmemoized: their names don't
 // identify content the way the fixed paper set's do.
-func (e *Engine) runUnit(u Unit) (Artifact, error) {
+//
+// Cancellation surfaces here: a unit whose context is already done is
+// skipped outright, and a session-cancellation unwind out of a running
+// unit body is converted back into its error result.
+func (e *Engine) runUnit(ctx context.Context, u Unit) (art Artifact, err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	defer RecoverCanceled(&err)
 	s := e.Session
 	if u.Hidden || e.Units != nil {
 		return u.Run(s)
 	}
-	key := artifact.KeyOf("render", renderKey{Unit: u.Name, Opt: s.Opt, Format: "text"})
+	key := UnitRenderKey(s.Opt, u.Name)
 	b, err := artifact.Get(s.ArtifactStore(), key, func() ([]byte, error) {
 		art, err := u.Run(s)
 		if err != nil || art == nil {

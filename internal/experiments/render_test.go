@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -110,7 +111,7 @@ func TestRenderErrorPropagates(t *testing.T) {
 	e := &Engine{Session: s}
 	boom := fmt.Errorf("boom")
 	u := Unit{Name: "synthetic-failure", Run: func(*Session) (Artifact, error) { return nil, boom }}
-	if _, err := e.runUnit(u); err != boom {
+	if _, err := e.runUnit(context.Background(), u); err != boom {
 		t.Fatalf("runUnit error = %v, want %v", err, boom)
 	}
 	if s.Renders() != 0 {

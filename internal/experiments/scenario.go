@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/artifact"
+	"repro/internal/sim/machine"
+	"repro/internal/workloads"
+)
+
+// Scenario is a declarative ad-hoc experiment request: a cache-size
+// sweep figure over any workload subset, at any instruction budget, on
+// any sweep-cache geometry — the paper's Fig. 6-9 methodology opened
+// to the questions the paper didn't print ("the I-cache knee of just
+// the Spark workloads at twice the budget on 4-way caches"). It is the
+// request body of the serving daemon's /scenarios endpoint and of
+// repro -scenario.
+//
+// A scenario is resolved against the fixed workload catalogue by
+// Canonical, which validates every field and normalizes the spec so
+// that every equivalent request produces the same canonical form —
+// and therefore the same artifact.KeyOf identity. Warm repeats of a
+// scenario are pure store I/O, and a scenario that leaves the budget,
+// sizes and geometry at their defaults shares its per-workload sweep
+// artefacts with the paper figures.
+type Scenario struct {
+	// Name optionally labels the request; it appears in the rendered
+	// title (and therefore in the identity — differently named
+	// renderings are different artefacts).
+	Name string `json:"name,omitempty"`
+
+	// Groups selects named workload groups, each rendered as its own
+	// curve: "hadoop" (the §5.4 Hadoop-stack group), "parsec", "mpi"
+	// (the six MPI twins), "reps17" (the Table 2 representatives).
+	Groups []string `json:"groups,omitempty"`
+
+	// Workloads selects individual 77-roster entries by ID (plus the
+	// MPI twins); the selection is rendered as one additional curve.
+	// At least one group or workload is required.
+	Workloads []string `json:"workloads,omitempty"`
+
+	// Budget is the per-workload instruction budget (0 = the serving
+	// session's sweep budget).
+	Budget int64 `json:"budget,omitempty"`
+
+	// SizesKB lists the swept L1 capacities (nil = the paper's ten,
+	// 16 KB to 8192 KB).
+	SizesKB []int `json:"sizes_kb,omitempty"`
+
+	// Ways and LineBytes override the sweep-cache geometry
+	// (0 = the paper's 8 ways / 64-byte lines).
+	Ways      int `json:"ways,omitempty"`
+	LineBytes int `json:"line_bytes,omitempty"`
+
+	// Views selects the rendered miss-ratio views, any of "inst",
+	// "data", "unified" (nil = inst only).
+	Views []string `json:"views,omitempty"`
+}
+
+// scenarioGroups maps group names to their workload lists, in the
+// same resolution the paper figures use.
+func scenarioGroups() map[string]func() []workloads.Workload {
+	return map[string]func() []workloads.Workload{
+		"hadoop": hadoopGroup,
+		"parsec": parsecGroup,
+		"mpi":    workloads.MPI6,
+		"reps17": workloads.Representative17,
+	}
+}
+
+// ScenarioGroupNames lists the accepted group names.
+func ScenarioGroupNames() []string {
+	var names []string
+	for name := range scenarioGroups() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// scenarioCatalogue indexes the selectable workloads by ID: the full
+// 77-roster plus any MPI twins whose IDs the roster doesn't already
+// claim. IDs resolve deterministically — the roster entry wins a
+// collision — so a scenario's curves are a pure function of its
+// canonical form.
+func scenarioCatalogue() map[string]workloads.Workload {
+	idx := make(map[string]workloads.Workload, 84)
+	for _, w := range workloads.Roster77() {
+		idx[w.ID] = w
+	}
+	for _, w := range workloads.MPI6() {
+		if _, taken := idx[w.ID]; !taken {
+			idx[w.ID] = w
+		}
+	}
+	return idx
+}
+
+// ScenarioWorkloadIDs lists the selectable workload IDs, sorted.
+func ScenarioWorkloadIDs() []string {
+	idx := scenarioCatalogue()
+	ids := make([]string, 0, len(idx))
+	for id := range idx {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// scenarioViews is the canonical view order.
+var scenarioViews = []struct {
+	name string
+	view func(machine.Curves) []float64
+}{
+	{"inst", curveInst},
+	{"data", curveData},
+	{"unified", curveUnified},
+}
+
+// Canonical validates the scenario against opt (the serving session's
+// budgets supply the defaults) and returns its canonical form: groups
+// and workloads sorted and deduplicated, the budget resolved to an
+// explicit value, sizes resolved to an explicit ascending list, views
+// deduplicated into canonical order, and default geometry folded to
+// zero. Two requests meaning the same experiment canonicalize to the
+// same value — and so to the same artifact key.
+func (sc Scenario) Canonical(opt Options) (Scenario, error) {
+	out := Scenario{Name: sc.Name}
+
+	groups := scenarioGroups()
+	seenG := map[string]bool{}
+	for _, g := range sc.Groups {
+		g = strings.ToLower(strings.TrimSpace(g))
+		if _, ok := groups[g]; !ok {
+			return Scenario{}, fmt.Errorf("experiments: unknown scenario group %q (known: %s)",
+				g, strings.Join(ScenarioGroupNames(), " "))
+		}
+		if !seenG[g] {
+			seenG[g] = true
+			out.Groups = append(out.Groups, g)
+		}
+	}
+	sort.Strings(out.Groups)
+
+	catalogue := scenarioCatalogue()
+	seenW := map[string]bool{}
+	for _, id := range sc.Workloads {
+		id = strings.TrimSpace(id)
+		if _, ok := catalogue[id]; !ok {
+			return Scenario{}, fmt.Errorf("experiments: unknown scenario workload %q", id)
+		}
+		if !seenW[id] {
+			seenW[id] = true
+			out.Workloads = append(out.Workloads, id)
+		}
+	}
+	sort.Strings(out.Workloads)
+
+	if len(out.Groups) == 0 && len(out.Workloads) == 0 {
+		return Scenario{}, fmt.Errorf("experiments: scenario selects no groups and no workloads")
+	}
+
+	out.Budget = sc.Budget
+	if out.Budget <= 0 {
+		out.Budget = opt.SweepBudget
+	}
+	const maxScenarioBudget = 1 << 33 // ~8.6G insts: far past any real figure, bounds one request's CPU
+	if out.Budget > maxScenarioBudget {
+		return Scenario{}, fmt.Errorf("experiments: scenario budget %d exceeds %d", out.Budget, int64(maxScenarioBudget))
+	}
+
+	out.SizesKB = append([]int(nil), sc.SizesKB...)
+	if len(out.SizesKB) == 0 {
+		out.SizesKB = append(out.SizesKB, machine.DefaultSweepSizesKB...)
+	}
+	if len(out.SizesKB) > 64 {
+		return Scenario{}, fmt.Errorf("experiments: scenario sweeps %d sizes, limit 64", len(out.SizesKB))
+	}
+	sort.Ints(out.SizesKB)
+	for i, kb := range out.SizesKB {
+		if kb <= 0 || (i > 0 && kb == out.SizesKB[i-1]) {
+			return Scenario{}, fmt.Errorf("experiments: scenario sizes must be positive and distinct, got %v", sc.SizesKB)
+		}
+	}
+
+	out.Ways, out.LineBytes = sc.Ways, sc.LineBytes
+	if out.Ways == machine.DefaultSweepWays {
+		out.Ways = 0 // fold the default so the artefacts alias the paper's
+	}
+	if out.LineBytes == machine.DefaultSweepLineBytes {
+		out.LineBytes = 0
+	}
+	if _, err := machine.NewSweepSpec(out.SizesKB[:1], out.Ways, out.LineBytes); err != nil {
+		return Scenario{}, err
+	}
+	for _, kb := range out.SizesKB {
+		ways, line := out.Ways, out.LineBytes
+		if ways == 0 {
+			ways = machine.DefaultSweepWays
+		}
+		if line == 0 {
+			line = machine.DefaultSweepLineBytes
+		}
+		if (kb<<10)%(ways*line) != 0 {
+			return Scenario{}, fmt.Errorf("experiments: scenario size %d KB not divisible into %d-way sets of %d-byte lines",
+				kb, ways, line)
+		}
+	}
+
+	if len(sc.Views) == 0 {
+		out.Views = []string{"inst"}
+	} else {
+		want := map[string]bool{}
+		for _, v := range sc.Views {
+			v = strings.ToLower(strings.TrimSpace(v))
+			known := false
+			for _, sv := range scenarioViews {
+				if sv.name == v {
+					known = true
+				}
+			}
+			if !known {
+				return Scenario{}, fmt.Errorf("experiments: unknown scenario view %q (want inst, data or unified)", v)
+			}
+			want[v] = true
+		}
+		for _, sv := range scenarioViews {
+			if want[sv.name] {
+				out.Views = append(out.Views, sv.name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScenarioKey returns the artifact identity a scenario's rendered
+// bytes live under. Spec must already be canonical (Canonical is
+// idempotent; callers canonicalize once and key on the result).
+func ScenarioKey(canonical Scenario) artifact.Key {
+	return artifact.KeyOf("scenario-render", canonical)
+}
+
+// title builds the rendered heading for one view.
+func (sc Scenario) title(view string) string {
+	name := sc.Name
+	if name == "" {
+		name = "ad-hoc"
+	}
+	return fmt.Sprintf("Scenario %s: %s cache miss ratio vs cache size (budget %d)", name, view, sc.Budget)
+}
+
+// run computes the scenario's sweep figures over the session. One
+// SweepResult per view, each with one curve per selected group plus,
+// when individual workloads are named, a "selection" curve.
+func (sc Scenario) run(s *Session) ([]SweepResult, error) {
+	groups := scenarioGroups()
+	catalogue := scenarioCatalogue()
+	type curveSet struct {
+		name string
+		list []workloads.Workload
+	}
+	var sets []curveSet
+	for _, g := range sc.Groups {
+		sets = append(sets, curveSet{name: g + "-workloads", list: groups[g]()})
+	}
+	if len(sc.Workloads) > 0 {
+		list := make([]workloads.Workload, 0, len(sc.Workloads))
+		for _, id := range sc.Workloads {
+			list = append(list, catalogue[id])
+		}
+		sets = append(sets, curveSet{name: "selection", list: list})
+	}
+
+	var out []SweepResult
+	for _, vname := range sc.Views {
+		var view func(machine.Curves) []float64
+		for _, sv := range scenarioViews {
+			if sv.name == vname {
+				view = sv.view
+			}
+		}
+		r := SweepResult{
+			Title:   sc.title(vname),
+			SizesKB: sc.SizesKB,
+			Curves:  make(map[string][]float64, len(sets)),
+		}
+		for _, cs := range sets {
+			r.Order = append(r.Order, cs.name)
+			r.Curves[cs.name] = sweepGroupSpec(s, cs.list, sc.Budget, sc.SizesKB, sc.Ways, sc.LineBytes, view)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunScenario resolves, computes and renders a scenario over the
+// session, returning the rendered bytes. The bytes are a store
+// artefact keyed by the canonical spec, so a warm request — this
+// process or any other sharing the store — performs zero simulation
+// and zero rendering; cold requests fill per-workload sweep artefacts
+// shared with every other scenario (and, at default geometry, with the
+// paper figures). Cancellation via s.Ctx aborts the computation and
+// returns ctx.Err() without publishing anything.
+func RunScenario(s *Session, spec Scenario) (out []byte, err error) {
+	canon, err := spec.Canonical(s.Opt)
+	if err != nil {
+		return nil, err
+	}
+	defer RecoverCanceled(&err)
+	key := ScenarioKey(canon)
+	return mustFillBytes(artifact.Get(s.ArtifactStore(), key, func() ([]byte, error) {
+		results, err := canon.run(s)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		for _, r := range results {
+			r.Render(&buf)
+			for _, name := range r.Order {
+				fmt.Fprintf(&buf, "knee(%s, 0.2) = %d KB\n", name, r.Knee(name, 0.2))
+			}
+		}
+		s.renders.Add(1)
+		return buf.Bytes(), nil
+	}))
+}
+
+// mustFillBytes passes a scenario fill through, letting cancellation
+// unwind via mustFill's panic (recovered by RunScenario) while real
+// errors return normally.
+func mustFillBytes(b []byte, err error) ([]byte, error) {
+	if err != nil {
+		var c canceledErr
+		if errors.As(err, &c) {
+			panic(c)
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// RenderScenario writes a scenario's rendered bytes to w (cmd/repro's
+// -scenario path; the daemon serves the bytes directly).
+func RenderScenario(s *Session, spec Scenario, w io.Writer) error {
+	b, err := RunScenario(s, spec)
+	if err != nil {
+		return err
+	}
+	_, werr := w.Write(b)
+	return werr
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// TestScenarioCanonicalEquivalence pins the keying contract: specs
+// meaning the same experiment — unordered selections, explicit
+// defaults, mixed-case names — canonicalize identically and therefore
+// share one artifact key.
+func TestScenarioCanonicalEquivalence(t *testing.T) {
+	opt := tinyOptions()
+	a := Scenario{
+		Groups:    []string{"parsec", "hadoop", "hadoop"},
+		Workloads: []string{"S-Sort", "H-Grep"},
+		Views:     []string{"data", "inst"},
+	}
+	b := Scenario{
+		Groups:    []string{"Hadoop", "PARSEC"},
+		Workloads: []string{"H-Grep", "S-Sort", "H-Grep"},
+		Budget:    opt.SweepBudget, // explicit default
+		SizesKB:   []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192},
+		Ways:      8,  // explicit modeled default folds to 0
+		LineBytes: 64, // likewise
+		Views:     []string{"inst", "data"},
+	}
+	ca, err := a.Canonical(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonical(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScenarioKey(ca).ID() != ScenarioKey(cb).ID() {
+		t.Fatalf("equivalent specs keyed differently:\n%s\n%s",
+			ScenarioKey(ca).Label, ScenarioKey(cb).Label)
+	}
+	if ca.Ways != 0 || ca.LineBytes != 0 {
+		t.Fatalf("default geometry not folded: %+v", ca)
+	}
+	// Canonical is idempotent.
+	cc, err := ca.Canonical(opt)
+	if err != nil || ScenarioKey(cc).ID() != ScenarioKey(ca).ID() {
+		t.Fatalf("Canonical not idempotent: %v", err)
+	}
+}
+
+// TestScenarioValidation pins rejection of every malformed field.
+func TestScenarioValidation(t *testing.T) {
+	opt := tinyOptions()
+	bad := []Scenario{
+		{},                                 // selects nothing
+		{Groups: []string{"nosuchgroup"}},  // unknown group
+		{Workloads: []string{"Z-Nothing"}}, // unknown workload
+		{Groups: []string{"mpi"}, SizesKB: []int{0}},            // non-positive size
+		{Groups: []string{"mpi"}, SizesKB: []int{64, 64}},       // duplicate size
+		{Groups: []string{"mpi"}, Ways: 3},                      // fractional sets at 16 KB
+		{Groups: []string{"mpi"}, LineBytes: 48},                // line not a power of two
+		{Groups: []string{"mpi"}, Views: []string{"imaginary"}}, // unknown view
+		{Groups: []string{"mpi"}, Budget: 1 << 40},              // absurd budget
+	}
+	for i, sc := range bad {
+		if _, err := sc.Canonical(opt); err == nil {
+			t.Errorf("case %d (%+v) passed validation", i, sc)
+		}
+	}
+}
+
+// TestScenarioMatchesPaperFigure pins artefact sharing: a scenario at
+// default budget/sizes/geometry pulls the same per-workload sweep
+// artefacts the paper figures fill — running fig6's groups as a
+// scenario over a warm store must trace nothing new.
+func TestScenarioMatchesPaperFigure(t *testing.T) {
+	store := artifact.New()
+	s := NewSession(tinyOptions())
+	s.Store = store
+
+	// Warm the store with fig6's sweeps.
+	Fig6(s)
+	warmPasses := s.TracePasses()
+	if warmPasses == 0 {
+		t.Fatal("Fig6 traced nothing")
+	}
+
+	out, err := RunScenario(s, Scenario{Groups: []string{"hadoop", "parsec"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TracePasses() != warmPasses {
+		t.Fatalf("default-geometry scenario re-traced: %d -> %d passes", warmPasses, s.TracePasses())
+	}
+	if !strings.Contains(string(out), "hadoop-workloads") || !strings.Contains(string(out), "knee(") {
+		t.Fatalf("scenario rendering missing expected content:\n%s", out)
+	}
+}
+
+// TestScenarioWarmRepeatIsPureStoreIO pins the serving fast path: the
+// second identical request renders nothing and simulates nothing, and
+// the bytes are identical — including across sessions sharing the
+// store.
+func TestScenarioWarmRepeatIsPureStoreIO(t *testing.T) {
+	store := artifact.New()
+	s := NewSession(tinyOptions())
+	s.Store = store
+	spec := Scenario{Name: "warmth", Workloads: []string{"H-Grep", "S-Sort"}, Views: []string{"inst", "unified"}}
+
+	cold, err := RunScenario(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Renders() != 1 {
+		t.Fatalf("cold scenario renders = %d, want 1", s.Renders())
+	}
+	warm, err := RunScenario(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm scenario bytes differ")
+	}
+	if s.Renders() != 1 || s.TracePasses() != 2 {
+		t.Fatalf("warm repeat recomputed: renders=%d passes=%d", s.Renders(), s.TracePasses())
+	}
+
+	other := NewSession(tinyOptions())
+	other.Store = store
+	again, err := RunScenario(other, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, again) {
+		t.Fatal("cross-session scenario bytes differ")
+	}
+	if other.Renders() != 0 || other.TracePasses() != 0 {
+		t.Fatalf("cross-session warm scenario recomputed: renders=%d passes=%d",
+			other.Renders(), other.TracePasses())
+	}
+}
+
+// TestScenarioGeometryOverridesChangeContent pins that ways/line
+// overrides flow through to the caches: the same selection at 2-way
+// associativity renders different numbers and keys differently.
+func TestScenarioGeometryOverridesChangeContent(t *testing.T) {
+	s := NewSession(tinyOptions())
+	base := Scenario{Workloads: []string{"H-Grep"}, SizesKB: []int{16, 64}}
+	narrow := Scenario{Workloads: []string{"H-Grep"}, SizesKB: []int{16, 64}, Ways: 2}
+
+	cb, err := base.Canonical(s.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := narrow.Canonical(s.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScenarioKey(cb).ID() == ScenarioKey(cn).ID() {
+		t.Fatal("geometry override did not change the scenario key")
+	}
+	ob, err := RunScenario(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunScenario(s, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ob, on) {
+		t.Fatal("2-way scenario rendered identical bytes to 8-way")
+	}
+}

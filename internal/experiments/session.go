@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,22 @@ func Quick() Options {
 type Session struct {
 	Opt Options
 
+	// Ctx, when non-nil, bounds every simulation this session runs: a
+	// cancelled context stops in-flight trace passes and profiling runs
+	// within a few thousand instructions (the emitters zero their
+	// budgets), aborted fills are discarded — never persisted, never
+	// cached against their keys — and the cancellation surfaces as
+	// ctx.Err() from Engine.RunContext / RunScenario. Set it before
+	// first use; the serving daemon gives every request its own session
+	// (sharing one Store) so each request cancels independently.
+	//
+	// Cancellation unwinds session accessors (Reps, SweepCurves, ...)
+	// as a panic carrying ctx.Err(), because their signatures have no
+	// error result; Engine.RunContext and RunScenario recover it at
+	// the unit boundary. Callers driving a cancellable session by hand
+	// must recover the same way (see RecoverCanceled).
+	Ctx context.Context
+
 	// Parallelism bounds the worker pool of every profiling and sweep
 	// fan-out this session performs (0 = GOMAXPROCS). The Engine's own
 	// Parallelism bounds concurrent experiments; this bounds the work
@@ -97,10 +115,55 @@ func (s *Session) ArtifactStore() *artifact.Store {
 	return s.st
 }
 
-// mustFill unwraps a store fill whose compute cannot fail; remaining
-// errors (kind collisions, codec misuse) are programming errors.
+// canceledErr is the panic value session accessors unwind with when
+// their context is cancelled mid-fill. It is also an error (unwrapping
+// to context.Canceled / DeadlineExceeded) so the artifact store can
+// record it for concurrent waiters of the same fill, and errors.Is
+// keeps working wherever it surfaces.
+type canceledErr struct{ err error }
+
+func (c canceledErr) Error() string { return "experiments: session cancelled: " + c.err.Error() }
+func (c canceledErr) Unwrap() error { return c.err }
+
+// RecoverCanceled converts a session-cancellation panic into *err,
+// re-raising anything else. Defer it wherever session accessors run
+// under a cancellable context outside the engine:
+//
+//	func work(s *Session) (err error) {
+//	    defer experiments.RecoverCanceled(&err)
+//	    s.Reps()
+//	    ...
+func RecoverCanceled(err *error) {
+	if p := recover(); p != nil {
+		c, ok := p.(canceledErr)
+		if !ok {
+			panic(p)
+		}
+		*err = c.err
+	}
+}
+
+// ctx returns the session's context (background when unset).
+func (s *Session) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// mustFill unwraps a store fill whose compute cannot fail on its own:
+// a cancellation unwinds as canceledErr (the session's cooperative
+// abort signal), everything else (kind collisions, codec misuse) is a
+// programming error.
 func mustFill[T any](v T, err error) T {
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			var c canceledErr
+			if !errors.As(err, &c) {
+				c = canceledErr{err}
+			}
+			panic(c)
+		}
 		panic(fmt.Sprintf("experiments: artifact fill failed: %v", err))
 	}
 	return v
@@ -124,9 +187,13 @@ func (s *Session) profileOne(cfg machine.Config, w workloads.Workload, budget in
 	rec := mustFill(artifact.GetChecked(s.ArtifactStore(), key,
 		func(r core.ProfileRecord) bool { return r.Matches(w) },
 		func() (core.ProfileRecord, error) {
-			s.profileRuns.Add(1)
 			p := core.Profiler{Machine: cfg, Budget: budget, BlockSize: s.BlockSize}
-			return core.Record(p.Profile(w)), nil
+			prof, err := p.ProfileCtx(s.ctx(), w)
+			if err != nil {
+				return core.ProfileRecord{}, err // aborted: never recorded, never persisted
+			}
+			s.profileRuns.Add(1)
+			return core.Record(prof), nil
 		}))
 	return rec.Rebind(w)
 }
@@ -183,9 +250,14 @@ func (s *Session) Roster() []core.Profile {
 // warming Roster(), Opt.Budget when warming Reps().
 func (s *Session) Profiles(cfg machine.Config, list []workloads.Workload, budget int64) []core.Profile {
 	out := make([]core.Profile, len(list))
-	conc.ForEach(s.Parallelism, len(list), func(i int) {
+	err := conc.ForEachCtx(s.Ctx, s.Parallelism, len(list), func(i int) {
 		out[i] = s.profileOne(cfg, list[i], budget)
 	})
+	if err != nil {
+		// Cancelled mid-fan-out: some slots are zero — unwind rather
+		// than hand back a torn profile set.
+		panic(canceledErr{err})
+	}
 	return out
 }
 
@@ -231,11 +303,17 @@ func (s *Session) Suites() (map[string]metrics.Vector, map[string][]core.Profile
 	return v.avg, v.runs
 }
 
-// sweepKey identifies one workload's Fig. 6-9 sweep curves.
+// sweepKey identifies one workload's cache-sweep curves. Ways and
+// Line are omitted from the canonical JSON when they are the modeled
+// defaults (8 ways, 64-byte lines), so the Fig. 6-9 keys are identical
+// whether the curves were filled by a paper unit or by an ad-hoc
+// scenario that left the geometry alone — the two share one artefact.
 type sweepKey struct {
 	Workload string
 	Budget   int64
 	SizesKB  []int
+	Ways     int `json:",omitempty"`
+	Line     int `json:",omitempty"`
 }
 
 // SweepCurves returns the memoized Fig. 6-9 cache-sweep curves for one
@@ -244,8 +322,26 @@ type sweepKey struct {
 // callers for the same workload block on that key's singleflight while
 // callers for other workloads proceed in parallel.
 func (s *Session) SweepCurves(w workloads.Workload, budget int64) machine.Curves {
-	sizes := machine.DefaultSweepSizesKB
-	key := artifact.KeyOf("sweep-curves", sweepKey{Workload: workloads.Signature(w), Budget: budget, SizesKB: sizes})
+	return s.SweepCurvesSpec(w, budget, machine.DefaultSweepSizesKB, 0, 0)
+}
+
+// SweepCurvesSpec is SweepCurves with the swept sizes and cache
+// geometry chosen by the caller — the primitive behind scenario
+// requests. ways and lineBytes of 0 select the paper defaults, and the
+// default-geometry artefacts are exactly SweepCurves' (one trace pass
+// serves both). Invalid geometries panic; the scenario canonicalizer
+// validates before any session work.
+func (s *Session) SweepCurvesSpec(w workloads.Workload, budget int64, sizes []int, ways, lineBytes int) machine.Curves {
+	if ways == machine.DefaultSweepWays {
+		ways = 0
+	}
+	if lineBytes == machine.DefaultSweepLineBytes {
+		lineBytes = 0
+	}
+	key := artifact.KeyOf("sweep-curves", sweepKey{
+		Workload: workloads.Signature(w), Budget: budget, SizesKB: sizes,
+		Ways: ways, Line: lineBytes,
+	})
 	return mustFill(artifact.GetChecked(s.ArtifactStore(), key,
 		func(c machine.Curves) bool {
 			return len(c.SizesKB) == len(sizes) && len(c.Inst) == len(sizes) &&
@@ -253,16 +349,72 @@ func (s *Session) SweepCurves(w workloads.Workload, budget int64) machine.Curves
 		},
 		func() (machine.Curves, error) {
 			// Block-based replay: the trace is decoded into packed
-			// access streams once per block and the 30 caches replay
+			// access streams once per block and the caches replay
 			// them through a worker pool bounded by s.Parallelism —
 			// bit-identical to the retained serial path, so the store
 			// key needs neither knob.
-			sw := machine.NewSweep(sizes)
+			sw, err := machine.NewSweepSpec(sizes, ways, lineBytes)
+			if err != nil {
+				return machine.Curves{}, err
+			}
 			sw.Parallelism = s.Parallelism
-			workloads.RunBlock(w, sw, budget, s.BlockSize)
+			ctx := s.ctx()
+			sw.Cancel = ctx.Done()
+			if _, err := workloads.RunBlockCtx(ctx, w, sw, budget, s.BlockSize); err != nil {
+				return machine.Curves{}, err // aborted: curves truncated, discard
+			}
 			s.tracePasses.Add(1)
 			return sw.Curves(), nil
 		}))
+}
+
+// primerKeys enumerates the persisted store keys one hidden primer
+// unit will fill — the per-workload profile records or sweep curves
+// behind it. It must mirror the fills the primer actually performs
+// (profileOne / SweepCurvesSpec build identical keys), which is why it
+// lives beside those key types. Unknown primers contribute nothing.
+func (s *Session) primerKeys(primer string) []artifact.Key {
+	profiles := func(cfg machine.Config, list []workloads.Workload, budget int64) []artifact.Key {
+		keys := make([]artifact.Key, 0, len(list))
+		for _, w := range list {
+			keys = append(keys, artifact.KeyOf("profile",
+				profileKey{Machine: cfg, Workload: workloads.Signature(w), Budget: budget}))
+		}
+		return keys
+	}
+	sweeps := func(list []workloads.Workload, budget int64) []artifact.Key {
+		keys := make([]artifact.Key, 0, len(list))
+		for _, w := range list {
+			keys = append(keys, artifact.KeyOf("sweep-curves", sweepKey{
+				Workload: workloads.Signature(w), Budget: budget, SizesKB: machine.DefaultSweepSizesKB,
+			}))
+		}
+		return keys
+	}
+	switch primer {
+	case "warm-reps":
+		return profiles(machine.XeonE5645(), workloads.Representative17(), s.Opt.Budget)
+	case "warm-mpi":
+		return profiles(machine.XeonE5645(), workloads.MPI6(), s.Opt.Budget)
+	case "warm-atom":
+		return profiles(machine.AtomD510(), workloads.Representative17(), s.Opt.Budget)
+	case "warm-suites":
+		var flat []workloads.Workload
+		all := suites.All()
+		for _, name := range suites.Names() {
+			flat = append(flat, all[name]...)
+		}
+		return profiles(machine.XeonE5645(), flat, s.Opt.Budget)
+	case "warm-roster":
+		return profiles(machine.XeonE5645(), workloads.Roster77(), s.Opt.RosterBudget)
+	case "warm-sweep-hadoop":
+		return sweeps(hadoopGroup(), s.Opt.SweepBudget)
+	case "warm-sweep-parsec":
+		return sweeps(parsecGroup(), s.Opt.SweepBudget)
+	case "warm-sweep-mpi":
+		return sweeps(workloads.MPI6(), s.Opt.SweepBudget)
+	}
+	return nil
 }
 
 // TracePasses reports how many sweep trace passes the session has

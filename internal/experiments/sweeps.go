@@ -34,12 +34,22 @@ func curveUnified(c machine.Curves) []float64 { return c.Unified }
 // core.Profiler.ProfileAll. The averaging itself accumulates in input
 // order so the result is bit-identical to the serial reference path.
 func sweepGroup(s *Session, list []workloads.Workload, view func(machine.Curves) []float64) []float64 {
-	budget := s.Opt.SweepBudget
+	return sweepGroupSpec(s, list, s.Opt.SweepBudget, machine.DefaultSweepSizesKB, 0, 0, view)
+}
+
+// sweepGroupSpec is sweepGroup with explicit budget, sizes and cache
+// geometry — shared by the paper figures (defaults) and ad-hoc
+// scenario requests (any combination). Averaging accumulates in input
+// order, so a given selection is bit-identical however it is computed.
+func sweepGroupSpec(s *Session, list []workloads.Workload, budget int64, sizes []int, ways, lineBytes int, view func(machine.Curves) []float64) []float64 {
 	curves := make([]machine.Curves, len(list))
-	conc.ForEach(s.Parallelism, len(list), func(i int) {
-		curves[i] = s.SweepCurves(list[i], budget)
+	err := conc.ForEachCtx(s.Ctx, s.Parallelism, len(list), func(i int) {
+		curves[i] = s.SweepCurvesSpec(list[i], budget, sizes, ways, lineBytes)
 	})
-	sum := make([]float64, len(machine.DefaultSweepSizesKB))
+	if err != nil {
+		panic(canceledErr{err}) // torn curve set: unwind, never average
+	}
+	sum := make([]float64, len(sizes))
 	for _, c := range curves {
 		for i, v := range view(c) {
 			sum[i] += v

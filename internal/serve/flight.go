@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent requests for the same artefact key
+// into one computation, with cancellation by abandonment: every waiter
+// holds a reference on the flight, a waiter whose own context dies
+// releases it, and when the last reference drops the flight's context
+// is cancelled — which stops the simulation work underneath (the
+// session threads it into every emitter). The next request for the key
+// starts fresh.
+//
+// This is singleflight with two differences that matter to a serving
+// daemon: the computation runs under its own context (detached from
+// any single requester, so one impatient client can't kill the answer
+// nine others are waiting for), and an abandoned computation is
+// actually aborted rather than left burning CPU for nobody.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	refs   int
+	cancel context.CancelFunc
+	done   chan struct{}
+	val    []byte
+	err    error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}}
+}
+
+// do returns run's result for key, starting the computation when this
+// is the first request and joining (joined=true) when one is already
+// in flight. ctx cancels only this caller's wait: the computation
+// stops only when every waiter has gone.
+func (g *flightGroup) do(ctx context.Context, key string, run func(context.Context) ([]byte, error)) (val []byte, joined bool, err error) {
+	g.mu.Lock()
+	f, ok := g.flights[key]
+	if ok {
+		f.refs++
+	} else {
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
+		g.flights[key] = f
+		go func() {
+			f.val, f.err = run(fctx)
+			g.mu.Lock()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			cancel() // release the context either way
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, ok, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.refs--
+		abandoned := f.refs == 0
+		if abandoned && g.flights[key] == f {
+			// Unhook immediately so a fresh request doesn't join a
+			// flight that is already unwinding.
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		return nil, ok, ctx.Err()
+	}
+}
+
+// inFlight reports the number of live flights (for /stats).
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle stage.
+type JobState string
+
+// Job lifecycle: queued (accepted, waiting for a pool worker) →
+// running → one of done / failed / canceled. Shutdown drains running
+// jobs and cancels queued ones; DELETE /jobs/{id} cancels either.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// UnitTiming is one executed unit's wall time within a job — the same
+// rows experiments.TimingTable prints, made pollable.
+type UnitTiming struct {
+	Unit   string  `json:"unit"`
+	Ms     float64 `json:"ms"`
+	Status string  `json:"status"`
+}
+
+// JobRequest is the POST /jobs body: any mix of paper units and
+// ad-hoc scenarios, computed asynchronously into the shared store.
+type JobRequest struct {
+	Units     []string   `json:"units,omitempty"`
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+}
+
+// JobStatus is the GET /jobs/{id} body.
+type JobStatus struct {
+	ID        string       `json:"id"`
+	State     JobState     `json:"state"`
+	Units     []string     `json:"units,omitempty"`
+	Scenarios int          `json:"scenarios,omitempty"`
+	Created   time.Time    `json:"created"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Timings   []UnitTiming `json:"timings,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// job is one asynchronous computation with its cancellation handle.
+type job struct {
+	id  string
+	req JobRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	timings  []UnitTiming
+	errMsg   string
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state,
+		Units: j.req.Units, Scenarios: len(j.req.Scenarios),
+		Created: j.created,
+		Timings: append([]UnitTiming(nil), j.timings...),
+		Error:   j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// maxFinishedJobs bounds retained terminal jobs: a long-running
+// daemon must not grow per submission, so once the cap is exceeded
+// the oldest finished jobs are evicted (their artefacts live on in
+// the store — only the status record goes). Queued and running jobs
+// are never evicted.
+const maxFinishedJobs = 512
+
+// jobSet owns every job the server has accepted.
+type jobSet struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+	wg   sync.WaitGroup
+}
+
+func newJobSet() *jobSet {
+	return &jobSet{jobs: map[string]*job{}}
+}
+
+func (s *jobSet) add(req JobRequest) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%08d", s.seq),
+		req:     req,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.pruneLocked()
+	s.mu.Unlock()
+	s.wg.Add(1)
+	return j
+}
+
+// pruneLocked evicts the oldest finished jobs beyond maxFinishedJobs.
+// Caller holds s.mu.
+func (s *jobSet) pruneLocked() {
+	var finished []string
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		terminal := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+		j.mu.Unlock()
+		if terminal {
+			finished = append(finished, id)
+		}
+	}
+	if len(finished) <= maxFinishedJobs {
+		return
+	}
+	// Zero-padded sequence ids sort chronologically.
+	sort.Strings(finished)
+	for _, id := range finished[:len(finished)-maxFinishedJobs] {
+		delete(s.jobs, id)
+	}
+}
+
+func (s *jobSet) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns every job's status, newest first.
+func (s *jobSet) list() []JobStatus {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(all))
+	for _, j := range all {
+		out = append(out, j.status())
+	}
+	// ids are zero-padded sequence numbers: lexicographic = submission
+	// order, reversed for newest-first.
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// cancelQueued cancels every job still waiting for a worker — the
+// shutdown rule: in-flight work drains, queued work aborts.
+func (s *jobSet) cancelQueued() {
+	s.mu.Lock()
+	var queued []*job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == JobQueued {
+			queued = append(queued, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.cancel()
+	}
+}

@@ -1,0 +1,571 @@
+// Package serve implements reprod, the on-demand experiment-serving
+// daemon: paper units and ad-hoc scenario specs answered over HTTP out
+// of the content-keyed artifact store, computed at most once no matter
+// how many clients ask.
+//
+// The serving core is three mechanisms layered on the existing
+// pipeline:
+//
+//   - Warm fast path: every request canonicalizes to an artifact key
+//     (experiments.UnitRenderKey / experiments.ScenarioKey) and is
+//     first answered by artifact.Peek — a warm request is pure store
+//     I/O, no session, no engine, no simulation, no render.
+//   - Request coalescing: cold requests for the same key share one
+//     flight (flightGroup); N concurrent requests for a cold figure
+//     run exactly one computation. Flights execute on a bounded
+//     conc.Pool, and a flight abandoned by every waiter is cancelled —
+//     client disconnects propagate down to the emitters and stop
+//     simulation within a few thousand instructions.
+//   - Async jobs: POST /jobs accepts unit/scenario batches, returns an
+//     id immediately, and GET /jobs/{id} reports state plus per-unit
+//     timing. Jobs fill the same store, so finished work is fetched
+//     warm through the synchronous endpoints.
+//
+// Endpoints:
+//
+//	GET    /units/{unit}   one paper unit, rendered text (fig6, table2, ...)
+//	POST   /scenarios      ad-hoc scenario spec (JSON body) → rendered text
+//	POST   /jobs           {"units": [...], "scenarios": [...]} → {"id": ...}
+//	GET    /jobs           every job's status, newest first
+//	GET    /jobs/{id}      state, timings, error
+//	DELETE /jobs/{id}      cancel (queued or running)
+//	GET    /stats          counters as JSON
+//	GET    /metrics        the same counters in Prometheus text format
+//	GET    /healthz        liveness probe, "ok"
+//
+// Shutdown (SIGTERM in cmd/reprod) drains: in-flight requests and
+// running jobs complete, queued jobs are cancelled, new submissions
+// are refused 503.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/conc"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+)
+
+// Scenario re-exports the declarative request spec.
+type Scenario = experiments.Scenario
+
+// Config sizes a server.
+type Config struct {
+	// Opt is the experiment options every computation runs at; it is
+	// part of every artifact identity, so one daemon serves one
+	// fidelity (run a second daemon for -quick output).
+	Opt experiments.Options
+	// Store backs every computation. nil gets a private in-memory
+	// store — still shared across all of this server's requests.
+	Store *artifact.Store
+	// Parallelism bounds the workers inside one computation
+	// (experiments.Session.Parallelism; 0 = GOMAXPROCS).
+	Parallelism int
+	// BlockSize is the trace-replay batch size (plumbing only).
+	BlockSize int
+	// Workers bounds concurrently executing computations — flights and
+	// jobs together (0 = GOMAXPROCS; the pool floors at 2).
+	Workers int
+}
+
+// Server is the reprod serving core, usable behind any http.Server
+// (cmd/reprod) or httptest (the tests). Construct with New.
+type Server struct {
+	cfg     Config
+	store   *artifact.Store
+	pool    *conc.Pool
+	flights *flightGroup
+	jobs    *jobSet
+
+	draining atomic.Bool
+
+	unitReqs, scenarioReqs            atomic.Int64
+	warmHits, coalesced, computes     atomic.Int64
+	abandoned                         atomic.Int64
+	jobsSubmitted, jobsDone           atomic.Int64
+	jobsFailed, jobsCanceled          atomic.Int64
+	tracePasses, profileRuns, renders atomic.Int64
+}
+
+// New returns a serving core over cfg.
+func New(cfg Config) *Server {
+	st := cfg.Store
+	if st == nil {
+		st = artifact.New()
+	}
+	return &Server{
+		cfg:     cfg,
+		store:   st,
+		pool:    conc.NewPool(cfg.Workers),
+		flights: newFlightGroup(),
+		jobs:    newJobSet(),
+	}
+}
+
+// Store returns the store behind every computation.
+func (s *Server) Store() *artifact.Store { return s.store }
+
+// session builds one computation's session: private probes, shared
+// store, the request's context.
+func (s *Server) session(ctx context.Context) *experiments.Session {
+	sess := experiments.NewSession(s.cfg.Opt)
+	sess.Parallelism = s.cfg.Parallelism
+	sess.BlockSize = s.cfg.BlockSize
+	sess.Store = s.store
+	sess.Ctx = ctx
+	return sess
+}
+
+// absorb folds a finished session's probes into the server totals —
+// the counters CI reads to prove "32 concurrent cold requests computed
+// once" and "warm requests simulate nothing".
+func (s *Server) absorb(sess *experiments.Session) {
+	s.tracePasses.Add(sess.TracePasses())
+	s.profileRuns.Add(sess.ProfileRuns())
+	s.renders.Add(sess.Renders())
+}
+
+// compute runs fn on the bounded worker pool under the flight context,
+// counting the execution. Queued work re-checks the context so an
+// abandoned flight never occupies a worker.
+func (s *Server) compute(ctx context.Context, fn func(sess *experiments.Session) ([]byte, error)) ([]byte, error) {
+	var out []byte
+	err := ctx.Err()
+	if err != nil {
+		return nil, err
+	}
+	s.pool.ForEach(1, func(int) {
+		if err = ctx.Err(); err != nil {
+			return // cancelled while queued for a worker
+		}
+		s.computes.Add(1)
+		sess := s.session(ctx)
+		out, err = fn(sess)
+		s.absorb(sess)
+	})
+	return out, err
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/units/", s.handleUnit)
+	mux.HandleFunc("/scenarios", s.handleScenario)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// validUnit reports whether name is a selectable paper unit.
+func validUnit(name string) bool {
+	for _, u := range experiments.VisibleUnitNames() {
+		if u == name {
+			return true
+		}
+	}
+	return false
+}
+
+// respond writes rendered bytes with provenance headers — the id the
+// bytes live under in the store, and how this request obtained them
+// (warm / computed / coalesced), which the coalescing tests and the CI
+// serving job assert on.
+func respond(w http.ResponseWriter, keyID, source string, b []byte) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Reprod-Key", keyID)
+	w.Header().Set("X-Reprod-Source", source)
+	w.Write(b)
+}
+
+// handleUnit answers GET /units/{unit}: the rendered unit, served warm
+// from the store when possible, computed (coalesced) otherwise —
+// byte-identical to what cmd/repro writes for the same unit at the
+// same options.
+func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	unit := strings.ToLower(strings.TrimPrefix(r.URL.Path, "/units/"))
+	if !validUnit(unit) {
+		http.Error(w, fmt.Sprintf("unknown unit %q (known: %s)",
+			unit, strings.Join(experiments.VisibleUnitNames(), " ")), http.StatusNotFound)
+		return
+	}
+	s.unitReqs.Add(1)
+	key := experiments.UnitRenderKey(s.cfg.Opt, unit)
+	if b, ok := artifact.Peek[[]byte](s.store, key, nil); ok {
+		s.warmHits.Add(1)
+		respond(w, key.ID(), "warm", b)
+		return
+	}
+	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
+		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
+			return s.renderUnit(fctx, sess, unit)
+		})
+	})
+	s.finish(w, key.ID(), joined, b, err)
+}
+
+// renderUnit runs the one-unit engine (primers included) and extracts
+// the unit's rendered bytes.
+func (s *Server) renderUnit(ctx context.Context, sess *experiments.Session, unit string) ([]byte, error) {
+	e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: []string{unit}}
+	results, err := e.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Unit.Name != unit {
+			continue
+		}
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		if r.Artifact == nil {
+			return nil, fmt.Errorf("unit %s produced no artifact", unit)
+		}
+		var buf strings.Builder
+		r.Artifact.Render(&buf)
+		return []byte(buf.String()), nil
+	}
+	return nil, fmt.Errorf("unit %s missing from engine results", unit)
+}
+
+// handleScenario answers POST /scenarios: validate and canonicalize
+// the spec, then serve it exactly like a unit — warm from the store,
+// or computed once under coalescing.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	spec, ok := decodeScenario(w, r)
+	if !ok {
+		return
+	}
+	canon, err := spec.Canonical(s.cfg.Opt)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.scenarioReqs.Add(1)
+	key := experiments.ScenarioKey(canon)
+	if b, ok := artifact.Peek[[]byte](s.store, key, nil); ok {
+		s.warmHits.Add(1)
+		respond(w, key.ID(), "warm", b)
+		return
+	}
+	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
+		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
+			return experiments.RunScenario(sess, canon)
+		})
+	})
+	s.finish(w, key.ID(), joined, b, err)
+}
+
+// finish maps a flight outcome onto the response.
+func (s *Server) finish(w http.ResponseWriter, keyID string, joined bool, b []byte, err error) {
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone (or every client was): nothing useful
+			// to write, but account for the abandonment.
+			s.abandoned.Add(1)
+			http.Error(w, "request cancelled", statusClientClosedRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	source := "computed"
+	if joined {
+		source = "coalesced"
+		s.coalesced.Add(1)
+	}
+	respond(w, keyID, source, b)
+}
+
+// statusClientClosedRequest is nginx's conventional 499 — the request
+// ended because the requester left, not because either side failed.
+const statusClientClosedRequest = 499
+
+// decodeScenario parses a scenario body, bounding it like any request
+// body.
+func decodeScenario(w http.ResponseWriter, r *http.Request) (Scenario, bool) {
+	var spec Scenario
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil || json.Unmarshal(body, &spec) != nil {
+		http.Error(w, "body is not a JSON scenario spec", http.StatusBadRequest)
+		return Scenario{}, false
+	}
+	return spec, true
+}
+
+// handleJobs answers POST /jobs (submit) and GET /jobs (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.jobs.list())
+	case http.MethodPost:
+		if s.draining.Load() {
+			http.Error(w, "server is draining", http.StatusServiceUnavailable)
+			return
+		}
+		var req JobRequest
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil || json.Unmarshal(body, &req) != nil {
+			http.Error(w, "body is not a JSON job request", http.StatusBadRequest)
+			return
+		}
+		if len(req.Units) == 0 && len(req.Scenarios) == 0 {
+			http.Error(w, "job selects no units and no scenarios", http.StatusBadRequest)
+			return
+		}
+		for i, u := range req.Units {
+			req.Units[i] = strings.ToLower(u)
+			if !validUnit(req.Units[i]) {
+				http.Error(w, fmt.Sprintf("unknown unit %q", u), http.StatusBadRequest)
+				return
+			}
+		}
+		// Scenarios are validated now (a bad spec fails the submit, not
+		// the poll) but canonicalized again at run time; Canonical is
+		// deterministic, so the two agree.
+		for _, spec := range req.Scenarios {
+			if _, err := spec.Canonical(s.cfg.Opt); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		j := s.jobs.add(req)
+		s.jobsSubmitted.Add(1)
+		go func() {
+			defer s.jobs.wg.Done()
+			s.pool.ForEach(1, func(int) { s.runJob(j) })
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": j.id})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleJob answers GET /jobs/{id} (status) and DELETE /jobs/{id}
+// (cancel).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		http.Error(w, "unknown job "+id, http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(j.status())
+	case http.MethodDelete:
+		j.cancel()
+		w.WriteHeader(http.StatusAccepted)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// runJob executes one job on the pool worker that picked it up.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.ctx.Err() != nil {
+		j.state = JobCanceled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.jobsCanceled.Add(1)
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	sess := s.session(j.ctx)
+	s.computes.Add(1)
+	var timings []UnitTiming
+	var firstErr error
+
+	if len(j.req.Units) > 0 {
+		e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: j.req.Units}
+		results, err := e.RunContext(j.ctx)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, r := range results {
+			status := "ok"
+			switch {
+			case r.Err != nil:
+				status = "error: " + r.Err.Error()
+				if firstErr == nil {
+					firstErr = r.Err
+				}
+			case r.Unit.Hidden:
+				status = "primer"
+			}
+			timings = append(timings, UnitTiming{
+				Unit: r.Unit.Name, Ms: float64(r.Elapsed.Microseconds()) / 1000, Status: status,
+			})
+		}
+	}
+	for i, spec := range j.req.Scenarios {
+		start := time.Now()
+		_, err := experiments.RunScenario(sess, spec)
+		status := "ok"
+		if err != nil {
+			status = "error: " + err.Error()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("scenario-%d", i+1)
+		}
+		timings = append(timings, UnitTiming{
+			Unit: "scenario:" + name, Ms: float64(time.Since(start).Microseconds()) / 1000, Status: status,
+		})
+	}
+	s.absorb(sess)
+
+	j.mu.Lock()
+	j.timings = timings
+	j.finished = time.Now()
+	switch {
+	case j.ctx.Err() != nil:
+		j.state = JobCanceled
+		j.errMsg = j.ctx.Err().Error()
+		s.jobsCanceled.Add(1)
+	case firstErr != nil:
+		j.state = JobFailed
+		j.errMsg = firstErr.Error()
+		s.jobsFailed.Add(1)
+	default:
+		j.state = JobDone
+		s.jobsDone.Add(1)
+	}
+	j.mu.Unlock()
+}
+
+// BeginShutdown starts a drain: new jobs are refused, queued jobs are
+// cancelled, running jobs and in-flight requests continue. Call before
+// http.Server.Shutdown.
+func (s *Server) BeginShutdown() {
+	s.draining.Store(true)
+	s.jobs.cancelQueued()
+}
+
+// Drain blocks until every accepted job has finished (or ctx expires).
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats is a snapshot of the serving counters.
+type Stats struct {
+	UnitRequests, ScenarioRequests int64
+	WarmHits, Coalesced, Computes  int64
+	Abandoned                      int64
+	InFlight                       int64
+	JobsSubmitted, JobsDone        int64
+	JobsFailed, JobsCanceled       int64
+	TracePasses, ProfileRuns       int64
+	Renders                        int64
+}
+
+// Stats returns the current counter snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UnitRequests: s.unitReqs.Load(), ScenarioRequests: s.scenarioReqs.Load(),
+		WarmHits: s.warmHits.Load(), Coalesced: s.coalesced.Load(), Computes: s.computes.Load(),
+		Abandoned: s.abandoned.Load(), InFlight: int64(s.flights.inFlight()),
+		JobsSubmitted: s.jobsSubmitted.Load(), JobsDone: s.jobsDone.Load(),
+		JobsFailed: s.jobsFailed.Load(), JobsCanceled: s.jobsCanceled.Load(),
+		TracePasses: s.tracePasses.Load(), ProfileRuns: s.profileRuns.Load(),
+		Renders: s.renders.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	ss := s.store.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int64{
+		"unit_requests": st.UnitRequests, "scenario_requests": st.ScenarioRequests,
+		"warm_hits": st.WarmHits, "coalesced": st.Coalesced, "computes": st.Computes,
+		"abandoned": st.Abandoned, "in_flight": st.InFlight,
+		"jobs_submitted": st.JobsSubmitted, "jobs_done": st.JobsDone,
+		"jobs_failed": st.JobsFailed, "jobs_canceled": st.JobsCanceled,
+		"trace_passes": st.TracePasses, "profile_runs": st.ProfileRuns,
+		"renders":             st.Renders,
+		"dataset_generations": datagen.Generations(),
+		"store_fills":         ss.Fills, "store_mem_hits": ss.MemHits,
+		"store_backend_hits": ss.BackendHits, "store_backend_discards": ss.BackendDiscards,
+		"store_prefetched": ss.Prefetched,
+		"goroutines":       int64(runtime.NumGoroutine()),
+	})
+}
+
+// handleMetrics exposes the counters in the Prometheus text exposition
+// format, matching artifactd's conventions (one counter family per
+// field, reprod_ prefix).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	ss := s.store.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counters := []struct {
+		name, help string
+		value      int64
+	}{
+		{"reprod_unit_requests_total", "Paper-unit requests received.", st.UnitRequests},
+		{"reprod_scenario_requests_total", "Scenario requests received.", st.ScenarioRequests},
+		{"reprod_warm_hits_total", "Requests answered straight from the store.", st.WarmHits},
+		{"reprod_coalesced_total", "Requests that joined an in-flight computation.", st.Coalesced},
+		{"reprod_computes_total", "Computations actually executed.", st.Computes},
+		{"reprod_abandoned_total", "Requests whose clients left before the answer.", st.Abandoned},
+		{"reprod_jobs_submitted_total", "Jobs accepted.", st.JobsSubmitted},
+		{"reprod_jobs_done_total", "Jobs finished successfully.", st.JobsDone},
+		{"reprod_jobs_failed_total", "Jobs finished with an error.", st.JobsFailed},
+		{"reprod_jobs_canceled_total", "Jobs cancelled (client or shutdown).", st.JobsCanceled},
+		{"reprod_trace_passes_total", "Sweep trace passes executed.", st.TracePasses},
+		{"reprod_profile_runs_total", "Profiling runs executed.", st.ProfileRuns},
+		{"reprod_renders_total", "Units rendered.", st.Renders},
+		{"reprod_store_fills_total", "Store computations executed.", ss.Fills},
+		{"reprod_store_backend_hits_total", "Fills satisfied by the persistence backend.", ss.BackendHits},
+		{"reprod_store_prefetched_total", "Entries staged by bulk prefetch.", ss.Prefetched},
+	}
+	for _, m := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+	fmt.Fprintf(w, "# HELP reprod_in_flight Computations currently in flight.\n# TYPE reprod_in_flight gauge\nreprod_in_flight %d\n", st.InFlight)
+}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -53,11 +54,19 @@ type Sweep struct {
 	// are independent, so every setting yields the same curves.
 	Parallelism int
 
+	// Cancel, when non-nil, aborts the replay: once the channel is
+	// closed, InstBlock drains delivered blocks without touching the
+	// caches. The curves are then truncated and must be discarded —
+	// cancellation exists so an abandoned request stops burning CPU,
+	// never to produce partial results.
+	Cancel <-chan struct{}
+
 	icaches []*cache.Cache
 	dcaches []*cache.Cache
 	ucaches []*cache.Cache
 
 	lastILine uint64
+	lineShift uint
 
 	// Per-block scratch streams, reused across blocks: instruction
 	// line records, data records, and the interleaved unified view
@@ -68,17 +77,55 @@ type Sweep struct {
 // DefaultSweepSizesKB are the paper's ten L1 capacities.
 var DefaultSweepSizesKB = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
-// sweepLineShift is log2 of the sweep caches' 64-byte line size; the
-// block decoder packs line addresses with it once per access instead
-// of letting every cache re-shift the byte address.
-const sweepLineShift = 6
+// Default sweep-cache geometry (the paper's simulator configuration).
+// The sweep's lineShift — log2 of the line size — packs line addresses
+// once per access in the block decoder instead of letting every cache
+// re-shift the byte address.
+const (
+	DefaultSweepWays      = 8
+	DefaultSweepLineBytes = 64
+)
 
 // NewSweep builds a sweep over the given sizes (8-way, 64-byte lines
 // per the paper's simulator configuration).
 func NewSweep(sizesKB []int) *Sweep {
-	s := &Sweep{SizesKB: sizesKB}
+	s, err := NewSweepSpec(sizesKB, 0, 0)
+	if err != nil {
+		panic("machine: " + err.Error()) // default geometry is always valid
+	}
+	return s
+}
+
+// NewSweepSpec is NewSweep with the cache geometry overridable —
+// the serving layer's ad-hoc scenarios sweep non-paper associativities
+// and line sizes through it. ways and lineBytes of 0 select the
+// defaults (8 ways, 64-byte lines); a non-power-of-two line size, or
+// any size that does not divide into whole sets, is rejected rather
+// than silently rounded.
+func NewSweepSpec(sizesKB []int, ways, lineBytes int) (*Sweep, error) {
+	if ways == 0 {
+		ways = DefaultSweepWays
+	}
+	if lineBytes == 0 {
+		lineBytes = DefaultSweepLineBytes
+	}
+	if ways < 1 {
+		return nil, fmt.Errorf("machine: sweep ways %d < 1", ways)
+	}
+	if lineBytes < 8 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("machine: sweep line size %d not a power of two >= 8", lineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	s := &Sweep{SizesKB: sizesKB, lineShift: shift}
 	for _, kb := range sizesKB {
-		cfg := cache.Config{Size: kb << 10, Ways: 8, LineSize: 64, Latency: 1}
+		cfg := cache.Config{Size: kb << 10, Ways: ways, LineSize: lineBytes, Latency: 1}
+		if !cfg.Valid() {
+			return nil, fmt.Errorf("machine: sweep size %d KB not divisible into %d-way sets of %d-byte lines",
+				kb, ways, lineBytes)
+		}
 		cfg.Name = "sweepI"
 		s.icaches = append(s.icaches, cache.New(cfg))
 		cfg.Name = "sweepD"
@@ -86,7 +133,7 @@ func NewSweep(sizesKB []int) *Sweep {
 		cfg.Name = "sweepU"
 		s.ucaches = append(s.ucaches, cache.New(cfg))
 	}
-	return s
+	return s, nil
 }
 
 // Inst implements trace.Probe — the retained serial reference.
@@ -95,7 +142,7 @@ func NewSweep(sizesKB []int) *Sweep {
 // cache statistics do), so sequential code issues one I-access per
 // 64-byte block; data references are counted per access.
 func (s *Sweep) Inst(i *isa.Inst) {
-	if line := i.PC >> sweepLineShift; line != s.lastILine {
+	if line := i.PC >> s.lineShift; line != s.lastILine {
 		s.lastILine = line
 		for k := range s.icaches {
 			s.icaches[k].Access(i.PC, false)
@@ -119,11 +166,19 @@ func (s *Sweep) Inst(i *isa.Inst) {
 // are read-only during the fan-out and each cache is owned by exactly
 // one worker, so the replay is deterministic under any schedule.
 func (s *Sweep) InstBlock(block []isa.Inst) {
+	if s.Cancel != nil {
+		select {
+		case <-s.Cancel:
+			return // drain: the curves are already condemned
+		default:
+		}
+	}
 	iRecs, dRecs, uRecs := s.iRecs[:0], s.dRecs[:0], s.uRecs[:0]
 	last := s.lastILine
+	shift := s.lineShift
 	for k := range block {
 		i := &block[k]
-		if line := i.PC >> sweepLineShift; line != last {
+		if line := i.PC >> shift; line != last {
 			last = line
 			// Adjacent I records always name different lines (that is
 			// the dedup), so no run merging is possible on the I side;
@@ -134,7 +189,7 @@ func (s *Sweep) InstBlock(block []isa.Inst) {
 			uRecs = append(uRecs, rec)
 		}
 		if i.Op == isa.Load || i.Op == isa.Store {
-			line := i.Addr >> sweepLineShift
+			line := i.Addr >> shift
 			write := i.Op == isa.Store
 			// Sequential scans revisit a 64-byte line several times in
 			// a row; merging the run into one record makes the revisit

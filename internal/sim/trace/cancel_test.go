@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim/isa"
+)
+
+// TestEmitterCancelStopsEmission pins the abort contract: closing the
+// cancel channel zeroes the budget at the next poll, so a kernel
+// polling OK() stops within one poll interval instead of running its
+// full budget.
+func TestEmitterCancelStopsEmission(t *testing.T) {
+	var probe CountProbe
+	const budget = 1 << 20
+	e := NewEmitter(&probe, budget)
+	cancel := make(chan struct{})
+	e.SetCancel(cancel)
+	close(cancel) // cancelled before the run even starts
+
+	for e.OK() {
+		e.Int(isa.IntAlu, isa.NoReg, isa.NoReg)
+	}
+	if !e.Canceled() {
+		t.Fatal("emitter did not observe the cancellation")
+	}
+	// The poll fires every cancelCheckMask+1 instructions; the overrun
+	// is bounded by one interval.
+	if got := e.Emitted(); got > cancelCheckMask+1 {
+		t.Fatalf("emitted %d instructions after cancellation, want <= %d", got, cancelCheckMask+1)
+	}
+}
+
+// TestEmitterNilCancelRunsFullBudget pins that an unarmed emitter is
+// unchanged: the full budget is emitted and Canceled stays false.
+func TestEmitterNilCancelRunsFullBudget(t *testing.T) {
+	var probe CountProbe
+	const budget = 10_000
+	e := NewBlockEmitter(&probe, budget, 256)
+	for e.OK() {
+		e.Int(isa.IntAlu, isa.NoReg, isa.NoReg)
+	}
+	e.Flush()
+	if e.Canceled() {
+		t.Fatal("unarmed emitter reported cancellation")
+	}
+	if probe.Total != budget {
+		t.Fatalf("probe saw %d instructions, want %d", probe.Total, budget)
+	}
+}
+
+// TestEmitterCancelMidRunBlockPath cancels partway through a block-
+// buffered emission and checks the stream stops near the cancellation
+// point.
+func TestEmitterCancelMidRunBlockPath(t *testing.T) {
+	var probe CountProbe
+	const budget = 1 << 20
+	e := NewBlockEmitter(&probe, budget, 512)
+	cancel := make(chan struct{})
+	e.SetCancel(cancel)
+
+	emitted := 0
+	for e.OK() {
+		e.Int(isa.IntAlu, isa.NoReg, isa.NoReg)
+		emitted++
+		if emitted == 10_000 {
+			close(cancel)
+		}
+	}
+	e.Flush()
+	if !e.Canceled() {
+		t.Fatal("emitter did not observe mid-run cancellation")
+	}
+	if got := e.Emitted(); got < 10_000 || got > 10_000+cancelCheckMask+1 {
+		t.Fatalf("emitted %d, want within one poll interval past 10000", got)
+	}
+}

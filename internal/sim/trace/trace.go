@@ -173,6 +173,43 @@ type Emitter struct {
 	budget  int64
 	emitted uint64
 	nextReg uint8
+
+	// cancel, when non-nil, aborts the emission: once the channel is
+	// closed the next cancellation poll (every cancelCheckMask+1
+	// instructions) zeroes the remaining budget, so OK() turns false
+	// and the kernel winds down within a few thousand instructions
+	// instead of running its full budget. canceled records that the
+	// abort fired.
+	cancel   <-chan struct{}
+	canceled bool
+}
+
+// cancelCheckMask spaces the cancellation polls: one non-blocking
+// channel read per 4096 emitted instructions — the same granularity as
+// a default trace block — which keeps the hot emit path free of
+// per-instruction select overhead while bounding the post-cancel
+// overrun to a few microseconds of simulation.
+const cancelCheckMask = 4095
+
+// SetCancel arms the emitter with an abort channel (typically
+// ctx.Done()); a nil channel disarms it. Closing the channel stops the
+// run early: the budget is zeroed at the next poll, so kernels polling
+// OK() return promptly. Call before emission starts.
+func (e *Emitter) SetCancel(ch <-chan struct{}) { e.cancel = ch }
+
+// Canceled reports whether the abort channel fired during emission —
+// the emitted stream is then truncated and any derived result must be
+// discarded, never published.
+func (e *Emitter) Canceled() bool { return e.canceled }
+
+// pollCancel is the periodic non-blocking abort check.
+func (e *Emitter) pollCancel() {
+	select {
+	case <-e.cancel:
+		e.canceled = true
+		e.budget = 0
+	default:
+	}
 }
 
 // NewEmitter returns an emitter feeding p with an instruction budget.
@@ -228,6 +265,9 @@ func (e *Emitter) send() {
 	}
 	e.budget--
 	e.emitted++
+	if e.cancel != nil && e.emitted&cancelCheckMask == 0 {
+		e.pollCancel()
+	}
 }
 
 // OK reports whether instruction budget remains.

@@ -13,6 +13,8 @@
 package workloads
 
 import (
+	"context"
+
 	"repro/internal/sim/mem"
 	"repro/internal/sim/trace"
 	"repro/internal/stack"
@@ -138,8 +140,28 @@ func Run(w Workload, p trace.Probe, budget int64) *Result {
 // against buffer footprint. Probes without a block path are driven
 // per-instruction regardless.
 func RunBlock(w Workload, p trace.Probe, budget int64, blockSize int) *Result {
+	res, _ := RunBlockCtx(nil, w, p, budget, blockSize)
+	return res
+}
+
+// RunBlockCtx is RunBlock bound to a context: a cancelled ctx aborts
+// the run early — the emitter zeroes its budget at the next poll (a
+// few thousand instructions), the kernel winds down, and the call
+// returns ctx.Err() with a nil Result. The truncated stream the probe
+// observed must be discarded, never published: a cancelled run's
+// tallies are not a prefix-deterministic artefact. A nil or background
+// context never cancels and behaves exactly like RunBlock.
+func RunBlockCtx(ctx context.Context, w Workload, p trace.Probe, budget int64, blockSize int) (*Result, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err // cancelled before any work
+		}
+		done = ctx.Done()
+	}
 	l := mem.NewLayout()
 	e := trace.NewBlockEmitter(p, budget, blockSize)
+	e.SetCancel(done)
 	seed := idSeed(w.ID)
 	rt := stack.NewRuntime(w.Stack, e, l, seed)
 	kb := w.KernelKB
@@ -151,6 +173,15 @@ func RunBlock(w Workload, p trace.Probe, budget int64, blockSize int) *Result {
 	c := &Ctx{E: e, RT: rt, L: l, Rng: xrand.New(seed ^ 0xC0FFEE), Code: code}
 	w.Kernel.Run(c)
 	e.Flush()
+	// Any cancellation during the run condemns the result — not just
+	// one the emitter's periodic poll observed. The signal can land
+	// after the last poll but before the tail flush, in which case a
+	// probe watching the same ctx (machine.Sweep.Cancel) has already
+	// drained deliveries the emitter still counted; the only safe
+	// answer is abort.
+	if e.Canceled() || (ctx != nil && ctx.Err() != nil) {
+		return nil, ctx.Err()
+	}
 	insts := e.Emitted()
 	cw := c.CPUWeight
 	if cw <= 0 {
@@ -166,7 +197,7 @@ func RunBlock(w Workload, p trace.Probe, budget int64, blockSize int) *Result {
 	if insts > 0 {
 		res.FrameworkShare = float64(rt.FrameworkInsts) / float64(insts)
 	}
-	return res
+	return res, nil
 }
 
 // DataRatio is the paper's §3.2.2 data-behaviour classification of an

@@ -26,6 +26,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/sim/machine"
 	"repro/internal/workloads"
 )
@@ -184,3 +185,28 @@ func NewRemoteSession(cacheDir, serverURL string) (*Session, error) {
 // NewEngine returns a concurrent experiment engine over s covering
 // every table and figure of the paper.
 func NewEngine(s *Session) *Engine { return &experiments.Engine{Session: s} }
+
+// Scenario is a declarative ad-hoc experiment request: a cache sweep
+// over any workload subset, budget and cache geometry, canonicalized
+// so equivalent requests share one artifact identity (warm repeats are
+// pure store I/O).
+type Scenario = experiments.Scenario
+
+// RunScenario computes (or fetches warm) and renders a scenario over
+// the session, returning the rendered bytes.
+func RunScenario(s *Session, spec Scenario) ([]byte, error) {
+	return experiments.RunScenario(s, spec)
+}
+
+// Server is the reprod serving core: paper units and scenarios over
+// HTTP with per-key request coalescing, a warm store fast path, async
+// jobs and cancellation plumbed down to the simulators. cmd/reprod
+// wraps it in a daemon; embed its Handler() to serve from your own
+// process.
+type Server = serve.Server
+
+// ServerConfig sizes a Server.
+type ServerConfig = serve.Config
+
+// NewServer returns a serving core over cfg.
+func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
