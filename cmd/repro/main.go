@@ -68,6 +68,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print artifact-store and recomputation probes to stderr")
 	block := flag.Int("block", 0, "trace-replay block size in instructions (0 = default); output is byte-identical for every size")
 	scenarioFile := flag.String("scenario", "", `run one ad-hoc scenario spec (JSON file, "-" for stdin) instead of paper items; the rendered bytes go to stdout`)
+	memQuota := flag.String("mem-quota", "", `bound the in-process artifact cache: size, idle age and/or kind=size, comma-separated ("256MB", "256MB,scenario-render=64MB")`)
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -106,6 +107,13 @@ func main() {
 		}
 		sess.Store = st
 		datagen.SetStore(st)
+	}
+	if *memQuota != "" {
+		q, err := artifact.ParseQuotaSpec(*memQuota)
+		if err != nil {
+			fatal(err)
+		}
+		sess.ArtifactStore().SetMemQuota(q)
 	}
 	if *scenarioFile != "" {
 		// Scenario mode: canonicalize, compute (or fetch warm) and

@@ -26,7 +26,7 @@
 //
 //	reprod [-addr :9555] [-quick] [-parallel N] [-workers N] [-block N]
 //	       [-cache-dir DIR] [-store-url URL] [-store-token T]
-//	       [-gc SPEC] [-gc-interval D] [-drain-timeout D]
+//	       [-gc SPEC] [-gc-interval D] [-mem-quota SPEC] [-drain-timeout D]
 package main
 
 import (
@@ -57,7 +57,8 @@ func main() {
 	storeURL := flag.String("store-url", "", "share artifacts through the artifactd server at this URL")
 	storeToken := flag.String("store-token", "", "bearer token for a -token'd artifactd server (default $REPRO_STORE_TOKEN)")
 	gcSpec := flag.String("gc", "", `LRU-sweep the -cache-dir to this bound periodically: "4GB", "168h", "4GB,168h"`)
-	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc sweep")
+	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc and -mem-quota age sweeps")
+	memQuota := flag.String("mem-quota", "", `bound the in-process artifact cache: size, idle age and/or kind=size, comma-separated ("256MB", "256MB,30m,scenario-render=64MB")`)
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight work")
 	flag.Parse()
 
@@ -67,6 +68,13 @@ func main() {
 	}
 
 	cfg := serve.Config{Opt: opt, Parallelism: *parallel, BlockSize: *block, Workers: *workers}
+	if *memQuota != "" {
+		q, err := artifact.ParseQuotaSpec(*memQuota)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MemQuota = q
+	}
 	if *cacheDir != "" || *storeURL != "" {
 		st, err := httpstore.OpenStore(*cacheDir, *storeURL, *storeToken)
 		if err != nil {
@@ -76,6 +84,16 @@ func main() {
 		datagen.SetStore(st)
 	}
 	srv := serve.New(cfg)
+
+	// An idle store receives no charges, so MaxAge needs a ticker to
+	// expire entries nobody is asking for anymore.
+	if cfg.MemQuota.MaxAge > 0 {
+		go func() {
+			for range time.Tick(*gcInterval) {
+				srv.Store().SweepMem()
+			}
+		}()
+	}
 
 	if *gcSpec != "" {
 		if *cacheDir == "" {

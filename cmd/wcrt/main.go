@@ -51,6 +51,7 @@ func main() {
 	shardSpec := flag.String("shard", "", "profile only slice i of n (as i/n, 0-based) into the store and skip the reduction; a later run without -shard merges")
 	parallel := flag.Int("parallel", 0, "bound concurrent profiling runs (0 = GOMAXPROCS)")
 	block := flag.Int("block", 0, "trace-replay block size in instructions (0 = default); output is byte-identical for every size")
+	memQuota := flag.String("mem-quota", "", `bound the in-process artifact cache: size, idle age and/or kind=size, comma-separated ("256MB", "256MB,profile=128MB")`)
 	flag.Parse()
 
 	var list []workloads.Workload
@@ -82,6 +83,13 @@ func main() {
 		}
 		sess.Store = st
 		datagen.SetStore(st)
+	}
+	if *memQuota != "" {
+		q, err := artifact.ParseQuotaSpec(*memQuota)
+		if err != nil {
+			fatal(err)
+		}
+		sess.ArtifactStore().SetMemQuota(q)
 	}
 	sweep := func() {
 		if gcSweep == nil {

@@ -98,10 +98,23 @@ type Store struct {
 	backend Backend
 
 	// prefetched holds encoded entries bulk-downloaded ahead of use
-	// (Prefetch); loadBackend consumes them before asking the backend,
-	// so a prefetched closure costs zero per-key backend reads.
-	pmu        sync.Mutex
-	prefetched map[string][]byte
+	// (Prefetch), each one a charged resident on the LRU list;
+	// loadBackend consumes them before asking the backend, so a
+	// prefetched closure costs zero per-key backend reads. Guarded by
+	// mu like the entries they stage for.
+	prefetched map[string]*memNode
+
+	// Memory-tier accounting (see mem.go), guarded by mu: the quota,
+	// the LRU list over every charged resident, and the books.
+	quota        MemQuota
+	lruHead      *memNode
+	lruTail      *memNode
+	resident     int64
+	residentN    int
+	kindBytes    map[string]int64
+	kindEvicts   map[string]int64
+	evictions    int64
+	evictedBytes int64
 
 	fills           atomic.Int64
 	memHits         atomic.Int64
@@ -113,12 +126,18 @@ type Store struct {
 // entry is one key's singleflight slot. The once guards the fill;
 // val/err are written inside it and read only after it returns. done
 // flips once the fill finished (either way), which lets Peek read a
-// completed value without risking a block on an in-flight fill.
+// completed value without risking a block on an in-flight fill. size
+// is the charged byte estimate, written inside the fill; node is the
+// LRU residency handle, non-nil only after the completed fill was
+// charged (so an in-flight fill can never be evicted) and guarded by
+// Store.mu.
 type entry struct {
 	once sync.Once
 	val  any
 	err  error
 	done atomic.Bool
+	size int64
+	node *memNode
 }
 
 // New returns an empty in-memory store.
@@ -167,17 +186,61 @@ type Stats struct {
 	BackendDiscards int64
 	// Prefetched counts entries staged by bulk Prefetch downloads.
 	Prefetched int64
+	// Evictions counts residents evicted by the memory tier's quota
+	// (entries and staged prefetch bytes alike).
+	Evictions int64
+	// EvictedBytes totals the charged size of everything evicted.
+	EvictedBytes int64
+	// ResidentBytes is the charged size of everything currently held
+	// in memory (encoded payload estimate + per-entry overhead).
+	ResidentBytes int64
+	// ResidentEntries counts the charged residents.
+	ResidentEntries int64
+	// KindResident breaks ResidentBytes down by artefact kind.
+	KindResident map[string]int64
+	// KindEvictions breaks Evictions down by artefact kind.
+	KindEvictions map[string]int64
+}
+
+// MemHitRatio is the fraction of memory-tier lookups answered by an
+// already-resident entry — the serving daemon's cheapest possible
+// path. 0 when the store has seen no traffic.
+func (st Stats) MemHitRatio() float64 {
+	total := st.MemHits + st.Fills + st.BackendHits
+	if total == 0 {
+		return 0
+	}
+	return float64(st.MemHits) / float64(total)
 }
 
 // Stats returns the current counter snapshot.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Fills:           s.fills.Load(),
 		MemHits:         s.memHits.Load(),
 		BackendHits:     s.backendHits.Load(),
 		BackendDiscards: s.backendDiscards.Load(),
 		Prefetched:      s.prefetches.Load(),
 	}
+	s.mu.Lock()
+	st.Evictions = s.evictions
+	st.EvictedBytes = s.evictedBytes
+	st.ResidentBytes = s.resident
+	st.ResidentEntries = int64(s.residentN)
+	if len(s.kindBytes) > 0 {
+		st.KindResident = make(map[string]int64, len(s.kindBytes))
+		for k, v := range s.kindBytes {
+			st.KindResident[k] = v
+		}
+	}
+	if len(s.kindEvicts) > 0 {
+		st.KindEvictions = make(map[string]int64, len(s.kindEvicts))
+		for k, v := range s.kindEvicts {
+			st.KindEvictions[k] = v
+		}
+	}
+	s.mu.Unlock()
+	return st
 }
 
 // BulkCapable reports whether the store's persistence tier can serve
@@ -208,6 +271,11 @@ func (s *Store) BulkCapable() bool {
 // always) by the next fill of that key. Returns the number of entries
 // staged. A store without a bulk-capable backend stages nothing — the
 // call is free to make unconditionally.
+//
+// Staged bytes are charged to the memory budget like any resident and
+// expire with the same eviction pass — a prefetched closure nobody
+// consumes (a cancelled engine run, an abandoned shard) cannot linger
+// forever.
 func (s *Store) Prefetch(keys []Key) int {
 	if !s.BulkCapable() {
 		return 0
@@ -218,26 +286,22 @@ func (s *Store) Prefetch(keys []Key) int {
 	}
 	var ids []string
 	seen := make(map[string]bool, len(keys))
+	s.mu.Lock()
 	for _, k := range keys {
 		id := k.ID()
 		if seen[id] {
 			continue
 		}
 		seen[id] = true
-		s.mu.Lock()
-		e := s.entries[memID(k)]
-		s.mu.Unlock()
-		if e != nil && e.done.Load() && e.err == nil {
+		if e := s.entries[memID(k)]; e != nil && e.done.Load() && e.err == nil {
 			continue // already filled in memory
 		}
-		s.pmu.Lock()
-		_, staged := s.prefetched[id]
-		s.pmu.Unlock()
-		if staged {
+		if _, staged := s.prefetched[id]; staged {
 			continue
 		}
 		ids = append(ids, id)
 	}
+	s.mu.Unlock()
 	if len(ids) == 0 {
 		return 0
 	}
@@ -245,27 +309,38 @@ func (s *Store) Prefetch(keys []Key) int {
 	if len(got) == 0 {
 		return 0
 	}
-	s.pmu.Lock()
+	now := nowNanos()
+	s.mu.Lock()
 	if s.prefetched == nil {
-		s.prefetched = make(map[string][]byte, len(got))
+		s.prefetched = make(map[string]*memNode, len(got))
 	}
+	staged := 0
 	for id, b := range got {
-		s.prefetched[id] = b
+		if _, dup := s.prefetched[id]; dup {
+			continue // a concurrent Prefetch staged it first
+		}
+		n := &memNode{id: id, kind: kindOfID(id), size: memEntryOverhead + int64(len(id)+len(b)), data: b}
+		s.prefetched[id] = n
+		s.chargeLocked(n, now)
+		staged++
 	}
-	s.pmu.Unlock()
-	s.prefetches.Add(int64(len(got)))
-	return len(got)
+	s.mu.Unlock()
+	s.prefetches.Add(int64(staged))
+	return staged
 }
 
-// takePrefetched consumes a staged encoded entry for id, if any.
+// takePrefetched consumes a staged encoded entry for id, if any,
+// releasing its memory-budget charge.
 func (s *Store) takePrefetched(id string) ([]byte, bool) {
-	s.pmu.Lock()
-	defer s.pmu.Unlock()
-	b, ok := s.prefetched[id]
-	if ok {
-		delete(s.prefetched, id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.prefetched[id]
+	if !ok {
+		return nil, false
 	}
-	return b, ok
+	delete(s.prefetched, id)
+	s.unchargeLocked(n)
+	return n.data, true
 }
 
 // Get returns the artefact for key, computing it at most once per
@@ -340,6 +415,9 @@ func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, comput
 		s.entries[id] = e
 	} else {
 		s.memHits.Add(1)
+		if e.node != nil {
+			s.touchLocked(e.node, nowNanos())
+		}
 	}
 	s.mu.Unlock()
 	owner := false
@@ -366,23 +444,38 @@ func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, comput
 			}
 			// Transient failures (cancellation, panics) are not held
 			// against the key: waiters of THIS fill see the error, the
-			// next caller gets a fresh slot and recomputes.
+			// next caller gets a fresh slot and recomputes. Everything
+			// that stays — values and cached deterministic errors — is
+			// charged to the memory budget now that the fill is
+			// complete; an in-flight fill is never on the LRU list and
+			// so can never be evicted.
+			s.mu.Lock()
 			if failed && (rethrow != nil || retryable(e.err)) {
-				s.mu.Lock()
 				if s.entries[id] == e {
 					delete(s.entries, id)
 				}
-				s.mu.Unlock()
+			} else if s.entries[id] == e && e.node == nil {
+				if e.size == 0 {
+					e.size = memFallbackBytes
+					if e.err != nil {
+						e.size = int64(len(e.err.Error()))
+					}
+				}
+				n := &memNode{id: id, kind: key.Kind, size: memEntryOverhead + int64(len(id)) + e.size, e: e}
+				e.node = n
+				s.chargeLocked(n, nowNanos())
 			}
+			s.mu.Unlock()
 			e.done.Store(true)
 			if rethrow != nil {
 				panic(rethrow)
 			}
 		}()
 		if disk && s.backend != nil {
-			if v, ok := loadBackend(s, key, check); ok {
+			if v, size, ok := loadBackend(s, key, check); ok {
 				s.backendHits.Add(1)
 				e.val = v
+				e.size = size
 				return
 			}
 		}
@@ -393,8 +486,12 @@ func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, comput
 		}
 		s.fills.Add(1)
 		e.val = v
-		if disk && s.backend != nil {
-			saveBackend(s, key, v)
+		enc := encodeValue(v)
+		if enc != nil {
+			e.size = int64(len(enc))
+		}
+		if disk && s.backend != nil && enc != nil {
+			saveBackendEncoded(s, key, enc)
 		}
 	})
 	if e.err != nil {
@@ -421,6 +518,9 @@ func Peek[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 	id := memID(key)
 	s.mu.Lock()
 	e := s.entries[id]
+	if e != nil && e.node != nil {
+		s.touchLocked(e.node, nowNanos())
+	}
 	s.mu.Unlock()
 	if e != nil {
 		if !e.done.Load() || e.err != nil {
@@ -432,12 +532,12 @@ func Peek[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 	if s.backend == nil {
 		return zero, false
 	}
-	v, ok := loadBackend(s, key, check)
+	v, size, ok := loadBackend(s, key, check)
 	if !ok {
 		return zero, false
 	}
 	s.backendHits.Add(1)
-	ne := &entry{val: v}
+	ne := &entry{val: v, size: size}
 	ne.once.Do(func() {}) // consume: a later Get must not re-fill over val
 	ne.done.Store(true)
 	s.mu.Lock()
@@ -446,6 +546,9 @@ func Peek[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 	}
 	if _, exists := s.entries[id]; !exists {
 		s.entries[id] = ne
+		n := &memNode{id: id, kind: key.Kind, size: memEntryOverhead + int64(len(id)) + size, e: ne}
+		ne.node = n
+		s.chargeLocked(n, nowNanos())
 	}
 	s.mu.Unlock()
 	return v, true

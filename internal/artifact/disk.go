@@ -79,10 +79,11 @@ func (d *DiskBackend) Put(id string, data []byte) {
 }
 
 // loadBackend reads and validates key's persisted entry through the
-// store's backend. Any failure — plain miss aside — counts as a
-// discard and falls back to recomputation; the store never propagates
-// backend corruption.
-func loadBackend[T any](s *Store, key Key, check func(T) bool) (T, bool) {
+// store's backend, also reporting the encoded payload size (the
+// memory tier's charge for the decoded resident). Any failure — plain
+// miss aside — counts as a discard and falls back to recomputation;
+// the store never propagates backend corruption.
+func loadBackend[T any](s *Store, key Key, check func(T) bool) (T, int64, bool) {
 	var zero T
 	// A bulk-prefetched entry short-circuits the backend read: the
 	// bytes already crossed the wire once, verification below is
@@ -92,37 +93,47 @@ func loadBackend[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 		b, ok = s.backend.Get(key.ID())
 	}
 	if !ok {
-		return zero, false
+		return zero, 0, false
 	}
 	de, err := DecodeEntry(b)
 	if err != nil {
 		s.backendDiscards.Add(1)
-		return zero, false
+		return zero, 0, false
 	}
 	if !de.Matches(key) {
 		s.backendDiscards.Add(1)
-		return zero, false
+		return zero, 0, false
 	}
 	var v T
 	if err := gob.NewDecoder(bytes.NewReader(de.Payload)).Decode(&v); err != nil {
 		s.backendDiscards.Add(1)
-		return zero, false
+		return zero, 0, false
 	}
 	if check != nil && !check(v) {
 		s.backendDiscards.Add(1)
-		return zero, false
+		return zero, 0, false
 	}
-	return v, true
+	return v, int64(len(de.Payload)), true
 }
 
-// saveBackend persists a freshly computed value through the store's
-// backend, best-effort.
-func saveBackend[T any](s *Store, key Key, v T) {
+// encodeValue gob-encodes a freshly computed value once, serving both
+// consumers of the encoding: the persistence backend (the payload to
+// publish) and the memory tier (the byte size to charge). Values the
+// codec cannot round-trip (live workload lists, samplers — the
+// GetMem-only artefacts) return nil: they are not persisted, and the
+// memory tier charges memFallbackBytes instead.
+func encodeValue[T any](v T) []byte {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return
+		return nil
 	}
-	b, err := EncodeEntry(Entry{Version: Version, Kind: key.Kind, Label: key.Label, Payload: payload.Bytes()})
+	return payload.Bytes()
+}
+
+// saveBackendEncoded persists an already-encoded payload through the
+// store's backend, best-effort.
+func saveBackendEncoded(s *Store, key Key, payload []byte) {
+	b, err := EncodeEntry(Entry{Version: Version, Kind: key.Kind, Label: key.Label, Payload: payload})
 	if err != nil {
 		return
 	}

@@ -1,0 +1,339 @@
+// The bounded memory tier: size-aware LRU eviction with per-kind
+// quotas over the store's in-process entry map.
+//
+// Before this tier existed the memory map only grew — fine for a batch
+// run that exits, fatal for a long-lived serving daemon accumulating
+// distinct ad-hoc scenario renders until the OS kills it. Now every
+// resident entry (and every staged prefetch) is charged its encoded
+// byte size plus a fixed bookkeeping overhead, an LRU list orders them
+// by last use, and an eviction pass runs after every charge:
+//
+//   - entries idle longer than MemQuota.MaxAge go first;
+//   - any kind family over its MemQuota.Kinds budget sheds its own
+//     least-recently-used entries (one hot namespace — a flood of
+//     ad-hoc scenario renders — can never starve the profiles and
+//     dataset content everything else needs);
+//   - then the global MemQuota.MaxBytes bound evicts strictly LRU.
+//
+// Eviction is byte-invisible: every artefact in the store is a
+// deterministic function of its key, so an evicted entry re-fetched
+// from the persistence backend or recomputed serves byte-identical
+// output (TestEvictionByteInvisible proves it differentially against
+// an unbounded store). The singleflight invariants survive because
+// only *completed* fills are ever charged — an in-flight fill has no
+// LRU node and therefore cannot be evicted — and eviction only unhooks
+// an entry from the map: waiters already holding the entry pointer
+// still read its immutable val/err.
+package artifact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MemQuota bounds a store's in-process memory tier. The zero value is
+// unbounded (the pre-quota behavior). All bounds cover the charged
+// size: encoded payload bytes plus memEntryOverhead per entry.
+type MemQuota struct {
+	// MaxBytes caps the total charged bytes resident in memory
+	// (entries of every kind plus staged prefetch bytes). 0 = no cap.
+	MaxBytes int64
+	// MaxAge evicts entries idle (not read or written) longer than
+	// this on the next eviction pass or SweepMem call. 0 = no age
+	// bound.
+	MaxAge time.Duration
+	// Kinds caps individual kind families by name prefix: a quota
+	// under name q covers every kind equal to q or prefixed by it
+	// ("profile" covers "profile" and "profile-set"; "datagen" covers
+	// every datagen-* content kind; "scenario-render" covers exactly
+	// the ad-hoc scenario renders). Longest-prefix semantics are not
+	// needed — each quota is enforced independently over the kinds it
+	// matches.
+	Kinds map[string]int64
+}
+
+// Enabled reports whether q bounds anything.
+func (q MemQuota) Enabled() bool {
+	return q.MaxBytes > 0 || q.MaxAge > 0 || len(q.Kinds) > 0
+}
+
+func (q MemQuota) String() string {
+	var parts []string
+	if q.MaxBytes > 0 {
+		parts = append(parts, fmt.Sprintf("%dB", q.MaxBytes))
+	}
+	if q.MaxAge > 0 {
+		parts = append(parts, q.MaxAge.String())
+	}
+	kinds := make([]string, 0, len(q.Kinds))
+	for k := range q.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%dB", k, q.Kinds[k]))
+	}
+	if len(parts) == 0 {
+		return "unbounded"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseQuotaSpec parses the CLIs' -mem-quota flag with the same
+// grammar as ParseGCSpec plus per-kind bounds: comma-separated parts,
+// each either a bare size ("256MB") capping total resident bytes, a
+// bare duration ("30m", "2h", "1d") capping entry idle age, or
+// kind=size ("scenario-render=64MB", "datagen=96MB") capping one kind
+// family. One global size and one age at most; at least one bound
+// overall.
+func ParseQuotaSpec(spec string) (MemQuota, error) {
+	var q MemQuota
+	if strings.TrimSpace(spec) == "" {
+		return q, fmt.Errorf("empty mem-quota spec (want e.g. %q, %q or %q)",
+			"256MB", "256MB,30m", "256MB,scenario-render=64MB")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if kind, val, ok := strings.Cut(part, "="); ok {
+			kind = strings.TrimSpace(kind)
+			if kind == "" {
+				return MemQuota{}, fmt.Errorf("mem-quota part %q names no kind", part)
+			}
+			n, err := parseSize(val)
+			if err != nil || n <= 0 {
+				return MemQuota{}, fmt.Errorf("mem-quota part %q: kind bound must be a positive size (64MB)", part)
+			}
+			if _, dup := q.Kinds[kind]; dup {
+				return MemQuota{}, fmt.Errorf("mem-quota spec %q bounds kind %q twice", spec, kind)
+			}
+			if q.Kinds == nil {
+				q.Kinds = map[string]int64{}
+			}
+			q.Kinds[kind] = n
+			continue
+		}
+		if d, err := parseAge(part); err == nil {
+			if q.MaxAge != 0 {
+				return MemQuota{}, fmt.Errorf("mem-quota spec %q sets the age bound twice", spec)
+			}
+			if d <= 0 {
+				return MemQuota{}, fmt.Errorf("mem-quota spec %q: age bound must be positive", spec)
+			}
+			q.MaxAge = d
+			continue
+		}
+		if n, err := parseSize(part); err == nil {
+			if q.MaxBytes != 0 {
+				return MemQuota{}, fmt.Errorf("mem-quota spec %q sets the size bound twice", spec)
+			}
+			if n <= 0 {
+				return MemQuota{}, fmt.Errorf("mem-quota spec %q: size bound must be positive", spec)
+			}
+			q.MaxBytes = n
+			continue
+		}
+		return MemQuota{}, fmt.Errorf("mem-quota part %q is neither a size (256MB), a duration (30m) nor kind=size (datagen=96MB)", part)
+	}
+	return q, nil
+}
+
+// kindInQuota reports whether kind falls under the quota named q:
+// exact match or prefix ("profile" covers "profile-set", "datagen"
+// covers "datagen-text").
+func kindInQuota(kind, q string) bool {
+	return kind == q || strings.HasPrefix(kind, q)
+}
+
+// memEntryOverhead approximates the per-entry bookkeeping a resident
+// artefact costs beyond its payload: the map slot, the entry and node
+// structs, and the interface header. Charging it keeps a flood of
+// tiny entries (or cached deterministic errors) bounded too — a
+// million empty entries is still gigabytes of map.
+const memEntryOverhead = 256
+
+// memFallbackBytes is the charge for a value the gob codec cannot
+// size (live Workload lists, samplers — the GetMem-only artefacts).
+// These are bounded-count by construction (keyed by roster set or
+// generator config, not by ad-hoc request), so an estimate is enough
+// to keep the books honest.
+const memFallbackBytes = 1 << 12
+
+// memNode is one charged resident: either a completed entry (e != nil)
+// or staged prefetch bytes (data != nil). Nodes live on the store's
+// LRU list, most recently used at the head. All fields are guarded by
+// Store.mu.
+type memNode struct {
+	id   string // entries: memID(key); prefetched: key.ID()
+	kind string
+	size int64
+	last int64 // UnixNano of last touch
+	prev *memNode
+	next *memNode
+	e    *entry
+	data []byte
+}
+
+// SetMemQuota installs (or replaces) the memory-tier bounds and runs
+// an immediate eviction pass. Safe to call concurrently with fills,
+// though callers normally set it once right after construction.
+func (s *Store) SetMemQuota(q MemQuota) {
+	s.mu.Lock()
+	s.quota = q
+	s.evictLocked(time.Now().UnixNano())
+	s.mu.Unlock()
+}
+
+// MemQuota returns the installed memory-tier bounds.
+func (s *Store) MemQuota() MemQuota {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quota
+}
+
+// SweepMem runs one eviction pass now — the hook a long-lived daemon
+// ticks to apply MemQuota.MaxAge to an idle store (charges trigger
+// passes on their own, but an idle store receives no charges).
+func (s *Store) SweepMem() {
+	s.mu.Lock()
+	s.evictLocked(time.Now().UnixNano())
+	s.mu.Unlock()
+}
+
+// touchLocked moves n to the LRU head and stamps its last use.
+func (s *Store) touchLocked(n *memNode, now int64) {
+	n.last = now
+	if s.lruHead == n {
+		return
+	}
+	s.unlinkLocked(n)
+	s.linkFrontLocked(n)
+}
+
+func (s *Store) linkFrontLocked(n *memNode) {
+	n.prev = nil
+	n.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = n
+	}
+	s.lruHead = n
+	if s.lruTail == nil {
+		s.lruTail = n
+	}
+}
+
+func (s *Store) unlinkLocked(n *memNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.lruHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.lruTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// chargeLocked admits n as a resident: onto the LRU head, into the
+// books, then an eviction pass to restore the bounds. Caller holds
+// s.mu and has already published n's referent (map entry or staged
+// bytes).
+func (s *Store) chargeLocked(n *memNode, now int64) {
+	n.last = now
+	s.linkFrontLocked(n)
+	s.resident += n.size
+	s.residentN++
+	if s.kindBytes == nil {
+		s.kindBytes = map[string]int64{}
+	}
+	s.kindBytes[n.kind] += n.size
+	s.evictLocked(now)
+}
+
+// unchargeLocked removes n from the books without counting an
+// eviction — the consumption path (takePrefetched) and the eviction
+// path share it.
+func (s *Store) unchargeLocked(n *memNode) {
+	s.unlinkLocked(n)
+	s.resident -= n.size
+	s.residentN--
+	if s.kindBytes[n.kind] -= n.size; s.kindBytes[n.kind] <= 0 {
+		delete(s.kindBytes, n.kind)
+	}
+}
+
+// evictNodeLocked evicts one resident: unhook it from the map it
+// lives in and from the books. An evicted entry is only unhooked —
+// goroutines already holding the *entry still read its immutable
+// val/err; the next Get for the key starts a fresh fill.
+func (s *Store) evictNodeLocked(n *memNode) {
+	s.unchargeLocked(n)
+	if n.e != nil {
+		n.e.node = nil
+		if s.entries[n.id] == n.e {
+			delete(s.entries, n.id)
+		}
+	} else {
+		delete(s.prefetched, n.id)
+	}
+	s.evictions++
+	s.evictedBytes += n.size
+	if s.kindEvicts == nil {
+		s.kindEvicts = map[string]int64{}
+	}
+	s.kindEvicts[n.kind]++
+}
+
+// evictLocked restores every installed bound: age expiry first, then
+// per-kind quotas (each sheds only its own kinds), then the global
+// byte budget, all strictly least-recently-used first. In-flight
+// fills are untouchable by construction — they have no node until
+// they complete.
+func (s *Store) evictLocked(now int64) {
+	q := s.quota
+	if q.MaxAge > 0 {
+		cutoff := now - int64(q.MaxAge)
+		for n := s.lruTail; n != nil && n.last < cutoff; {
+			prev := n.prev
+			s.evictNodeLocked(n)
+			n = prev
+		}
+	}
+	for qk, limit := range q.Kinds {
+		used := int64(0)
+		for kind, b := range s.kindBytes {
+			if kindInQuota(kind, qk) {
+				used += b
+			}
+		}
+		for n := s.lruTail; n != nil && used > limit; {
+			prev := n.prev
+			if kindInQuota(n.kind, qk) {
+				used -= n.size
+				s.evictNodeLocked(n)
+			}
+			n = prev
+		}
+	}
+	if q.MaxBytes > 0 {
+		for s.lruTail != nil && s.resident > q.MaxBytes {
+			s.evictNodeLocked(s.lruTail)
+		}
+	}
+}
+
+// kindOfID recovers the kind from a key ID ("kind-16hexhash") — the
+// only identity a staged prefetch entry carries before it is decoded.
+func kindOfID(id string) string {
+	if i := strings.LastIndex(id, "-"); i > 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// nowNanos is the memory tier's clock: wall nanos, read outside any
+// hot loop (once per charge or touch).
+func nowNanos() int64 { return time.Now().UnixNano() }

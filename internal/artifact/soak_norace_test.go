@@ -1,0 +1,7 @@
+//go:build !race
+
+package artifact
+
+// soakKeys is the full soak keyspace: large enough that an unbounded
+// store would hold hundreds of MB of distinct scenario renders.
+const soakKeys = 1_000_000

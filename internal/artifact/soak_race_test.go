@@ -1,0 +1,8 @@
+//go:build race
+
+package artifact
+
+// Under the race detector every fill costs ~10x, so the soak streams a
+// smaller (still quota-overflowing many times over) keyspace; the
+// full-size run belongs to the plain test and the CI soak job.
+const soakKeys = 50_000

@@ -37,18 +37,33 @@ type JobRequest struct {
 	Scenarios []Scenario `json:"scenarios,omitempty"`
 }
 
-// JobStatus is the GET /jobs/{id} body.
+// JobStatus is the GET /jobs/{id} body. Results carries each
+// completed unit's (and scenario's) rendered text inline, keyed like
+// Timings' Unit column — the retrieval path that keeps working when
+// the store has since evicted the rendered artefact, and the only one
+// for ad-hoc scenario renders (re-POSTing the spec would otherwise
+// recompute them after an eviction).
 type JobStatus struct {
-	ID        string       `json:"id"`
-	State     JobState     `json:"state"`
-	Units     []string     `json:"units,omitempty"`
-	Scenarios int          `json:"scenarios,omitempty"`
-	Created   time.Time    `json:"created"`
-	Started   *time.Time   `json:"started,omitempty"`
-	Finished  *time.Time   `json:"finished,omitempty"`
-	Timings   []UnitTiming `json:"timings,omitempty"`
-	Error     string       `json:"error,omitempty"`
+	ID               string            `json:"id"`
+	State            JobState          `json:"state"`
+	Units            []string          `json:"units,omitempty"`
+	Scenarios        int               `json:"scenarios,omitempty"`
+	Created          time.Time         `json:"created"`
+	Started          *time.Time        `json:"started,omitempty"`
+	Finished         *time.Time        `json:"finished,omitempty"`
+	Timings          []UnitTiming      `json:"timings,omitempty"`
+	Results          map[string]string `json:"results,omitempty"`
+	ResultsTruncated bool              `json:"results_truncated,omitempty"`
+	Error            string            `json:"error,omitempty"`
 }
+
+// maxJobResultBytes caps the rendered bytes one job retains inline —
+// finished jobs are themselves retained (up to maxFinishedJobs), so
+// unbounded per-job results would reopen the memory hole the store
+// quota closes. Renders past the cap are dropped from Results (the
+// status notes the truncation); every real paper unit and scenario
+// render is a few KB of ASCII, far under it.
+const maxJobResultBytes = 1 << 20
 
 // job is one asynchronous computation with its cancellation handle.
 type job struct {
@@ -58,13 +73,15 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	state    JobState
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	timings  []UnitTiming
-	errMsg   string
+	mu            sync.Mutex
+	state         JobState
+	created       time.Time
+	started       time.Time
+	finished      time.Time
+	timings       []UnitTiming
+	results       map[string]string
+	resultsDroppd bool
+	errMsg        string
 }
 
 func (j *job) status() JobStatus {
@@ -73,9 +90,16 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID: j.id, State: j.state,
 		Units: j.req.Units, Scenarios: len(j.req.Scenarios),
-		Created: j.created,
-		Timings: append([]UnitTiming(nil), j.timings...),
-		Error:   j.errMsg,
+		Created:          j.created,
+		Timings:          append([]UnitTiming(nil), j.timings...),
+		ResultsTruncated: j.resultsDroppd,
+		Error:            j.errMsg,
+	}
+	if len(j.results) > 0 {
+		st.Results = make(map[string]string, len(j.results))
+		for k, v := range j.results {
+			st.Results[k] = v
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started

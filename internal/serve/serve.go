@@ -46,6 +46,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,12 @@ type Config struct {
 	// Workers bounds concurrently executing computations — flights and
 	// jobs together (0 = GOMAXPROCS; the pool floors at 2).
 	Workers int
+	// MemQuota bounds the store's in-process memory tier (resident
+	// bytes, idle age, per-kind budgets — see artifact.ParseQuotaSpec).
+	// The zero value leaves the store unbounded; a long-lived daemon
+	// accumulating distinct ad-hoc scenario renders should always set
+	// it. Applied to Store (or the private store) at construction.
+	MemQuota artifact.MemQuota
 }
 
 // Server is the reprod serving core, usable behind any http.Server
@@ -102,6 +109,9 @@ func New(cfg Config) *Server {
 	st := cfg.Store
 	if st == nil {
 		st = artifact.New()
+	}
+	if cfg.MemQuota.Enabled() {
+		st.SetMemQuota(cfg.MemQuota)
 	}
 	return &Server{
 		cfg:     cfg,
@@ -407,13 +417,29 @@ func (s *Server) runJob(j *job) {
 	var timings []UnitTiming
 	var firstErr error
 
+	// Rendered results are retained inline (bounded by
+	// maxJobResultBytes) so GET /jobs/{id} can hand them back even
+	// after the store evicts the artefacts — and at all for ad-hoc
+	// scenarios, which have no /units retrieval path.
+	results := map[string]string{}
+	resultBytes := 0
+	truncated := false
+	keep := func(name string, b []byte) {
+		if resultBytes+len(b) > maxJobResultBytes {
+			truncated = true
+			return
+		}
+		resultBytes += len(b)
+		results[name] = string(b)
+	}
+
 	if len(j.req.Units) > 0 {
 		e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: j.req.Units}
-		results, err := e.RunContext(j.ctx)
+		runResults, err := e.RunContext(j.ctx)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
-		for _, r := range results {
+		for _, r := range runResults {
 			status := "ok"
 			switch {
 			case r.Err != nil:
@@ -424,6 +450,11 @@ func (s *Server) runJob(j *job) {
 			case r.Unit.Hidden:
 				status = "primer"
 			}
+			if r.Err == nil && !r.Unit.Hidden && r.Artifact != nil {
+				var buf strings.Builder
+				r.Artifact.Render(&buf)
+				keep(r.Unit.Name, []byte(buf.String()))
+			}
 			timings = append(timings, UnitTiming{
 				Unit: r.Unit.Name, Ms: float64(r.Elapsed.Microseconds()) / 1000, Status: status,
 			})
@@ -431,7 +462,7 @@ func (s *Server) runJob(j *job) {
 	}
 	for i, spec := range j.req.Scenarios {
 		start := time.Now()
-		_, err := experiments.RunScenario(sess, spec)
+		b, err := experiments.RunScenario(sess, spec)
 		status := "ok"
 		if err != nil {
 			status = "error: " + err.Error()
@@ -443,6 +474,9 @@ func (s *Server) runJob(j *job) {
 		if name == "" {
 			name = fmt.Sprintf("scenario-%d", i+1)
 		}
+		if err == nil {
+			keep("scenario:"+name, b)
+		}
 		timings = append(timings, UnitTiming{
 			Unit: "scenario:" + name, Ms: float64(time.Since(start).Microseconds()) / 1000, Status: status,
 		})
@@ -451,6 +485,8 @@ func (s *Server) runJob(j *job) {
 
 	j.mu.Lock()
 	j.timings = timings
+	j.results = results
+	j.resultsDroppd = truncated
 	j.finished = time.Now()
 	switch {
 	case j.ctx.Err() != nil:
@@ -520,7 +556,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	ss := s.store.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int64{
+	out := map[string]any{
 		"unit_requests": st.UnitRequests, "scenario_requests": st.ScenarioRequests,
 		"warm_hits": st.WarmHits, "coalesced": st.Coalesced, "computes": st.Computes,
 		"abandoned": st.Abandoned, "in_flight": st.InFlight,
@@ -531,9 +567,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"dataset_generations": datagen.Generations(),
 		"store_fills":         ss.Fills, "store_mem_hits": ss.MemHits,
 		"store_backend_hits": ss.BackendHits, "store_backend_discards": ss.BackendDiscards,
-		"store_prefetched": ss.Prefetched,
-		"goroutines":       int64(runtime.NumGoroutine()),
-	})
+		"store_prefetched":       ss.Prefetched,
+		"store_evictions":        ss.Evictions,
+		"store_evicted_bytes":    ss.EvictedBytes,
+		"store_resident_bytes":   ss.ResidentBytes,
+		"store_resident_entries": ss.ResidentEntries,
+		"store_mem_hit_ratio":    ss.MemHitRatio(),
+		"goroutines":             int64(runtime.NumGoroutine()),
+	}
+	if len(ss.KindResident) > 0 {
+		out["store_kind_resident_bytes"] = ss.KindResident
+	}
+	if len(ss.KindEvictions) > 0 {
+		out["store_kind_evictions"] = ss.KindEvictions
+	}
+	json.NewEncoder(w).Encode(out)
 }
 
 // handleMetrics exposes the counters in the Prometheus text exposition
@@ -563,9 +611,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"reprod_store_fills_total", "Store computations executed.", ss.Fills},
 		{"reprod_store_backend_hits_total", "Fills satisfied by the persistence backend.", ss.BackendHits},
 		{"reprod_store_prefetched_total", "Entries staged by bulk prefetch.", ss.Prefetched},
+		{"reprod_store_evictions_total", "Memory-tier residents evicted under quota.", ss.Evictions},
+		{"reprod_store_evicted_bytes_total", "Charged bytes evicted by the memory tier.", ss.EvictedBytes},
 	}
 	for _, m := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
 	}
 	fmt.Fprintf(w, "# HELP reprod_in_flight Computations currently in flight.\n# TYPE reprod_in_flight gauge\nreprod_in_flight %d\n", st.InFlight)
+	fmt.Fprintf(w, "# HELP reprod_store_resident_bytes Charged bytes resident in the store's memory tier.\n# TYPE reprod_store_resident_bytes gauge\nreprod_store_resident_bytes %d\n", ss.ResidentBytes)
+	fmt.Fprintf(w, "# HELP reprod_store_resident_entries Residents (entries + staged prefetches) in the memory tier.\n# TYPE reprod_store_resident_entries gauge\nreprod_store_resident_entries %d\n", ss.ResidentEntries)
+	fmt.Fprintf(w, "# HELP reprod_store_mem_hit_ratio Fraction of store lookups answered by a resident entry.\n# TYPE reprod_store_mem_hit_ratio gauge\nreprod_store_mem_hit_ratio %g\n", ss.MemHitRatio())
+	writeKindFamily(w, "reprod_store_kind_resident_bytes", "Resident memory-tier bytes by artefact kind.", "gauge", ss.KindResident)
+	writeKindFamily(w, "reprod_store_kind_evictions_total", "Memory-tier evictions by artefact kind.", "counter", ss.KindEvictions)
+}
+
+// writeKindFamily emits one labeled Prometheus family with a
+// deterministic (sorted) sample order, skipping empty families.
+func writeKindFamily(w io.Writer, name, help, typ string, byKind map[string]int64) {
+	if len(byKind) == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k, byKind[k])
+	}
 }

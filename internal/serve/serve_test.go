@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -479,16 +480,17 @@ func TestStatsAndMetricsEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
-	var stats map[string]int64
+	var stats map[string]any
 	if err := json.Unmarshal(b, &stats); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"unit_requests", "computes", "renders", "trace_passes", "store_fills"} {
+	for _, k := range []string{"unit_requests", "computes", "renders", "trace_passes", "store_fills",
+		"store_evictions", "store_resident_bytes", "store_mem_hit_ratio"} {
 		if _, ok := stats[k]; !ok {
 			t.Errorf("stats missing %q", k)
 		}
 	}
-	if stats["unit_requests"] != 1 || stats["computes"] != 1 {
+	if stats["unit_requests"] != float64(1) || stats["computes"] != float64(1) {
 		t.Fatalf("stats counters off: %v", stats)
 	}
 
@@ -540,5 +542,165 @@ func TestServedBytesStableAcrossRestart(t *testing.T) {
 	}
 	if st := srv2.Stats(); st.Computes != 0 {
 		t.Fatalf("restarted server recomputed %d times", st.Computes)
+	}
+}
+
+// TestJobInlineResults pins GET /jobs/{id} carrying rendered bytes:
+// the unit result matches what /units serves, the scenario result
+// matches what /scenarios serves, and nothing is truncated at real
+// render sizes.
+func TestJobInlineResults(t *testing.T) {
+	_, ts := startServer(t, Config{Parallelism: 2})
+	body := `{"units": ["table2"], "scenarios": [{"name": "inline", "workloads": ["H-Grep"], "sizes_kb": [16, 64]}]}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var idResp struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(ack, &idResp); err != nil || idResp.ID == "" {
+		t.Fatalf("submit ack %q: %v", ack, err)
+	}
+
+	var status JobStatus
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, _, b := get(t, ts.URL+"/jobs/"+idResp.ID)
+		if err := json.Unmarshal(b, &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.State == JobDone || status.State == JobFailed || status.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", status.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.State != JobDone {
+		t.Fatalf("job finished %s (%s)", status.State, status.Error)
+	}
+	if status.ResultsTruncated {
+		t.Fatal("small job claims truncated results")
+	}
+	if len(status.Results) != 2 {
+		t.Fatalf("want 2 inline results, got %d: %v", len(status.Results), keysOf(status.Results))
+	}
+
+	// The inline unit render is exactly what the synchronous endpoint
+	// serves for the same store.
+	code, _, unitBytes := get(t, ts.URL+"/units/table2")
+	if code != http.StatusOK {
+		t.Fatalf("unit fetch: %d", code)
+	}
+	if status.Results["table2"] != string(unitBytes) {
+		t.Fatal("inline unit result differs from /units/table2")
+	}
+	resp, err = http.Post(ts.URL+"/scenarios", "application/json",
+		strings.NewReader(`{"name": "inline", "workloads": ["H-Grep"], "sizes_kb": [16, 64]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if status.Results["scenario:inline"] != string(scenBytes) {
+		t.Fatal("inline scenario result differs from /scenarios")
+	}
+
+	// Hidden primer units carry timings but no inline render.
+	if _, ok := status.Results["dataset-primer"]; ok {
+		t.Fatal("hidden primer leaked an inline result")
+	}
+}
+
+func keysOf(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestServingUnderMemQuota pins eviction byte-invisibility end to end:
+// a server squeezed into a far-too-small memory quota evicts
+// constantly, yet every re-requested unit and scenario serves exactly
+// the bytes the first (fully cold) request served.
+func TestServingUnderMemQuota(t *testing.T) {
+	srv, ts := startServer(t, Config{
+		Parallelism: 2,
+		MemQuota:    artifact.MemQuota{MaxBytes: 4 << 10},
+	})
+
+	code, _, cold := get(t, ts.URL+"/units/table1")
+	if code != http.StatusOK {
+		t.Fatalf("cold unit: %d", code)
+	}
+	spec := `{"workloads": ["H-Grep"], "sizes_kb": [16, 64]}`
+	resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenCold, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	// Churn distinct scenarios through the tiny quota to force
+	// eviction of everything above.
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"workloads": ["S-Sort"], "sizes_kb": [%d]}`, 16<<i)
+		resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	st := srv.Store().Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("4KB quota never evicted: %+v", st)
+	}
+	if st.ResidentBytes > 4<<10 {
+		t.Fatalf("resident %d exceeds the 4KB quota", st.ResidentBytes)
+	}
+
+	code, _, again := get(t, ts.URL+"/units/table1")
+	if code != http.StatusOK {
+		t.Fatalf("re-request: %d", code)
+	}
+	if !bytes.Equal(cold, again) {
+		t.Fatal("evicted unit re-served different bytes")
+	}
+	resp, err = http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenAgain, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(scenCold, scenAgain) {
+		t.Fatal("evicted scenario re-served different bytes")
+	}
+
+	// The eviction counters surface in both observability endpoints.
+	_, _, sb := get(t, ts.URL+"/stats")
+	var stats map[string]any
+	if err := json.Unmarshal(sb, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := stats["store_evictions"].(float64); !ok || ev == 0 {
+		t.Fatalf("/stats store_evictions = %v", stats["store_evictions"])
+	}
+	_, _, mb := get(t, ts.URL+"/metrics")
+	for _, family := range []string{
+		"# TYPE reprod_store_evictions_total counter",
+		"# TYPE reprod_store_resident_bytes gauge",
+		"# TYPE reprod_store_kind_resident_bytes gauge",
+		"reprod_store_kind_evictions_total{kind=",
+	} {
+		if !strings.Contains(string(mb), family) {
+			t.Errorf("metrics missing %q", family)
+		}
 	}
 }

@@ -110,6 +110,17 @@ type StoreBackend = artifact.Backend
 // GCResult summarizes one store GC sweep.
 type GCResult = artifact.GCResult
 
+// MemQuota bounds a Store's in-process memory tier: total resident
+// bytes, entry idle age, and per-kind byte caps. Install it with
+// Store.SetMemQuota; the zero value is unbounded.
+type MemQuota = artifact.MemQuota
+
+// ParseMemQuota parses a quota spec string — comma-separated size
+// ("256MB"), idle age ("30m") and kind=size ("scenario-render=64MB")
+// parts — into a MemQuota, the same grammar the CLIs' -mem-quota flag
+// accepts.
+func ParseMemQuota(spec string) (MemQuota, error) { return artifact.ParseQuotaSpec(spec) }
+
 // NewStore returns an in-memory artifact store.
 func NewStore() *Store { return artifact.New() }
 
