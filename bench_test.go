@@ -288,9 +288,9 @@ func BenchmarkSweepFiguresSerial(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepFiguresBlocked is the engine path: one block-replayed
-// trace pass per workload (blocks decoded once into packed access
-// streams, 30 caches fanned out per block), all three views extracted
+// BenchmarkSweepFiguresBlocked is the engine path: one trace pass per
+// workload (blocks decoded once into packed access streams, consumed
+// by the default stack-distance engine), all three views extracted
 // from it and shared by the four figures. The equivalence tests prove
 // its curves bit-identical to the serial reference.
 func BenchmarkSweepFiguresBlocked(b *testing.B) {
@@ -334,6 +334,50 @@ func BenchmarkSweepPassBlocked(b *testing.B) {
 		workloads.Run(w, sw, sweepPassBudget)
 	}
 	b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSweepStackDist measures ONE cold sweep trace pass through
+// the stack-distance engine at the default geometry — the same pass
+// BenchmarkSweepPassBlocked prices through concrete-cache replay. The
+// differential tests prove the curves bit-identical; this records what
+// the swap costs (or saves) on the single-geometry hot path.
+func BenchmarkSweepStackDist(b *testing.B) {
+	w := Representative17()[14] // H-WordCount
+	for i := 0; i < b.N; i++ {
+		sw, err := machine.NewStackSweep(0, machine.SweepGeometry{SizesKB: machine.DefaultSweepSizesKB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		workloads.Run(w, sw, sweepPassBudget)
+	}
+	b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSweepMultiGeometry prices geometry count under the
+// stack-distance engine: one pass answering 1 vs 4 associativities
+// over the default size ladder. Extra geometries only add per-set
+// stacks (more histogram buckets, same trace work), so geoms-4 must
+// scale near-flat relative to geoms-1 — the benchguard ratio pins it.
+func BenchmarkSweepMultiGeometry(b *testing.B) {
+	w := Representative17()[14] // H-WordCount
+	geoms := []machine.SweepGeometry{
+		{SizesKB: machine.DefaultSweepSizesKB, Ways: machine.DefaultSweepWays},
+		{SizesKB: machine.DefaultSweepSizesKB, Ways: 1},
+		{SizesKB: machine.DefaultSweepSizesKB, Ways: 2},
+		{SizesKB: machine.DefaultSweepSizesKB, Ways: 16},
+	}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("geoms-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sw, err := machine.NewStackSweep(0, geoms[:n]...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				workloads.Run(w, sw, sweepPassBudget)
+			}
+			b.ReportMetric(sweepPassBudget*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+		})
+	}
 }
 
 // BenchmarkSweepFanout measures one cold sweep trace pass with the

@@ -25,6 +25,7 @@
 // Usage:
 //
 //	reprod [-addr :9555] [-quick] [-parallel N] [-workers N] [-block N]
+//	       [-engine stackdist|replay]
 //	       [-cache-dir DIR] [-store-url URL] [-store-token T]
 //	       [-gc SPEC] [-gc-interval D] [-mem-quota SPEC] [-drain-timeout D]
 package main
@@ -53,6 +54,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "bound workers inside each computation (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "bound concurrently executing computations (0 = GOMAXPROCS)")
 	block := flag.Int("block", 0, "trace-replay block size (0 = default); output is byte-identical for every size")
+	engineFlag := flag.String("engine", "", "miss-ratio sweep engine: stackdist (single-pass, default) or replay (concrete-cache oracle); served bytes are identical for both")
 	cacheDir := flag.String("cache-dir", "", "persist artifacts under this directory and warm-start from it")
 	storeURL := flag.String("store-url", "", "share artifacts through the artifactd server at this URL")
 	storeToken := flag.String("store-token", "", "bearer token for a -token'd artifactd server (default $REPRO_STORE_TOKEN)")
@@ -67,7 +69,12 @@ func main() {
 		opt = experiments.Quick()
 	}
 
-	cfg := serve.Config{Opt: opt, Parallelism: *parallel, BlockSize: *block, Workers: *workers}
+	engine, err := experiments.ParseSweepEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := serve.Config{Opt: opt, Engine: engine, Parallelism: *parallel, BlockSize: *block, Workers: *workers}
 	if *memQuota != "" {
 		q, err := artifact.ParseQuotaSpec(*memQuota)
 		if err != nil {

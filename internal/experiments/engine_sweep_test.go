@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestSweepEnginesByteIdentical is the session-level differential: the
+// stack-distance default and the replay oracle must fill bit-identical
+// curves for every geometry, and each must report its passes on its
+// own counter.
+func TestSweepEnginesByteIdentical(t *testing.T) {
+	opt := tinyOptions()
+	w := workloads.Representative17()[14] // H-WordCount
+	cases := []struct {
+		sizes      []int
+		ways, line int
+	}{
+		{[]int{16, 64, 256}, 0, 0},
+		{[]int{16, 64, 256}, 1, 0},
+		{[]int{16, 64, 256}, 16, 0},
+		{[]int{16, 32}, 2, 128},
+	}
+	sd := NewSession(opt) // default engine
+	rp := NewSession(opt)
+	rp.Engine = EngineReplay
+	for _, c := range cases {
+		got := sd.SweepCurvesSpec(w, opt.SweepBudget, c.sizes, c.ways, c.line)
+		want := rp.SweepCurvesSpec(w, opt.SweepBudget, c.sizes, c.ways, c.line)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ways=%d line=%d: engines disagree\nstackdist %+v\nreplay    %+v", c.ways, c.line, got, want)
+		}
+	}
+	if sd.StackDistPasses() != int64(len(cases)) || sd.ReplayPasses() != 0 {
+		t.Errorf("stackdist session counters: stack=%d replay=%d", sd.StackDistPasses(), sd.ReplayPasses())
+	}
+	if rp.ReplayPasses() != int64(len(cases)) || rp.StackDistPasses() != 0 {
+		t.Errorf("replay session counters: stack=%d replay=%d", rp.StackDistPasses(), rp.ReplayPasses())
+	}
+	if sd.TracePasses() != sd.StackDistPasses() || rp.TracePasses() != rp.ReplayPasses() {
+		t.Error("TracePasses is not the per-engine sum")
+	}
+}
+
+// TestSweepCurvesMultiOnePass pins the multi-geometry cost model: N
+// cold associativities fill from exactly one trace pass, each under
+// the same key a single-geometry request would use (so follow-up
+// single requests are pure store hits), and each bit-identical to the
+// replay oracle.
+func TestSweepCurvesMultiOnePass(t *testing.T) {
+	opt := tinyOptions()
+	w := workloads.Representative17()[4] // S-WordCount
+	sizes := []int{16, 64, 256, 1024}
+	waysList := []int{1, 2, 8, 16}
+
+	s := NewSession(opt)
+	multi := s.SweepCurvesMulti(w, opt.SweepBudget, sizes, waysList, 0)
+	if got := s.TracePasses(); got != 1 {
+		t.Fatalf("multi-geometry fill cost %d trace passes, want 1", got)
+	}
+	rp := NewSession(opt)
+	rp.Engine = EngineReplay
+	for i, ways := range waysList {
+		if want := rp.SweepCurvesSpec(w, opt.SweepBudget, sizes, ways, 0); !reflect.DeepEqual(multi[i], want) {
+			t.Errorf("ways=%d: multi curves diverge from replay oracle", ways)
+		}
+		// Same keys: the single-geometry accessor must hit warm.
+		if got := s.SweepCurvesSpec(w, opt.SweepBudget, sizes, ways, 0); !reflect.DeepEqual(got, multi[i]) {
+			t.Errorf("ways=%d: single-geometry readback differs", ways)
+		}
+	}
+	if got := s.TracePasses(); got != 1 {
+		t.Fatalf("warm readbacks re-traced: %d passes", got)
+	}
+}
+
+// TestScenarioWaysSetCanonical pins the multi-associativity keying
+// contract: sorted dedup, singleton folding into the single-geometry
+// form (defaults folding further to zero), and rejection of the
+// malformed combinations.
+func TestScenarioWaysSetCanonical(t *testing.T) {
+	opt := tinyOptions()
+
+	one, err := Scenario{Groups: []string{"mpi"}, WaysSet: []int{8}}.Canonical(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Scenario{Groups: []string{"mpi"}}.Canonical(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ScenarioKey(one).ID() != ScenarioKey(def).ID() {
+		t.Error("ways_set [8] does not alias the default-geometry scenario")
+	}
+
+	multi, err := Scenario{Groups: []string{"mpi"}, WaysSet: []int{16, 2, 2, 8}}.Canonical(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(multi.WaysSet, []int{2, 8, 16}) || multi.Ways != 0 {
+		t.Errorf("ways_set not sorted/deduped: %+v", multi)
+	}
+	again, err := multi.Canonical(opt)
+	if err != nil || ScenarioKey(again).ID() != ScenarioKey(multi).ID() {
+		t.Fatalf("Canonical not idempotent over ways_set: %v", err)
+	}
+
+	bad := []Scenario{
+		{Groups: []string{"mpi"}, Ways: 2, WaysSet: []int{4}},                   // both forms
+		{Groups: []string{"mpi"}, WaysSet: []int{1, 2, 3, 4, 5, 6, 7, 8, 16}},   // over limit
+		{Groups: []string{"mpi"}, WaysSet: []int{0}},                            // non-positive
+		{Groups: []string{"mpi"}, WaysSet: []int{-2, 4}},                        // negative
+		{Groups: []string{"mpi"}, WaysSet: []int{3}},                            // fractional sets at 16 KB
+		{Groups: []string{"mpi"}, WaysSet: []int{2, 6}, SizesKB: []int{16, 32}}, // 6-way doesn't divide
+	}
+	for i, sc := range bad {
+		if _, err := sc.Canonical(opt); err == nil {
+			t.Errorf("case %d (%+v) passed validation", i, sc)
+		}
+	}
+}
+
+// TestScenarioWaysSetOnePassByteIdentical runs a multi-associativity
+// scenario under both engines: the served bytes must match exactly,
+// and the stack-distance engine must price the whole geometry set at
+// one trace pass per workload while the oracle pays one per geometry.
+func TestScenarioWaysSetOnePassByteIdentical(t *testing.T) {
+	opt := tinyOptions()
+	spec := Scenario{
+		Name:      "multigeo",
+		Workloads: []string{"H-Grep"},
+		SizesKB:   []int{16, 64, 256},
+		WaysSet:   []int{1, 2, 8, 16},
+		Views:     []string{"inst", "data"},
+	}
+
+	sd := NewSession(opt)
+	got, err := RunScenario(sd, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.TracePasses() != 1 || sd.StackDistPasses() != 1 {
+		t.Errorf("stackdist scenario cost %d passes (stack %d), want 1",
+			sd.TracePasses(), sd.StackDistPasses())
+	}
+
+	rp := NewSession(opt)
+	rp.Engine = EngineReplay
+	want, err := RunScenario(rp, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ReplayPasses() != 4 {
+		t.Errorf("replay scenario cost %d replay passes, want 4 (one per geometry)", rp.ReplayPasses())
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scenario bytes differ between engines:\nstackdist:\n%s\nreplay:\n%s", got, want)
+	}
+	if !bytes.Contains(got, []byte("16-way")) || !bytes.Contains(got, []byte("1-way")) {
+		t.Error("rendered scenario missing per-geometry headings")
+	}
+}

@@ -57,6 +57,14 @@ type Scenario struct {
 	Ways      int `json:"ways,omitempty"`
 	LineBytes int `json:"line_bytes,omitempty"`
 
+	// WaysSet sweeps several associativities in one scenario — one
+	// rendered curve set per entry, per view. The stack-distance
+	// engine prices the whole set at a single trace pass per workload,
+	// so extra associativities are nearly free. Mutually exclusive
+	// with Ways; a singleton canonicalizes into Ways (and the default
+	// folds to zero), so equivalent requests alias the same artefacts.
+	WaysSet []int `json:"ways_set,omitempty"`
+
 	// Views selects the rendered miss-ratio views, any of "inst",
 	// "data", "unified" (nil = inst only).
 	Views []string `json:"views,omitempty"`
@@ -189,26 +197,52 @@ func (sc Scenario) Canonical(opt Options) (Scenario, error) {
 	}
 
 	out.Ways, out.LineBytes = sc.Ways, sc.LineBytes
+	if len(sc.WaysSet) > 0 {
+		if sc.Ways != 0 {
+			return Scenario{}, fmt.Errorf("experiments: scenario sets both ways and ways_set")
+		}
+		if len(sc.WaysSet) > 8 {
+			return Scenario{}, fmt.Errorf("experiments: scenario sweeps %d associativities, limit 8", len(sc.WaysSet))
+		}
+		ws := append([]int(nil), sc.WaysSet...)
+		sort.Ints(ws)
+		var set []int
+		for _, w := range ws {
+			if w <= 0 {
+				return Scenario{}, fmt.Errorf("experiments: scenario ways must be positive, got %d", w)
+			}
+			if len(set) == 0 || w != set[len(set)-1] {
+				set = append(set, w)
+			}
+		}
+		if len(set) == 1 {
+			out.Ways = set[0] // singleton: alias the single-geometry form
+		} else {
+			out.WaysSet = set
+		}
+	}
 	if out.Ways == machine.DefaultSweepWays {
 		out.Ways = 0 // fold the default so the artefacts alias the paper's
 	}
 	if out.LineBytes == machine.DefaultSweepLineBytes {
 		out.LineBytes = 0
 	}
-	if _, err := machine.NewSweepSpec(out.SizesKB[:1], out.Ways, out.LineBytes); err != nil {
-		return Scenario{}, err
-	}
-	for _, kb := range out.SizesKB {
-		ways, line := out.Ways, out.LineBytes
-		if ways == 0 {
-			ways = machine.DefaultSweepWays
+	for _, w := range out.waysList() {
+		if _, err := machine.NewSweepSpec(out.SizesKB[:1], w, out.LineBytes); err != nil {
+			return Scenario{}, err
 		}
-		if line == 0 {
-			line = machine.DefaultSweepLineBytes
-		}
-		if (kb<<10)%(ways*line) != 0 {
-			return Scenario{}, fmt.Errorf("experiments: scenario size %d KB not divisible into %d-way sets of %d-byte lines",
-				kb, ways, line)
+		for _, kb := range out.SizesKB {
+			ways, line := w, out.LineBytes
+			if ways == 0 {
+				ways = machine.DefaultSweepWays
+			}
+			if line == 0 {
+				line = machine.DefaultSweepLineBytes
+			}
+			if (kb<<10)%(ways*line) != 0 {
+				return Scenario{}, fmt.Errorf("experiments: scenario size %d KB not divisible into %d-way sets of %d-byte lines",
+					kb, ways, line)
+			}
 		}
 	}
 
@@ -245,11 +279,24 @@ func ScenarioKey(canonical Scenario) artifact.Key {
 	return artifact.KeyOf("scenario-render", canonical)
 }
 
-// title builds the rendered heading for one view.
-func (sc Scenario) title(view string) string {
+// waysList returns the scenario's effective associativities: the
+// canonical multi-set, or the single Ways (0 meaning the default).
+func (sc Scenario) waysList() []int {
+	if len(sc.WaysSet) > 0 {
+		return sc.WaysSet
+	}
+	return []int{sc.Ways}
+}
+
+// title builds the rendered heading for one view (and, for
+// multi-associativity scenarios, one geometry).
+func (sc Scenario) title(view string, ways int) string {
 	name := sc.Name
 	if name == "" {
 		name = "ad-hoc"
+	}
+	if len(sc.WaysSet) > 0 {
+		return fmt.Sprintf("Scenario %s: %s cache miss ratio vs cache size (%d-way, budget %d)", name, view, ways, sc.Budget)
 	}
 	return fmt.Sprintf("Scenario %s: %s cache miss ratio vs cache size (budget %d)", name, view, sc.Budget)
 }
@@ -276,6 +323,11 @@ func (sc Scenario) run(s *Session) ([]SweepResult, error) {
 		sets = append(sets, curveSet{name: "selection", list: list})
 	}
 
+	// Every geometry of every set fills through SweepCurvesMulti, so a
+	// multi-associativity scenario costs one trace pass per workload
+	// under the stack-distance engine — later views and geometries
+	// read the per-workload artefacts warm.
+	waysAll := sc.waysList()
 	var out []SweepResult
 	for _, vname := range sc.Views {
 		var view func(machine.Curves) []float64
@@ -284,16 +336,22 @@ func (sc Scenario) run(s *Session) ([]SweepResult, error) {
 				view = sv.view
 			}
 		}
-		r := SweepResult{
-			Title:   sc.title(vname),
-			SizesKB: sc.SizesKB,
-			Curves:  make(map[string][]float64, len(sets)),
-		}
+		perSet := make(map[string][][]float64, len(sets))
 		for _, cs := range sets {
-			r.Order = append(r.Order, cs.name)
-			r.Curves[cs.name] = sweepGroupSpec(s, cs.list, sc.Budget, sc.SizesKB, sc.Ways, sc.LineBytes, view)
+			perSet[cs.name] = sweepGroupMulti(s, cs.list, sc.Budget, sc.SizesKB, waysAll, sc.LineBytes, view)
 		}
-		out = append(out, r)
+		for gi, ways := range waysAll {
+			r := SweepResult{
+				Title:   sc.title(vname, ways),
+				SizesKB: sc.SizesKB,
+				Curves:  make(map[string][]float64, len(sets)),
+			}
+			for _, cs := range sets {
+				r.Order = append(r.Order, cs.name)
+				r.Curves[cs.name] = perSet[cs.name][gi]
+			}
+			out = append(out, r)
+		}
 	}
 	return out, nil
 }

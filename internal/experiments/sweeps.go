@@ -61,6 +61,37 @@ func sweepGroupSpec(s *Session, list []workloads.Workload, budget int64, sizes [
 	return sum
 }
 
+// sweepGroupMulti is sweepGroupSpec over several associativities at
+// once: each workload's still-cold geometries fill from one shared
+// stack-distance trace pass (SweepCurvesMulti), and the result holds
+// one averaged curve per entry of waysList. The averaging accumulates
+// in the same input order as sweepGroupSpec, so a multi-geometry
+// request's curves are bit-identical to the equivalent single-geometry
+// requests run one by one.
+func sweepGroupMulti(s *Session, list []workloads.Workload, budget int64, sizes []int, waysList []int, lineBytes int, view func(machine.Curves) []float64) [][]float64 {
+	curves := make([][]machine.Curves, len(list))
+	err := conc.ForEachCtx(s.Ctx, s.Parallelism, len(list), func(i int) {
+		curves[i] = s.SweepCurvesMulti(list[i], budget, sizes, waysList, lineBytes)
+	})
+	if err != nil {
+		panic(canceledErr{err}) // torn curve set: unwind, never average
+	}
+	out := make([][]float64, len(waysList))
+	for g := range waysList {
+		sum := make([]float64, len(sizes))
+		for _, c := range curves {
+			for i, v := range view(c[g]) {
+				sum[i] += v
+			}
+		}
+		for i := range sum {
+			sum[i] /= float64(len(list))
+		}
+		out[g] = sum
+	}
+	return out
+}
+
 // sweepGroupSerial is the seed's reference implementation: a fresh
 // machine.Sweep and a full trace pass per workload per call, delivered
 // per-instruction (trace.Unblocked pins the pre-PR path: no block

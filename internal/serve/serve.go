@@ -69,6 +69,11 @@ type Config struct {
 	// Store backs every computation. nil gets a private in-memory
 	// store — still shared across all of this server's requests.
 	Store *artifact.Store
+	// Engine selects the sweep engine every computation uses
+	// (experiments.ParseSweepEngine; "" = stackdist). Engines are
+	// byte-identical, so served artefacts — and their keys — do not
+	// depend on this; only the cost profile does.
+	Engine experiments.SweepEngine
 	// Parallelism bounds the workers inside one computation
 	// (experiments.Session.Parallelism; 0 = GOMAXPROCS).
 	Parallelism int
@@ -102,6 +107,7 @@ type Server struct {
 	jobsSubmitted, jobsDone           atomic.Int64
 	jobsFailed, jobsCanceled          atomic.Int64
 	tracePasses, profileRuns, renders atomic.Int64
+	stackPasses, replayPasses         atomic.Int64
 }
 
 // New returns a serving core over cfg.
@@ -129,6 +135,7 @@ func (s *Server) Store() *artifact.Store { return s.store }
 // store, the request's context.
 func (s *Server) session(ctx context.Context) *experiments.Session {
 	sess := experiments.NewSession(s.cfg.Opt)
+	sess.Engine = s.cfg.Engine
 	sess.Parallelism = s.cfg.Parallelism
 	sess.BlockSize = s.cfg.BlockSize
 	sess.Store = s.store
@@ -141,6 +148,8 @@ func (s *Server) session(ctx context.Context) *experiments.Session {
 // once" and "warm requests simulate nothing".
 func (s *Server) absorb(sess *experiments.Session) {
 	s.tracePasses.Add(sess.TracePasses())
+	s.stackPasses.Add(sess.StackDistPasses())
+	s.replayPasses.Add(sess.ReplayPasses())
 	s.profileRuns.Add(sess.ProfileRuns())
 	s.renders.Add(sess.Renders())
 }
@@ -536,6 +545,7 @@ type Stats struct {
 	JobsSubmitted, JobsDone        int64
 	JobsFailed, JobsCanceled       int64
 	TracePasses, ProfileRuns       int64
+	StackDistPasses, ReplayPasses  int64
 	Renders                        int64
 }
 
@@ -548,6 +558,7 @@ func (s *Server) Stats() Stats {
 		JobsSubmitted: s.jobsSubmitted.Load(), JobsDone: s.jobsDone.Load(),
 		JobsFailed: s.jobsFailed.Load(), JobsCanceled: s.jobsCanceled.Load(),
 		TracePasses: s.tracePasses.Load(), ProfileRuns: s.profileRuns.Load(),
+		StackDistPasses: s.stackPasses.Load(), ReplayPasses: s.replayPasses.Load(),
 		Renders: s.renders.Load(),
 	}
 }
@@ -563,9 +574,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"jobs_submitted": st.JobsSubmitted, "jobs_done": st.JobsDone,
 		"jobs_failed": st.JobsFailed, "jobs_canceled": st.JobsCanceled,
 		"trace_passes": st.TracePasses, "profile_runs": st.ProfileRuns,
-		"renders":             st.Renders,
-		"dataset_generations": datagen.Generations(),
-		"store_fills":         ss.Fills, "store_mem_hits": ss.MemHits,
+		"sweep_stackdist_passes": st.StackDistPasses,
+		"sweep_replay_passes":    st.ReplayPasses,
+		"renders":                st.Renders,
+		"dataset_generations":    datagen.Generations(),
+		"store_fills":            ss.Fills, "store_mem_hits": ss.MemHits,
 		"store_backend_hits": ss.BackendHits, "store_backend_discards": ss.BackendDiscards,
 		"store_prefetched":       ss.Prefetched,
 		"store_evictions":        ss.Evictions,
@@ -606,6 +619,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"reprod_jobs_failed_total", "Jobs finished with an error.", st.JobsFailed},
 		{"reprod_jobs_canceled_total", "Jobs cancelled (client or shutdown).", st.JobsCanceled},
 		{"reprod_trace_passes_total", "Sweep trace passes executed.", st.TracePasses},
+		{"reprod_sweep_stackdist_passes_total", "Trace passes run by the stack-distance sweep engine.", st.StackDistPasses},
+		{"reprod_sweep_replay_passes_total", "Trace passes run by the concrete-cache replay engine.", st.ReplayPasses},
 		{"reprod_profile_runs_total", "Profiling runs executed.", st.ProfileRuns},
 		{"reprod_renders_total", "Units rendered.", st.Renders},
 		{"reprod_store_fills_total", "Store computations executed.", ss.Fills},

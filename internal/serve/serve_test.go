@@ -515,6 +515,65 @@ func TestStatsAndMetricsEndpoints(t *testing.T) {
 	}
 }
 
+// TestEngineCountersAndMultiGeometryServing pins the escape hatch's
+// observability and cost model: a default (stack-distance) server
+// prices a four-associativity scenario at one trace pass, reported on
+// sweep_stackdist_passes; a -engine=replay server serves the same
+// bytes, pays one pass per geometry, and reports them on
+// sweep_replay_passes.
+func TestEngineCountersAndMultiGeometryServing(t *testing.T) {
+	spec := `{"name": "multigeo", "workloads": ["H-Grep"], "sizes_kb": [16, 64, 256], "ways_set": [1, 2, 8, 16], "views": ["inst", "data"]}`
+	post := func(ts *httptest.Server) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scenario: %d: %s", resp.StatusCode, b)
+		}
+		return b
+	}
+
+	sd, sdTS := startServer(t, Config{})
+	sdBytes := post(sdTS)
+	if st := sd.Stats(); st.TracePasses != 1 || st.StackDistPasses != 1 || st.ReplayPasses != 0 {
+		t.Fatalf("stackdist server passes: trace %d stackdist %d replay %d, want 1/1/0",
+			st.TracePasses, st.StackDistPasses, st.ReplayPasses)
+	}
+
+	rp, rpTS := startServer(t, Config{Engine: experiments.EngineReplay})
+	rpBytes := post(rpTS)
+	if st := rp.Stats(); st.ReplayPasses != 4 || st.StackDistPasses != 0 {
+		t.Fatalf("replay server passes: stackdist %d replay %d, want 0/4",
+			st.StackDistPasses, st.ReplayPasses)
+	}
+	if !bytes.Equal(sdBytes, rpBytes) {
+		t.Fatal("engines served different scenario bytes")
+	}
+
+	_, _, b := get(t, sdTS.URL+"/stats")
+	var stats map[string]any
+	if err := json.Unmarshal(b, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["sweep_stackdist_passes"] != float64(1) || stats["sweep_replay_passes"] != float64(0) {
+		t.Fatalf("stats JSON counters off: %v", stats)
+	}
+	_, _, mb := get(t, rpTS.URL+"/metrics")
+	for _, family := range []string{
+		"# TYPE reprod_sweep_stackdist_passes_total counter",
+		"reprod_sweep_replay_passes_total 4",
+		"reprod_sweep_stackdist_passes_total 0",
+	} {
+		if !strings.Contains(string(mb), family) {
+			t.Errorf("metrics missing %q", family)
+		}
+	}
+}
+
 // TestServedBytesStableAcrossRestart pins persistence integration: a
 // second server over the same disk store serves the first server's
 // bytes warm.

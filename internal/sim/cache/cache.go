@@ -223,6 +223,19 @@ func TryMerge(prev *Rec, line uint64, write bool) bool {
 	return true
 }
 
+// RecLine extracts a record's line address — the inverse of PackRec,
+// exported so other replay engines (the stack-distance sweep) can
+// consume the same packed streams the block decoders produce.
+func RecLine(r Rec) uint64 { return (r >> 1) & recLineMask }
+
+// RecRun extracts a record's merged-run count: the number of *extra*
+// accesses folded into the record beyond its first (0 for an unmerged
+// record), so a record represents RecRun+1 accesses in total.
+func RecRun(r Rec) uint64 { return r >> recCountShift }
+
+// RecWrite reports whether any access of the record's run wrote.
+func RecWrite(r Rec) bool { return r&1 != 0 }
+
 // AccessBlock replays a packed record stream through the cache:
 // exactly equivalent — counter-for-counter and bit-for-bit in
 // replacement state — to calling Access(line<<LineShift, write) for

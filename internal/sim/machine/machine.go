@@ -172,13 +172,93 @@ func (m *Machine) Inst(i *isa.Inst) {
 
 // InstBlock implements trace.BlockProbe. The pipeline, predictor and
 // TLB models are inherently sequential, so the block is consumed in
-// order — the win is one probe dispatch per block instead of per
-// instruction, and a hot loop the compiler sees whole. State is
-// bit-identical to per-instruction delivery.
+// order; the block path instead hoists the bookkeeping out of the
+// per-instruction loop — sub-model pointers and the walk latency load
+// once per block, the event counters accumulate in locals and flush
+// into Counters once per block. The models see the same calls in the
+// same order as per-instruction delivery, so state and counters are
+// bit-identical; only how the tallies are kept changes.
 func (m *Machine) InstBlock(block []isa.Inst) {
-	for k := range block {
-		m.Inst(&block[k])
+	if len(block) == 0 {
+		return
 	}
+	h, itlb, dtlb, stlb, bp, pipe := m.H, m.ITLB, m.DTLB, m.STLB, m.BP, m.Pipe
+	walkLatency := stlb.Config().WalkLatency
+	var byOp [isa.NumOps]uint64
+	var branches, taken, mispredicts uint64
+	var loadBytes, storeBytes uint64
+	var itlbWalks, dtlbWalks uint64
+	for k := range block {
+		i := &block[k]
+		byOp[i.Op]++
+
+		ilevel := h.Fetch(i.PC)
+		itlbExtra := 0
+		if itlb.Access(i.PC) {
+			if stlb.Access(i.PC) {
+				itlbExtra = walkLatency
+				itlbWalks++
+			} else {
+				itlbExtra = stlbHitLatency
+			}
+		}
+		if i.PC >= mem.CodeBase && i.PC < mem.CodeLimit {
+			m.codeLines.set((i.PC - mem.CodeBase) / mem.LineSize)
+		}
+
+		mispredict := false
+		frontExtra := itlbExtra
+		if i.Op == isa.Branch {
+			branches++
+			if i.Taken {
+				taken++
+			}
+			var redirect bool
+			mispredict, redirect = bp.Access(i)
+			if mispredict {
+				mispredicts++
+			}
+			if redirect {
+				frontExtra += btbRedirectCycles
+			}
+		}
+
+		dlevel := 0
+		dtlbExtra := 0
+		if i.Op == isa.Load || i.Op == isa.Store {
+			dlevel = h.Data(i.Addr, i.Op == isa.Store)
+			if dtlb.Access(i.Addr) {
+				if stlb.Access(i.Addr) {
+					dtlbExtra = walkLatency
+					dtlbWalks++
+				} else {
+					dtlbExtra = stlbHitLatency
+				}
+			}
+			if i.Op == isa.Load {
+				loadBytes += uint64(i.Size)
+			} else {
+				storeBytes += uint64(i.Size)
+			}
+			if i.Addr >= mem.HeapBase && i.Addr < mem.HeapLimit {
+				m.dataPages.set((i.Addr - mem.HeapBase) / mem.PageSize)
+			}
+		}
+
+		pipe.Step(i, ilevel, dlevel, mispredict, frontExtra, dtlbExtra)
+	}
+	c := &m.C
+	c.Insts += uint64(len(block))
+	for op, n := range byOp {
+		c.ByOp[op] += n
+	}
+	c.Branches += branches
+	c.Taken += taken
+	c.Mispredict += mispredicts
+	c.LoadBytes += loadBytes
+	c.StoreBytes += storeBytes
+	c.ITLBWalks += itlbWalks
+	c.DTLBWalks += dtlbWalks
 }
 
 // stlbHitLatency is the extra latency of a first-level TLB miss that

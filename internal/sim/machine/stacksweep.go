@@ -1,0 +1,214 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/sim/cache"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/stackdist"
+)
+
+// SweepGeometry requests one miss-ratio curve from a StackSweep: the
+// swept L1 capacities at one associativity. The line size is shared by
+// the whole StackSweep (stack-distance accounting is exact across
+// sizes and ways at a fixed line size; a different line size changes
+// the access stream itself and needs its own pass).
+type SweepGeometry struct {
+	// SizesKB lists the evaluated capacities (0 ways selects the
+	// default, as in NewSweepSpec).
+	SizesKB []int
+	Ways    int
+}
+
+// StackSweep is the single-pass sweep engine: instead of replaying the
+// trace through one concrete cache per (size, view), it feeds the same
+// packed streams into one stack-distance accumulator per distinct set
+// count and view, then derives every requested geometry's miss ratios
+// arithmetically from the reuse-depth histograms (stackdist.Stack).
+// One trace pass therefore prices *all* geometries at the shared line
+// size — the marginal cost of an extra geometry is at most one more
+// set count to maintain, usually zero.
+//
+// It consumes exactly the streams Sweep does (the shared blockDecoder:
+// I-line dedup, D-side run merging, unified interleaving) and its
+// Curves are bit-identical to Sweep's for every geometry — Sweep
+// remains the differential oracle proving that.
+//
+// Like Sweep it implements both trace.Probe (serial reference) and
+// trace.BlockProbe (the hot path, with the per-(view, set count)
+// accumulators fanned out across the shared replay pool).
+type StackSweep struct {
+	// Parallelism bounds the per-accumulator fan-out of block replay,
+	// exactly as Sweep.Parallelism does for caches.
+	Parallelism int
+
+	// Cancel, when non-nil, makes InstBlock drain without accounting
+	// once closed; the histograms are then truncated and must be
+	// discarded.
+	Cancel <-chan struct{}
+
+	blockDecoder
+
+	geoms     []SweepGeometry
+	lineBytes int
+
+	setCounts []int
+	depths    []int // per set count: the max ways any geometry reads at it
+	setIdx    map[int]int
+	istacks   []*stackdist.Stack
+	dstacks   []*stackdist.Stack
+	ustacks   []*stackdist.Stack
+}
+
+// NewStackSweep builds a single-pass sweep over any number of
+// geometries sharing one line size. Ways and lineBytes of 0 select the
+// paper defaults; validation matches NewSweepSpec exactly (invalid
+// line sizes and non-dividing capacities are rejected, never rounded).
+func NewStackSweep(lineBytes int, geoms ...SweepGeometry) (*StackSweep, error) {
+	if len(geoms) == 0 {
+		return nil, fmt.Errorf("machine: stack sweep with no geometries")
+	}
+	if lineBytes == 0 {
+		lineBytes = DefaultSweepLineBytes
+	}
+	if lineBytes < 8 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("machine: sweep line size %d not a power of two >= 8", lineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	s := &StackSweep{
+		lineBytes:    lineBytes,
+		blockDecoder: blockDecoder{lineShift: shift},
+		setIdx:       map[int]int{},
+	}
+	for _, g := range geoms {
+		if g.Ways == 0 {
+			g.Ways = DefaultSweepWays
+		}
+		if g.Ways < 1 {
+			return nil, fmt.Errorf("machine: sweep ways %d < 1", g.Ways)
+		}
+		for _, kb := range g.SizesKB {
+			cfg := cache.Config{Name: "sweep", Size: kb << 10, Ways: g.Ways, LineSize: lineBytes, Latency: 1}
+			if !cfg.Valid() {
+				return nil, fmt.Errorf("machine: sweep size %d KB not divisible into %d-way sets of %d-byte lines",
+					kb, g.Ways, lineBytes)
+			}
+			// Stacks only track as deep as the deepest reader of this
+			// set count: a set count serving only a 1-way geometry keeps
+			// a depth-1 stack (one compare per access), which is what
+			// keeps many-geometry passes near-flat.
+			sets := (kb << 10) / (g.Ways * lineBytes)
+			if idx, ok := s.setIdx[sets]; ok {
+				if g.Ways > s.depths[idx] {
+					s.depths[idx] = g.Ways
+				}
+			} else {
+				s.setIdx[sets] = len(s.setCounts)
+				s.setCounts = append(s.setCounts, sets)
+				s.depths = append(s.depths, g.Ways)
+			}
+		}
+		s.geoms = append(s.geoms, g)
+	}
+	for i, sets := range s.setCounts {
+		s.istacks = append(s.istacks, stackdist.New(sets, s.depths[i]))
+		s.dstacks = append(s.dstacks, stackdist.New(sets, s.depths[i]))
+		s.ustacks = append(s.ustacks, stackdist.New(sets, s.depths[i]))
+	}
+	return s, nil
+}
+
+// Geometries returns the requested geometries in construction order
+// (Ways resolved to the default where 0 was passed).
+func (s *StackSweep) Geometries() []SweepGeometry { return s.geoms }
+
+// Inst implements trace.Probe — the serial reference, accounting every
+// access inline with the same I-line dedup Sweep.Inst applies. Run
+// merging is a block-path packing detail; the per-access and packed
+// forms accumulate identical histograms (a merged repeat is a depth-0
+// hit by construction).
+func (s *StackSweep) Inst(i *isa.Inst) {
+	if line := i.PC >> s.lineShift; line != s.lastILine {
+		s.lastILine = line
+		for k := range s.istacks {
+			s.istacks[k].Access(line, 0)
+			s.ustacks[k].Access(line, 0)
+		}
+	}
+	if i.Op == isa.Load || i.Op == isa.Store {
+		line := i.Addr >> s.lineShift
+		for k := range s.dstacks {
+			s.dstacks[k].Access(line, 0)
+			s.ustacks[k].Access(line, 0)
+		}
+	}
+}
+
+// InstBlock implements trace.BlockProbe: decode once (shared with
+// Sweep), then replay the three streams into every set count's
+// accumulators. Each accumulator is owned by exactly one worker and
+// the streams are read-only during the fan-out, so any schedule
+// produces the same histograms.
+func (s *StackSweep) InstBlock(block []isa.Inst) {
+	if s.Cancel != nil {
+		select {
+		case <-s.Cancel:
+			return // drain: the histograms are already condemned
+		default:
+		}
+	}
+	s.decode(block)
+	iRecs, dRecs, uRecs := s.iRecs, s.dRecs, s.uRecs
+
+	n := len(s.istacks)
+	par := s.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par == 1 || n == 1 {
+		for k := 0; k < n; k++ {
+			s.istacks[k].AccessBlock(iRecs)
+		}
+		for k := 0; k < n; k++ {
+			s.dstacks[k].AccessBlock(dRecs)
+		}
+		for k := 0; k < n; k++ {
+			s.ustacks[k].AccessBlock(uRecs)
+		}
+		return
+	}
+	sharedReplayPool().ForEachN(par, 3*n, func(k int) {
+		switch k / n {
+		case 0:
+			s.istacks[k%n].AccessBlock(iRecs)
+		case 1:
+			s.dstacks[k%n].AccessBlock(dRecs)
+		default:
+			s.ustacks[k%n].AccessBlock(uRecs)
+		}
+	})
+}
+
+// Curves derives geometry g's three miss-ratio views from the
+// histograms — Sweep.Curves()-compatible, bit-identical to what the
+// concrete caches would have reported.
+func (s *StackSweep) Curves(g int) Curves {
+	geom := s.geoms[g]
+	out := Curves{
+		SizesKB: geom.SizesKB,
+		Inst:    make([]float64, len(geom.SizesKB)),
+		Data:    make([]float64, len(geom.SizesKB)),
+		Unified: make([]float64, len(geom.SizesKB)),
+	}
+	for j, kb := range geom.SizesKB {
+		idx := s.setIdx[(kb<<10)/(geom.Ways*s.lineBytes)]
+		out.Inst[j] = s.istacks[idx].MissRatio(geom.Ways)
+		out.Data[j] = s.dstacks[idx].MissRatio(geom.Ways)
+		out.Unified[j] = s.ustacks[idx].MissRatio(geom.Ways)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/sim/trace"
+	"repro/internal/workloads"
+)
+
+// TestStackSweepMatchesReplayGeometries is the engine differential:
+// for every associativity the scenarios sweep, non-default line sizes
+// included, the stack-distance engine must produce bit-identical
+// curves to the concrete-cache replay oracle over the same workload
+// trace.
+func TestStackSweepMatchesReplayGeometries(t *testing.T) {
+	w := workloads.Representative17()[4] // S-WordCount
+	const budget = 60_000
+	cases := []struct {
+		sizes      []int
+		ways, line int
+	}{
+		{[]int{16, 64, 256, 1024}, 1, 0},
+		{[]int{16, 64, 256, 1024}, 2, 0},
+		{[]int{16, 64, 256, 1024}, 4, 0},
+		{[]int{16, 64, 256, 1024}, 8, 0},
+		{[]int{16, 64, 256, 1024}, 16, 0},
+		{[]int{16, 32, 128}, 2, 32},
+		{[]int{16, 32, 128}, 8, 128},
+		{[]int{64, 512}, 4, 256},
+	}
+	for _, c := range cases {
+		ref, err := NewSweepSpec(c.sizes, c.ways, c.line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Parallelism = 1
+		workloads.Run(w, ref, budget)
+		want := ref.Curves()
+
+		ss, err := NewStackSweep(c.line, SweepGeometry{SizesKB: c.sizes, Ways: c.ways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss.Parallelism = 1
+		workloads.Run(w, ss, budget)
+		if got := ss.Curves(0); !reflect.DeepEqual(got, want) {
+			t.Errorf("ways=%d line=%d: stackdist curves diverge from replay\n got %+v\nwant %+v",
+				c.ways, c.line, got, want)
+		}
+	}
+}
+
+// TestStackSweepMultiGeometryOnePass runs four geometries through one
+// StackSweep pass and requires each to match its own dedicated replay
+// sweep — the whole point of the engine: N geometries, one trace pass.
+func TestStackSweepMultiGeometryOnePass(t *testing.T) {
+	w := workloads.Representative17()[14] // H-WordCount
+	const budget = 60_000
+	sizes := DefaultSweepSizesKB[:6]
+	geoms := []SweepGeometry{
+		{SizesKB: sizes, Ways: 1},
+		{SizesKB: sizes, Ways: 2},
+		{SizesKB: sizes, Ways: 8},
+		{SizesKB: []int{16, 64, 512}, Ways: 16},
+	}
+	ss, err := NewStackSweep(0, geoms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Parallelism = 2
+	workloads.Run(w, ss, budget)
+	for g, geom := range geoms {
+		ref, err := NewSweepSpec(geom.SizesKB, geom.Ways, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Parallelism = 1
+		workloads.Run(w, ref, budget)
+		if got := ss.Curves(g); !reflect.DeepEqual(got, ref.Curves()) {
+			t.Errorf("geometry %d (ways=%d): shared-pass curves diverge from dedicated replay", g, geom.Ways)
+		}
+	}
+}
+
+// TestStackSweepBlockMatchesSerial pins block delivery (decode + fan
+// out, truncated tails included) to the per-instruction reference, for
+// tiny, prime, and budget-truncated block sizes.
+func TestStackSweepBlockMatchesSerial(t *testing.T) {
+	const budget = 60_000
+	mk := func() *StackSweep {
+		ss, err := NewStackSweep(0, SweepGeometry{SizesKB: DefaultSweepSizesKB, Ways: 8},
+			SweepGeometry{SizesKB: []int{16, 128}, Ways: 1}) // direct-mapped: distinct set counts stay live
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	ref := mk()
+	driveSweep(trace.NewEmitter(trace.Unblocked(ref), budget))
+	want := [2]Curves{ref.Curves(0), ref.Curves(1)}
+	if want[0].Inst[0] == 0 || want[0].Data[0] == 0 {
+		t.Fatal("reference curves empty")
+	}
+	for _, bs := range []int{1, 7, 500, 4096, trace.DefaultBlockSize} {
+		for _, par := range []int{1, 4} {
+			ss := mk()
+			ss.Parallelism = par
+			driveSweep(trace.NewBlockEmitter(ss, budget, bs))
+			if got := [2]Curves{ss.Curves(0), ss.Curves(1)}; !reflect.DeepEqual(got, want) {
+				t.Fatalf("block size %d, parallelism %d: curves differ from serial reference", bs, par)
+			}
+		}
+	}
+}
+
+// TestStackSweepRaceHammer drives concurrent multi-geometry stack
+// sweeps with a wide fan-out; under -race this proves the accumulators
+// share nothing but the read-only streams.
+func TestStackSweepRaceHammer(t *testing.T) {
+	geoms := []SweepGeometry{
+		{SizesKB: DefaultSweepSizesKB, Ways: 8},
+		{SizesKB: DefaultSweepSizesKB, Ways: 2},
+		{SizesKB: []int{16, 256}, Ways: 16},
+	}
+	var wg sync.WaitGroup
+	results := make([][]Curves, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ss, err := NewStackSweep(0, geoms...)
+			if err != nil {
+				panic(err)
+			}
+			ss.Parallelism = 8
+			driveSweep(trace.NewBlockEmitter(ss, 20000, 512))
+			results[i] = []Curves{ss.Curves(0), ss.Curves(1), ss.Curves(2)}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent stack sweep %d diverged", i)
+		}
+	}
+}
+
+// TestStackSweepRejectsBadGeometry pins validation parity with
+// NewSweepSpec.
+func TestStackSweepRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		sizes      []int
+		ways, line int
+	}{
+		{[]int{16}, 0, 48},   // line not a power of two
+		{[]int{16}, 0, 4},    // line too small
+		{[]int{16}, -1, 0},   // negative ways
+		{[]int{16}, 3, 0},    // 16 KB not divisible into 3-way 64B sets
+		{[]int{16}, 0, 8192}, // 16 KB smaller than one 8-way 8 KB-line set
+	}
+	for _, c := range cases {
+		if _, err := NewStackSweep(c.line, SweepGeometry{SizesKB: c.sizes, Ways: c.ways}); err == nil {
+			t.Errorf("NewStackSweep(%d, ways=%d, %v) accepted invalid geometry", c.line, c.ways, c.sizes)
+		}
+	}
+	if _, err := NewStackSweep(0); err == nil {
+		t.Error("NewStackSweep with no geometries accepted")
+	}
+}
+
+// TestStackSweepCancelDrainsBlocks pins the drain path: a cancelled
+// stack sweep accounts nothing after the channel closes.
+func TestStackSweepCancelDrainsBlocks(t *testing.T) {
+	ss, err := NewStackSweep(0, SweepGeometry{SizesKB: []int{16, 32}, Ways: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	ss.Cancel = ctx.Done()
+	cancel()
+	workloads.Run(workloads.Representative17()[4], ss, 50_000)
+	for _, st := range ss.istacks {
+		if st.Accesses() != 0 {
+			t.Fatalf("cancelled stack sweep still accounted %d accesses", st.Accesses())
+		}
+	}
+}

@@ -65,13 +65,59 @@ type Sweep struct {
 	dcaches []*cache.Cache
 	ucaches []*cache.Cache
 
+	blockDecoder
+}
+
+// blockDecoder turns instruction blocks into the three packed access
+// streams every sweep engine replays: instruction lines (adjacent
+// duplicates dropped, with the dedup state carried across blocks),
+// data lines (consecutive same-line accesses merged into runs) and the
+// unified interleaving (its own stream — order matters to LRU state).
+// Sweep and StackSweep share it, so the two engines consume
+// byte-identical streams by construction.
+type blockDecoder struct {
 	lastILine uint64
 	lineShift uint
 
-	// Per-block scratch streams, reused across blocks: instruction
-	// line records, data records, and the interleaved unified view
-	// (order matters to LRU state, so U keeps its own stream).
+	// Per-block scratch streams, reused across blocks.
 	iRecs, dRecs, uRecs []cache.Rec
+}
+
+// decode repacks one block, leaving the streams in iRecs/dRecs/uRecs
+// (valid until the next call).
+func (d *blockDecoder) decode(block []isa.Inst) {
+	iRecs, dRecs, uRecs := d.iRecs[:0], d.dRecs[:0], d.uRecs[:0]
+	last := d.lastILine
+	shift := d.lineShift
+	for k := range block {
+		i := &block[k]
+		if line := i.PC >> shift; line != last {
+			last = line
+			// Adjacent I records always name different lines (that is
+			// the dedup), so no run merging is possible on the I side;
+			// in the unified stream the preceding record can only be a
+			// different I line or a data line from a disjoint region.
+			rec := cache.PackRec(line, false)
+			iRecs = append(iRecs, rec)
+			uRecs = append(uRecs, rec)
+		}
+		if i.Op == isa.Load || i.Op == isa.Store {
+			line := i.Addr >> shift
+			write := i.Op == isa.Store
+			// Sequential scans revisit a 64-byte line several times in
+			// a row; merging the run into one record makes the revisit
+			// O(1) in every consumer replaying it (the line is MRU
+			// after its first access — only counters can change).
+			if len(dRecs) == 0 || !cache.TryMerge(&dRecs[len(dRecs)-1], line, write) {
+				dRecs = append(dRecs, cache.PackRec(line, write))
+			}
+			if len(uRecs) == 0 || !cache.TryMerge(&uRecs[len(uRecs)-1], line, write) {
+				uRecs = append(uRecs, cache.PackRec(line, write))
+			}
+		}
+	}
+	d.lastILine = last
+	d.iRecs, d.dRecs, d.uRecs = iRecs, dRecs, uRecs
 }
 
 // DefaultSweepSizesKB are the paper's ten L1 capacities.
@@ -119,7 +165,7 @@ func NewSweepSpec(sizesKB []int, ways, lineBytes int) (*Sweep, error) {
 	for 1<<shift < lineBytes {
 		shift++
 	}
-	s := &Sweep{SizesKB: sizesKB, lineShift: shift}
+	s := &Sweep{SizesKB: sizesKB, blockDecoder: blockDecoder{lineShift: shift}}
 	for _, kb := range sizesKB {
 		cfg := cache.Config{Size: kb << 10, Ways: ways, LineSize: lineBytes, Latency: 1}
 		if !cfg.Valid() {
@@ -173,39 +219,8 @@ func (s *Sweep) InstBlock(block []isa.Inst) {
 		default:
 		}
 	}
-	iRecs, dRecs, uRecs := s.iRecs[:0], s.dRecs[:0], s.uRecs[:0]
-	last := s.lastILine
-	shift := s.lineShift
-	for k := range block {
-		i := &block[k]
-		if line := i.PC >> shift; line != last {
-			last = line
-			// Adjacent I records always name different lines (that is
-			// the dedup), so no run merging is possible on the I side;
-			// in the unified stream the preceding record can only be a
-			// different I line or a data line from a disjoint region.
-			rec := cache.PackRec(line, false)
-			iRecs = append(iRecs, rec)
-			uRecs = append(uRecs, rec)
-		}
-		if i.Op == isa.Load || i.Op == isa.Store {
-			line := i.Addr >> shift
-			write := i.Op == isa.Store
-			// Sequential scans revisit a 64-byte line several times in
-			// a row; merging the run into one record makes the revisit
-			// O(1) in every one of the 20 caches replaying it (the
-			// line is resident after its first access — only the LRU
-			// stamp, clock and dirtiness can change).
-			if len(dRecs) == 0 || !cache.TryMerge(&dRecs[len(dRecs)-1], line, write) {
-				dRecs = append(dRecs, cache.PackRec(line, write))
-			}
-			if len(uRecs) == 0 || !cache.TryMerge(&uRecs[len(uRecs)-1], line, write) {
-				uRecs = append(uRecs, cache.PackRec(line, write))
-			}
-		}
-	}
-	s.lastILine = last
-	s.iRecs, s.dRecs, s.uRecs = iRecs, dRecs, uRecs
+	s.decode(block)
+	iRecs, dRecs, uRecs := s.iRecs, s.dRecs, s.uRecs
 
 	n := len(s.icaches)
 	par := s.Parallelism

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim/mem"
 	"repro/internal/sim/trace"
+	"repro/internal/workloads"
 	"repro/internal/xrand"
 )
 
@@ -79,12 +80,14 @@ func TestSweepBlockRaceHammer(t *testing.T) {
 }
 
 // TestMachineBlockMatchesSerial checks the Machine's block path leaves
-// every counter identical to per-instruction delivery.
+// every counter identical to per-instruction delivery — the hoisted
+// block-local tallies must flush to exactly what the per-instruction
+// path accumulates, footprint bitmaps and sub-model state included.
 func TestMachineBlockMatchesSerial(t *testing.T) {
 	ref := New(XeonE5645())
 	driveSweep(trace.NewEmitter(trace.Unblocked(ref), 30000))
 	ref.Finish()
-	for _, bs := range []int{1, 64, 4096} {
+	for _, bs := range []int{1, 7, 64, 4096} {
 		m := New(XeonE5645())
 		driveSweep(trace.NewBlockEmitter(m, 30000, bs))
 		m.Finish()
@@ -96,6 +99,37 @@ func TestMachineBlockMatchesSerial(t *testing.T) {
 		}
 		if m.H.L1I.Misses != ref.H.L1I.Misses || m.H.L2.Misses != ref.H.L2.Misses {
 			t.Fatalf("block size %d: cache state diverged", bs)
+		}
+		if m.CodeFootprintBytes() != ref.CodeFootprintBytes() ||
+			m.DataFootprintBytes() != ref.DataFootprintBytes() {
+			t.Fatalf("block size %d: footprints diverged", bs)
+		}
+	}
+}
+
+// TestMachineBlockMatchesSerialWorkload repeats the byte-identity
+// check over a real stack.Runtime-driven workload trace — the
+// profiling path that motivated moving Machine.InstBlock onto a true
+// block loop.
+func TestMachineBlockMatchesSerialWorkload(t *testing.T) {
+	w := workloads.Representative17()[14] // H-WordCount
+	const budget = 60_000
+	ref := New(XeonE5645())
+	workloads.Run(w, trace.Unblocked(ref), budget)
+	ref.Finish()
+	for _, bs := range []int{1, 313, trace.DefaultBlockSize} {
+		m := New(XeonE5645())
+		workloads.RunBlock(w, m, budget, bs)
+		m.Finish()
+		if m.C != ref.C {
+			t.Fatalf("block size %d: counters diverged", bs)
+		}
+		if m.Pipe.Cycles != ref.Pipe.Cycles {
+			t.Fatalf("block size %d: cycle counts diverged", bs)
+		}
+		if m.CodeFootprintBytes() != ref.CodeFootprintBytes() ||
+			m.DataFootprintBytes() != ref.DataFootprintBytes() {
+			t.Fatalf("block size %d: footprints diverged", bs)
 		}
 	}
 }
