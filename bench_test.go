@@ -411,17 +411,20 @@ func BenchmarkSweepFanout(b *testing.B) {
 // load.
 func BenchmarkServeWarmUnit(b *testing.B) {
 	opt := experiments.Options{Budget: 50_000, SweepBudget: 25_000, RosterBudget: 10_000}
-	srv := serve.New(serve.Config{Opt: opt})
+	srv, err := serve.New(serve.Config{Opt: opt})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	warm, err := http.Get(ts.URL + "/units/table1")
+	warm, err := http.Get(ts.URL + "/v1/units/table1")
 	if err != nil || warm.StatusCode != 200 {
 		b.Fatalf("warmup: %v %v", err, warm)
 	}
 	warm.Body.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := http.Get(ts.URL + "/units/table1")
+		resp, err := http.Get(ts.URL + "/v1/units/table1")
 		if err != nil || resp.StatusCode != 200 {
 			b.Fatal(err)
 		}

@@ -7,9 +7,11 @@
 // request coalescing), and client disconnects cancel the simulation
 // work they abandoned.
 //
-// Endpoints (see internal/serve): GET /units/{unit}, POST /scenarios,
-// POST /jobs + GET /jobs/{id} + DELETE /jobs/{id} for async batches,
-// GET /stats, GET /metrics (Prometheus text), GET /healthz.
+// Endpoints (see internal/serve): GET /v1/units/{unit},
+// POST /v1/scenarios, POST /v1/jobs + GET /v1/jobs (paginated) +
+// GET /v1/jobs/{id} + DELETE /v1/jobs/{id} for async batches,
+// GET /v1/stats, GET /metrics (Prometheus text), GET /healthz. Legacy
+// unversioned paths 308-redirect to their /v1 home.
 //
 // -cache-dir persists every artefact locally; -store-url shares them
 // through a cmd/artifactd server (cold starts issue one bulk closure
@@ -17,6 +19,11 @@
 // fronts the server. Output bytes are identical to cmd/repro's for the
 // same options — a unit fetched over HTTP diffs clean against the
 // batch CLI's file.
+//
+// -self + -peers turn N replicas into a fleet: every artefact key is
+// rendezvous-hashed to one home replica and cold requests are
+// forwarded there, so per-key coalescing holds fleet-wide. Point every
+// replica at the same -store-url so warm artefacts are shared too.
 //
 // SIGTERM / SIGINT drains: in-flight requests and running jobs finish,
 // queued jobs are cancelled, new submissions are refused 503, then the
@@ -27,6 +34,7 @@
 //	reprod [-addr :9555] [-quick] [-parallel N] [-workers N] [-block N]
 //	       [-engine stackdist|replay]
 //	       [-cache-dir DIR] [-store-url URL] [-store-token T]
+//	       [-self URL] [-peers URL,URL,...]
 //	       [-gc SPEC] [-gc-interval D] [-mem-quota SPEC] [-drain-timeout D]
 package main
 
@@ -38,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +70,8 @@ func main() {
 	gcSpec := flag.String("gc", "", `LRU-sweep the -cache-dir to this bound periodically: "4GB", "168h", "4GB,168h"`)
 	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc and -mem-quota age sweeps")
 	memQuota := flag.String("mem-quota", "", `bound the in-process artifact cache: size, idle age and/or kind=size, comma-separated ("256MB", "256MB,30m,scenario-render=64MB")`)
+	self := flag.String("self", "", `this replica's advertised base URL, e.g. "http://10.0.0.3:9555" (fleet mode)`)
+	peers := flag.String("peers", "", "comma-separated advertised base URLs of every fleet replica (-self may be repeated in the list)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight work")
 	flag.Parse()
 
@@ -74,7 +85,12 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := serve.Config{Opt: opt, Engine: engine, Parallelism: *parallel, BlockSize: *block, Workers: *workers}
+	cfg := serve.Config{Opt: opt, Engine: engine, Parallelism: *parallel, BlockSize: *block, Workers: *workers, Self: *self}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.Peers = append(cfg.Peers, p)
+		}
+	}
 	if *memQuota != "" {
 		q, err := artifact.ParseQuotaSpec(*memQuota)
 		if err != nil {
@@ -90,7 +106,10 @@ func main() {
 		cfg.Store = st
 		datagen.SetStore(st)
 	}
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
 
 	// An idle store receives no charges, so MaxAge needs a ticker to
 	// expire entries nobody is asking for anymore.

@@ -77,10 +77,34 @@ func New(baseURL string) (*Client, error) {
 	}
 	return &Client{
 		base:  strings.TrimRight(baseURL, "/"),
-		HTTP:  &http.Client{Timeout: 60 * time.Second},
+		HTTP:  &http.Client{Timeout: 60 * time.Second, Transport: SharedTransport()},
 		Token: os.Getenv(TokenEnv),
 	}, nil
 }
+
+// sharedTransport is the one connection pool every Client — and
+// reprod's fleet proxy — rides on. http.DefaultTransport keeps only 2
+// idle connections per host, which under a request flood (a reprod
+// fleet hammering one artifactd, replicas proxying to one home peer)
+// degenerates into a dial per request; this pool keeps enough per-peer
+// keep-alives for a whole coalescing stampede to reuse warm
+// connections.
+var sharedTransport = func() *http.Transport {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		t = &http.Transport{}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	return t
+}()
+
+// SharedTransport returns the process-wide pooled transport shared by
+// every httpstore Client and any other intra-fleet HTTP traffic (the
+// reprod proxy), so per-peer connections are reused rather than
+// redialed per request.
+func SharedTransport() *http.Transport { return sharedTransport }
 
 // URL returns the artefact endpoint for id.
 func (c *Client) URL(id string) string { return c.base + "/artifact/" + id }

@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSuite materializes a goal directory for tests.
+func writeSuite(t *testing.T, machine string, cases map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "machine.yaml"), []byte(machine), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range cases {
+		caseDir := filepath.Join(dir, "cases", name)
+		if err := os.MkdirAll(caseDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(caseDir, "experiment.yaml"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const testMachine = `
+name: test-class
+description: unit-test machine class
+limits:
+  max_rss_mb: 4096
+`
+
+// TestLoadSuite pins directory loading: machine class, sorted cases,
+// name defaulting from the directory, and validation.
+func TestLoadSuite(t *testing.T) {
+	dir := writeSuite(t, testMachine, map[string]string{
+		"b_cold": `
+mix: cold_stampede
+scenario:
+  workloads: [H-Grep]
+  sizes_kb: [16]
+ramp:
+  start: 8
+  end: 16
+  step: 8
+goals:
+  max_computes: 2
+`,
+		"a_warm": `
+name: warm_named
+mix: warm_flood
+scenario:
+  workloads: [H-Grep]
+  sizes_kb: [16]
+ramp:
+  start: 2
+  end: 4
+  step: 2
+  requests_per_step: 10
+`,
+	})
+	s, err := LoadSuite(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine.Name != "test-class" || s.Machine.Limits.MaxRSSMB != 4096 {
+		t.Fatalf("machine %+v", s.Machine)
+	}
+	if len(s.Cases) != 2 || s.Cases[0].Name != "warm_named" || s.Cases[1].Name != "b_cold" {
+		t.Fatalf("cases %+v", s.Cases)
+	}
+	if got := s.Cases[1].Ramp.steps(); len(got) != 2 || got[0] != 8 || got[1] != 16 {
+		t.Fatalf("ramp steps %v", got)
+	}
+
+	for name, bad := range map[string]string{
+		"bad mix":       "mix: tsunami\nscenario:\n  workloads: [H-Grep]\nramp:\n  start: 1\n  end: 1\n  step: 1\n  requests_per_step: 1\n",
+		"no scenario":   "mix: warm_flood\nramp:\n  start: 1\n  end: 1\n  step: 1\n  requests_per_step: 1\n",
+		"bad ramp":      "mix: warm_flood\nscenario:\n  workloads: [H-Grep]\nramp:\n  start: 4\n  end: 2\n  step: 1\n  requests_per_step: 1\n",
+		"no per-step":   "mix: warm_flood\nscenario:\n  workloads: [H-Grep]\nramp:\n  start: 1\n  end: 1\n  step: 1\n",
+		"unknown field": "mix: warm_flood\nscenario:\n  workloads: [H-Grep]\nramp:\n  start: 1\n  end: 1\n  step: 1\n  requests_per_step: 1\nbudget_goals: {}\n",
+	} {
+		dir := writeSuite(t, testMachine, map[string]string{"c": bad})
+		if _, err := LoadSuite(dir); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		}
+	}
+	if _, err := LoadSuite(writeSuite(t, testMachine, nil)); err == nil {
+		t.Error("empty suite loaded without error")
+	}
+}
+
+// TestGateCase pins the benchguard-style comparison: each violated
+// bound is one failure line, zero-valued goals gate nothing, and
+// explicit-zero pointer goals do gate.
+func TestGateCase(t *testing.T) {
+	zero := int64(0)
+	noErrs := 0.0
+	m := Machine{Name: "test-class", Limits: Limits{MaxRSSMB: 1}}
+	c := Case{
+		Name: "warm",
+		Goals: Goals{
+			MinThroughputRPS: 100,
+			MaxP99Ms:         50,
+			MaxErrorRate:     &noErrs,
+			MaxComputes:      &zero,
+		},
+	}
+	res := &CaseResult{
+		Requests: 100, Errors: 3,
+		ThroughputRPS: 42, P99Ms: 80,
+		Computes:    2,
+		MaxRSSBytes: 2 << 20,
+	}
+	fails := gateCase(m, c, res)
+	if len(fails) != 5 {
+		t.Fatalf("want 5 failures, got %d: %v", len(fails), fails)
+	}
+	for _, want := range []string{"throughput", "p99", "error rate", "computed", "RSS"} {
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no failure mentions %q: %v", want, fails)
+		}
+	}
+
+	// All bounds met → clean. Unset (zero/nil) goals never gate.
+	ok := &CaseResult{Requests: 100, ThroughputRPS: 500, P99Ms: 10, MaxRSSBytes: 1 << 10}
+	if fails := gateCase(m, c, ok); len(fails) != 0 {
+		t.Fatalf("passing result failed: %v", fails)
+	}
+	if fails := gateCase(Machine{}, Case{}, res); len(fails) != 0 {
+		t.Fatalf("goalless case gated: %v", fails)
+	}
+}
+
+// TestPercentile pins the tail-index arithmetic.
+func TestPercentile(t *testing.T) {
+	if p := percentile(nil, 99); p != 0 {
+		t.Fatalf("empty percentile %v", p)
+	}
+	lat := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, c := range []struct {
+		p    int
+		want float64
+	}{{50, 5}, {90, 9}, {99, 10}, {100, 10}} {
+		if got := percentile(lat, c.p); got != c.want {
+			t.Errorf("p%d = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner drives one suite against a reprod fleet.
+type Runner struct {
+	// Targets are the replicas' base URLs; requests round-robin over
+	// them so the fleet's routing and proxying are on the measured
+	// path.
+	Targets []string
+	// Client issues every request (nil = a 2-minute-timeout default).
+	Client *http.Client
+	// Salt uniquifies cold scenario keys across runs, so re-running
+	// the suite against a warm fleet still measures genuine cold
+	// computes. Empty = derived from the current time.
+	Salt string
+	// PIDs are processes whose summed RSS is sampled during each case
+	// (the replicas and artifactd, via reprobench -pids). Empty
+	// disables RSS measurement.
+	PIDs []int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// CaseResult is one case's measured numbers plus any goal violations.
+type CaseResult struct {
+	Case          string  `json:"case"`
+	Mix           Mix     `json:"mix"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	DurationMs    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	// Fleet-wide /v1/stats deltas over the measured phase (priming
+	// excluded), summed across every target.
+	Computes  int64 `json:"computes"`
+	WarmHits  int64 `json:"warm_hits"`
+	Coalesced int64 `json:"coalesced"`
+	Proxied   int64 `json:"proxied"`
+	// MaxRSSBytes is the peak summed resident set of the monitored
+	// PIDs during the case (0 when not measured).
+	MaxRSSBytes int64    `json:"max_rss_bytes,omitempty"`
+	Failures    []string `json:"failures,omitempty"`
+}
+
+// Report is one full suite run — reprobench writes it as JSON next to
+// the CI artifacts.
+type Report struct {
+	Machine  string       `json:"machine"`
+	Targets  []string     `json:"targets"`
+	Salt     string       `json:"salt"`
+	Cases    []CaseResult `json:"cases"`
+	Failures []string     `json:"failures,omitempty"`
+}
+
+// Run executes every case in order and gates the results; the
+// returned report's Failures list is empty exactly when the suite
+// passed. Run itself errors only on environmental failures (no
+// targets, unreadable goals), never on missed goals.
+func (r *Runner) Run(ctx context.Context, suite *Suite) (*Report, error) {
+	if len(r.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	salt := r.Salt
+	if salt == "" {
+		salt = fmt.Sprintf("%x", time.Now().UnixNano())
+	}
+	rep := &Report{Machine: suite.Machine.Name, Targets: r.Targets, Salt: salt}
+	for _, c := range suite.Cases {
+		res, err := r.runCase(ctx, client, c, salt)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: case %s: %w", c.Name, err)
+		}
+		res.Failures = gateCase(suite.Machine, c, res)
+		for _, f := range res.Failures {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %s", c.Name, f))
+		}
+		rep.Cases = append(rep.Cases, *res)
+		r.logf("case %-18s %6d req  %8.1f req/s  p99 %7.1fms  computes %d  warm %d  %s",
+			c.Name, res.Requests, res.ThroughputRPS, res.P99Ms, res.Computes, res.WarmHits, passFail(res.Failures))
+	}
+	return rep, nil
+}
+
+func passFail(failures []string) string {
+	if len(failures) == 0 {
+		return "PASS"
+	}
+	return fmt.Sprintf("FAIL (%d goals)", len(failures))
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// runCase measures one case: prime (warm_flood only), snapshot fleet
+// stats, drive the ramp, snapshot again.
+func (r *Runner) runCase(ctx context.Context, client *http.Client, c Case, salt string) (*CaseResult, error) {
+	res := &CaseResult{Case: c.Name, Mix: c.Mix}
+
+	if c.Mix == MixWarmFlood {
+		// Prime every replica once so the measured phase is pure warm
+		// serving: the first request computes, the rest warm up each
+		// replica's fast path through the shared store (or the fleet
+		// proxy).
+		body, err := scenarioBody(c.Scenario, "warm-"+salt+"-"+c.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, target := range r.Targets {
+			if _, err := postScenario(ctx, client, target, body); err != nil {
+				return nil, fmt.Errorf("priming %s: %w", target, err)
+			}
+		}
+	}
+
+	before, err := fleetStats(ctx, client, r.Targets)
+	if err != nil {
+		return nil, err
+	}
+	stopRSS := r.sampleRSS(&res.MaxRSSBytes)
+	defer stopRSS()
+
+	var latencies []float64
+	var mu sync.Mutex
+	var reqs, errs atomic.Int64
+	next := atomic.Int64{} // round-robin cursor over targets
+	do := func(ctx context.Context, body []byte) {
+		target := r.Targets[int(next.Add(1))%len(r.Targets)]
+		start := time.Now()
+		ok, err := postScenario(ctx, client, target, body)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		reqs.Add(1)
+		if err != nil || !ok {
+			errs.Add(1)
+			return
+		}
+		mu.Lock()
+		latencies = append(latencies, ms)
+		mu.Unlock()
+	}
+
+	started := time.Now()
+	wave := 0
+	for _, conc := range c.Ramp.steps() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch c.Mix {
+		case MixColdStampede:
+			// One wave: exactly conc simultaneous requests for ONE
+			// fresh key — the coalescing acceptance shape at this
+			// concurrency.
+			wave++
+			body, err := scenarioBody(c.Scenario, fmt.Sprintf("cold-%s-%s-%d", salt, c.Name, wave))
+			if err != nil {
+				return nil, err
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < conc; i++ {
+				wg.Add(1)
+				go func() { defer wg.Done(); do(ctx, body) }()
+			}
+			wg.Wait()
+		case MixWarmFlood, MixAdhocGeometries:
+			// RequestsPerStep requests through conc workers. warm_flood
+			// reuses the primed body; adhoc_geometries salts every
+			// request and rotates geometries so each one computes.
+			warmBody, err := scenarioBody(c.Scenario, "warm-"+salt+"-"+c.Name)
+			if err != nil {
+				return nil, err
+			}
+			var seq atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						n := seq.Add(1)
+						if n > int64(c.Ramp.RequestsPerStep) || ctx.Err() != nil {
+							return
+						}
+						body := warmBody
+						if c.Mix == MixAdhocGeometries {
+							var err error
+							body, err = adhocBody(c.Scenario, fmt.Sprintf("adhoc-%s-%s-%d-%d", salt, c.Name, conc, n), n)
+							if err != nil {
+								errs.Add(1)
+								reqs.Add(1)
+								continue
+							}
+						}
+						do(ctx, body)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	res.DurationMs = float64(time.Since(started).Microseconds()) / 1000
+	stopRSS()
+
+	after, err := fleetStats(ctx, client, r.Targets)
+	if err != nil {
+		return nil, err
+	}
+	res.Requests = reqs.Load()
+	res.Errors = errs.Load()
+	if res.DurationMs > 0 {
+		res.ThroughputRPS = float64(res.Requests) / (res.DurationMs / 1000)
+	}
+	res.Computes = after.computes - before.computes
+	res.WarmHits = after.warmHits - before.warmHits
+	res.Coalesced = after.coalesced - before.coalesced
+	res.Proxied = after.proxied - before.proxied
+	sort.Float64s(latencies)
+	res.P50Ms = percentile(latencies, 50)
+	res.P90Ms = percentile(latencies, 90)
+	res.P99Ms = percentile(latencies, 99)
+	if n := len(latencies); n > 0 {
+		res.MaxMs = latencies[n-1]
+	}
+	return res, nil
+}
+
+// gateCase applies the case goals and the machine limits to measured
+// numbers, benchguard-style: every violated bound is one failure line.
+func gateCase(m Machine, c Case, res *CaseResult) []string {
+	var fails []string
+	g := c.Goals
+	if g.MinThroughputRPS > 0 && res.ThroughputRPS < g.MinThroughputRPS {
+		fails = append(fails, fmt.Sprintf("throughput %.1f req/s below goal %.1f", res.ThroughputRPS, g.MinThroughputRPS))
+	}
+	if g.MaxP99Ms > 0 && res.P99Ms > g.MaxP99Ms {
+		fails = append(fails, fmt.Sprintf("p99 %.1fms exceeds goal %.1fms", res.P99Ms, g.MaxP99Ms))
+	}
+	if g.MaxErrorRate != nil {
+		rate := 0.0
+		if res.Requests > 0 {
+			rate = float64(res.Errors) / float64(res.Requests)
+		}
+		if rate > *g.MaxErrorRate {
+			fails = append(fails, fmt.Sprintf("error rate %.4f (%d/%d) exceeds goal %.4f",
+				rate, res.Errors, res.Requests, *g.MaxErrorRate))
+		}
+	}
+	if g.MaxComputes != nil && res.Computes > *g.MaxComputes {
+		fails = append(fails, fmt.Sprintf("fleet computed %d times, goal allows %d (coalescing/warm path regression)",
+			res.Computes, *g.MaxComputes))
+	}
+	if m.Limits.MaxRSSMB > 0 && res.MaxRSSBytes > m.Limits.MaxRSSMB<<20 {
+		fails = append(fails, fmt.Sprintf("peak RSS %dMB exceeds machine class %s limit %dMB",
+			res.MaxRSSBytes>>20, m.Name, m.Limits.MaxRSSMB))
+	}
+	return fails
+}
+
+// scenarioBody renders the scenario template with its salted name.
+func scenarioBody(template map[string]any, name string) ([]byte, error) {
+	spec := make(map[string]any, len(template)+1)
+	for k, v := range template {
+		spec[k] = v
+	}
+	spec["name"] = name
+	return json.Marshal(spec)
+}
+
+// adhocGeometries are the ways_set variants adhoc bodies rotate
+// through, so an ad-hoc mix exercises genuinely different cache
+// geometries rather than one shape with different names.
+var adhocGeometries = [][]int{{1, 8}, {2, 16}, {4}, {1, 2, 8}}
+
+// adhocBody renders a distinct scenario per request: salted name plus
+// a rotated ways_set geometry.
+func adhocBody(template map[string]any, name string, n int64) ([]byte, error) {
+	spec := make(map[string]any, len(template)+2)
+	for k, v := range template {
+		spec[k] = v
+	}
+	spec["name"] = name
+	spec["ways_set"] = adhocGeometries[int(n)%len(adhocGeometries)]
+	return json.Marshal(spec)
+}
+
+// postScenario issues one POST /v1/scenarios, reporting HTTP success.
+func postScenario(ctx context.Context, client *http.Client, target string, body []byte) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(target, "/")+"/v1/scenarios", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return false, nil
+	}
+	return true, nil
+}
+
+// fleetCounters are the /v1/stats fields the gate reads, summed over
+// every target.
+type fleetCounters struct {
+	computes, warmHits, coalesced, proxied int64
+}
+
+func fleetStats(ctx context.Context, client *http.Client, targets []string) (fleetCounters, error) {
+	var sum fleetCounters
+	for _, target := range targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			strings.TrimRight(target, "/")+"/v1/stats", nil)
+		if err != nil {
+			return sum, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return sum, fmt.Errorf("stats from %s: %w", target, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return sum, fmt.Errorf("stats from %s: %d", target, resp.StatusCode)
+		}
+		var st struct {
+			Computes  int64 `json:"computes"`
+			WarmHits  int64 `json:"warm_hits"`
+			Coalesced int64 `json:"coalesced"`
+			Proxied   int64 `json:"fleet_proxied"`
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			return sum, fmt.Errorf("stats from %s: %w", target, err)
+		}
+		sum.computes += st.Computes
+		sum.warmHits += st.WarmHits
+		sum.coalesced += st.Coalesced
+		sum.proxied += st.Proxied
+	}
+	return sum, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// sampleRSS starts a 50ms sampler of the summed resident set of
+// r.PIDs, storing the running peak into *max; the returned stop
+// function is idempotent. No PIDs (or a non-Linux /proc-less host)
+// yields 0, which disables the RSS gate.
+func (r *Runner) sampleRSS(max *int64) func() {
+	if len(r.PIDs) == 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	var peak int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			if rss := readRSS(r.PIDs); rss > peak {
+				peak = rss
+			}
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			*max = peak
+		})
+	}
+}
+
+// readRSS sums the resident set (bytes) of pids from /proc, skipping
+// any it cannot read (exited process, non-Linux host).
+func readRSS(pids []int) int64 {
+	var total int64
+	for _, pid := range pids {
+		b, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", pid))
+		if err != nil {
+			continue
+		}
+		// statm: size resident shared ... (pages)
+		fields := strings.Fields(string(b))
+		if len(fields) < 2 {
+			continue
+		}
+		var resident int64
+		if _, err := fmt.Sscanf(fields[1], "%d", &resident); err != nil {
+			continue
+		}
+		total += resident * int64(os.Getpagesize())
+	}
+	return total
+}

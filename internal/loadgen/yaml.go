@@ -1,0 +1,240 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Goal files are YAML for human authoring (SMP-style machine classes
+// and experiment cases read better with comments and without brace
+// noise), but the repo carries zero dependencies — so this file is a
+// deliberately small YAML subset parser covering exactly what goal
+// files need:
+//
+//   - maps nested by indentation (spaces only)
+//   - "key: value" scalars and "key:" block openers
+//   - block lists of scalars ("- item") and flow lists ("[a, b, c]")
+//   - strings (bare, single- or double-quoted), ints, floats, bools
+//   - "#" comments and blank lines
+//
+// Anchors, multi-document streams, multiline strings, lists of maps
+// and every other YAML dark corner are out of scope and rejected
+// loudly rather than misparsed. DecodeYAML round-trips the parsed tree
+// through encoding/json into the caller's typed struct, so goal types
+// declare plain `json` tags.
+
+// DecodeYAML parses src (the supported YAML subset) into v via a JSON
+// round trip.
+func DecodeYAML(src []byte, v any) error {
+	tree, err := ParseYAML(src)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(tree)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("yaml: %w", err)
+	}
+	return nil
+}
+
+// ParseYAML parses src into nested map[string]any / []any / scalar
+// values.
+func ParseYAML(src []byte) (any, error) {
+	var lines []yamlLine
+	for n, raw := range strings.Split(string(src), "\n") {
+		text := stripComment(raw)
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.Contains(text, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", n+1)
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		lines = append(lines, yamlLine{n + 1, indent, strings.TrimSpace(text)})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected outdent past the document root", lines[next].num)
+	}
+	return v, nil
+}
+
+type yamlLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+// parseBlock parses the run of lines at exactly this indent (a map or
+// a list), returning the value and the index of the first line it did
+// not consume.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseList(lines []yamlLine, i, indent int) (any, int, error) {
+	out := []any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		if !strings.HasPrefix(ln.text, "- ") {
+			return nil, 0, fmt.Errorf("yaml line %d: expected a %q list item", ln.num, "- ")
+		}
+		item := strings.TrimSpace(ln.text[2:])
+		if item == "" || strings.HasSuffix(item, ":") || strings.Contains(item, ": ") {
+			return nil, 0, fmt.Errorf("yaml line %d: only scalar list items are supported", ln.num)
+		}
+		v, err := parseScalar(item, ln.num)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, v)
+		i++
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("yaml line %d: unexpected indent inside a list", lines[i].num)
+	}
+	return out, i, nil
+}
+
+func parseMap(lines []yamlLine, i, indent int) (any, int, error) {
+	out := map[string]any{}
+	for i < len(lines) && lines[i].indent == indent {
+		ln := lines[i]
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, 0, fmt.Errorf("yaml line %d: expected \"key: value\" or \"key:\", got %q", ln.num, ln.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, 0, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		i++
+		if rest != "" {
+			v, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			out[key] = v
+			continue
+		}
+		// Block opener: the nested value is the run of deeper-indented
+		// lines; none means an empty map.
+		if i >= len(lines) || lines[i].indent <= indent {
+			out[key] = map[string]any{}
+			continue
+		}
+		v, next, err := parseBlock(lines, i, lines[i].indent)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[key] = v
+		i = next
+	}
+	if i < len(lines) && lines[i].indent > indent {
+		return nil, 0, fmt.Errorf("yaml line %d: unexpected indent", lines[i].num)
+	}
+	return out, i, nil
+}
+
+// splitKey splits "key: value" / "key:"; keys are bare words (goal
+// files never need quoted keys).
+func splitKey(text string) (key, rest string, ok bool) {
+	idx := strings.Index(text, ":")
+	if idx <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(text[:idx])
+	rest = strings.TrimSpace(text[idx+1:])
+	if key == "" || strings.ContainsAny(key, "\"'[]{}") {
+		return "", "", false
+	}
+	if rest != "" && !strings.HasPrefix(text[idx+1:], " ") {
+		// "a:b" is a scalar containing a colon, not a key — but as a
+		// map entry's start it is malformed.
+		return "", "", false
+	}
+	return key, rest, true
+}
+
+// parseScalar parses a value: flow list, quoted string, bool, number,
+// or bare string.
+func parseScalar(s string, line int) (any, error) {
+	switch {
+	case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, fmt.Errorf("yaml line %d: empty element in flow list %q", line, s)
+			}
+			v, err := parseScalar(part, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2:
+		var out string
+		if err := json.Unmarshal([]byte(s), &out); err != nil {
+			return nil, fmt.Errorf("yaml line %d: bad quoted string %s", line, s)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 2:
+		return s[1 : len(s)-1], nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s == "null" || s == "~":
+		return nil, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// stripComment removes a trailing "#"-comment, respecting quotes.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || line[i-1] == ' ') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}

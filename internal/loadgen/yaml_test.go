@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseYAMLSubset pins the supported surface: nested maps, block
+// and flow lists, scalar typing, quoting, comments.
+func TestParseYAMLSubset(t *testing.T) {
+	src := `
+# machine class
+name: ci-1core
+description: "shared CI runner: 1-2 cores"  # trailing comment
+count: 3
+ratio: 0.25
+enabled: true
+empty_list: []
+limits:
+  max_rss_mb: 2048
+  nested:
+    deep: 'single quoted'
+workloads: [H-Grep, S-Sort]
+sizes:
+  - 16
+  - 64
+  - 256
+`
+	got, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":        "ci-1core",
+		"description": "shared CI runner: 1-2 cores",
+		"count":       int64(3),
+		"ratio":       0.25,
+		"enabled":     true,
+		"empty_list":  []any{},
+		"limits": map[string]any{
+			"max_rss_mb": int64(2048),
+			"nested":     map[string]any{"deep": "single quoted"},
+		},
+		"workloads": []any{"H-Grep", "S-Sort"},
+		"sizes":     []any{int64(16), int64(64), int64(256)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed:\n%#v\nwant:\n%#v", got, want)
+	}
+}
+
+// TestParseYAMLRejectsDarkCorners pins loud rejection over misparsing.
+func TestParseYAMLRejectsDarkCorners(t *testing.T) {
+	for name, src := range map[string]string{
+		"tabs":          "a:\n\tb: 1",
+		"list of maps":  "items:\n  - name: x\n    v: 1",
+		"duplicate key": "a: 1\na: 2",
+		"indent inside list": `items:
+  - 1
+      - 2`,
+		"bare scalar line": "a: 1\njust a scalar",
+		"root outdent": `a:
+    b: 1
+  c: 2`,
+	} {
+		if _, err := ParseYAML([]byte(src)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestDecodeYAMLTyped pins the JSON round trip into goal structs,
+// including unknown-field rejection (a typoed goal key must not be
+// silently ignored — it would silently not gate).
+func TestDecodeYAMLTyped(t *testing.T) {
+	src := `
+name: cold_stampede
+mix: cold_stampede
+scenario:
+  workloads: [H-Grep]
+  sizes_kb: [16, 64]
+ramp:
+  start: 8
+  end: 32
+  step: 8
+goals:
+  max_computes: 4
+  max_error_rate: 0
+`
+	var c Case
+	if err := DecodeYAML([]byte(src), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mix != MixColdStampede || c.Ramp.End != 32 {
+		t.Fatalf("decoded %+v", c)
+	}
+	if c.Goals.MaxComputes == nil || *c.Goals.MaxComputes != 4 {
+		t.Fatalf("max_computes pointer lost: %+v", c.Goals)
+	}
+	if c.Goals.MaxErrorRate == nil || *c.Goals.MaxErrorRate != 0 {
+		t.Fatalf("explicit zero error rate lost: %+v", c.Goals)
+	}
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	var bad Case
+	err := DecodeYAML([]byte("name: x\nmix: warm_flood\ntypoed_goal: 1\n"), &bad)
+	if err == nil || !strings.Contains(err.Error(), "typoed_goal") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// errEnvelope decodes the v1 error body.
+type errEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+func decodeErr(t *testing.T, b []byte) apiError {
+	t.Helper()
+	var env errEnvelope
+	if err := json.Unmarshal(b, &env); err != nil || env.Error.Code == "" {
+		t.Fatalf("body %q is not an error envelope: %v", b, err)
+	}
+	return env.Error
+}
+
+// TestErrorEnvelope pins the uniform v1 error shape: every failure is
+// JSON with a stable machine-readable code, never ad-hoc text.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{http.MethodGet, "/v1/units/fig99", "", http.StatusNotFound, "unknown_unit"},
+		{http.MethodPost, "/v1/units/fig6", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodGet, "/v1/scenarios", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{http.MethodPost, "/v1/scenarios", "not json", http.StatusBadRequest, "bad_body"},
+		{http.MethodPost, "/v1/scenarios", `{"workloads": ["Z-Nothing"]}`, http.StatusBadRequest, "invalid_scenario"},
+		{http.MethodPost, "/v1/jobs", `{}`, http.StatusBadRequest, "invalid_job"},
+		{http.MethodPost, "/v1/jobs", `{"units": ["fig99"]}`, http.StatusBadRequest, "unknown_unit"},
+		{http.MethodPost, "/v1/jobs", "garbage", http.StatusBadRequest, "bad_body"},
+		{http.MethodGet, "/v1/jobs/job-99999999", "", http.StatusNotFound, "unknown_job"},
+		{http.MethodGet, "/v1/jobs?state=flying", "", http.StatusBadRequest, "invalid_query"},
+		{http.MethodGet, "/v1/jobs?limit=0", "", http.StatusBadRequest, "invalid_query"},
+		{http.MethodGet, "/v1/jobs?limit=9999", "", http.StatusBadRequest, "invalid_query"},
+		{http.MethodGet, "/v1/jobs?cursor=banana", "", http.StatusBadRequest, "invalid_query"},
+		{http.MethodPut, "/v1/jobs", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+	}
+	for _, c := range cases {
+		var rd io.Reader
+		if c.body != "" {
+			rd = strings.NewReader(c.body)
+		}
+		req, err := http.NewRequest(c.method, ts.URL+c.path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.method, c.path, resp.StatusCode, c.status, b)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Errorf("%s %s: error Content-Type %q", c.method, c.path, ct)
+		}
+		if e := decodeErr(t, b); e.Code != c.code || e.Message == "" {
+			t.Errorf("%s %s: envelope %+v, want code %q", c.method, c.path, e, c.code)
+		}
+	}
+}
+
+// TestLegacyPathsRedirect pins the migration contract: every
+// unversioned path 308s to its /v1 home, and — because 308 preserves
+// method and body — a redirect-following client keeps working through
+// POSTs unchanged.
+func TestLegacyPathsRedirect(t *testing.T) {
+	srv, ts := startServer(t, Config{})
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for _, c := range []struct{ path, want string }{
+		{"/units/fig6", "/v1/units/fig6"},
+		{"/scenarios", "/v1/scenarios"},
+		{"/jobs", "/v1/jobs"},
+		{"/jobs/job-00000001", "/v1/jobs/job-00000001"},
+		{"/stats", "/v1/stats"},
+		{"/jobs?state=done&limit=5", "/v1/jobs?state=done&limit=5"},
+	} {
+		resp, err := noFollow.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Fatalf("GET %s: %d, want 308", c.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != c.want {
+			t.Fatalf("GET %s: Location %q, want %q", c.path, loc, c.want)
+		}
+	}
+
+	// A stock client POSTing a scenario to the legacy path follows the
+	// 308 with its body intact and gets the rendered result.
+	resp, err := http.Post(ts.URL+"/scenarios", "application/json",
+		strings.NewReader(`{"workloads": ["H-Grep"], "sizes_kb": [16]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(b) == 0 {
+		t.Fatalf("legacy POST through redirect: %d: %s", resp.StatusCode, b)
+	}
+	if st := srv.Stats(); st.ScenarioRequests != 1 || st.Computes != 1 {
+		t.Fatalf("redirected POST did not reach v1: %+v", st)
+	}
+}
+
+// seedJobs plants n terminal jobs directly in the set (no computation)
+// with alternating done/failed states, returning their ids oldest
+// first.
+func seedJobs(srv *Server, n int) []string {
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		j := srv.jobs.add(JobRequest{Units: []string{"table1"}})
+		j.mu.Lock()
+		if i%2 == 0 {
+			j.state = JobDone
+		} else {
+			j.state = JobFailed
+		}
+		j.finished = time.Now()
+		j.timings = []UnitTiming{{Unit: "table1", Ms: 1, Status: "ok"}}
+		j.results = map[string]string{"table1": "data"}
+		j.mu.Unlock()
+		srv.jobs.wg.Done()
+		ids[i] = j.id
+	}
+	return ids
+}
+
+// TestJobsPagination pins the GET /v1/jobs wire contract: newest-first
+// pages of summaries (no timings, no results), cursor resumption
+// walking the full set exactly once, state filtering, and no cursor on
+// the final page.
+func TestJobsPagination(t *testing.T) {
+	srv, ts := startServer(t, Config{})
+	ids := seedJobs(srv, 7)
+
+	getPage := func(query string) JobPage {
+		t.Helper()
+		code, _, b := get(t, ts.URL+"/v1/jobs"+query)
+		if code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s: %d: %s", query, code, b)
+		}
+		var page JobPage
+		if err := json.Unmarshal(b, &page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	// Walk with limit=3: 3 + 3 + 1, newest first, each summary
+	// stripped of its heavy fields.
+	var walked []string
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 3 {
+			t.Fatal("pagination never terminated")
+		}
+		q := "?limit=3"
+		if cursor != "" {
+			q += "&cursor=" + cursor
+		}
+		page := getPage(q)
+		for _, j := range page.Jobs {
+			if len(j.Timings) != 0 || len(j.Results) != 0 {
+				t.Fatalf("summary %s carries timings/results", j.ID)
+			}
+			walked = append(walked, j.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != len(ids) {
+		t.Fatalf("walked %d jobs, want %d: %v", len(walked), len(ids), walked)
+	}
+	for i, id := range walked {
+		if want := ids[len(ids)-1-i]; id != want {
+			t.Fatalf("position %d: %s, want %s (newest first)", i, id, want)
+		}
+	}
+
+	// State filter: the 4 done jobs only.
+	done := getPage("?state=done")
+	if len(done.Jobs) != 4 {
+		t.Fatalf("state=done returned %d jobs, want 4", len(done.Jobs))
+	}
+	for _, j := range done.Jobs {
+		if j.State != JobDone {
+			t.Fatalf("state=done returned a %s job", j.State)
+		}
+	}
+
+	// Default limit covers the whole set in one cursorless page.
+	all := getPage("")
+	if len(all.Jobs) != 7 || all.NextCursor != "" {
+		t.Fatalf("default page: %d jobs cursor %q", len(all.Jobs), all.NextCursor)
+	}
+
+	// Full detail still lives at the per-job endpoint.
+	code, _, b := get(t, ts.URL+"/v1/jobs/"+ids[0])
+	var st JobStatus
+	if code != http.StatusOK || json.Unmarshal(b, &st) != nil || len(st.Results) == 0 {
+		t.Fatalf("job detail: %d: %s", code, b)
+	}
+}
+
+// TestJobResultsRecoveredPastCap pins the eviction-survival contract
+// for inline results: renders dropped from the retained record by the
+// per-job cap are transparently re-inlined from the store at GET time,
+// so GET /v1/jobs/{id} serves full results (and no truncation flag) as
+// long as the artefacts are fetchable — with the retained record
+// itself staying tiny.
+func TestJobResultsRecoveredPastCap(t *testing.T) {
+	srv, ts := startServer(t, Config{Parallelism: 2, MaxJobResultBytes: 1})
+	body := `{"units": ["table2"], "scenarios": [{"name": "capped", "workloads": ["H-Grep"], "sizes_kb": [16, 64]}]}`
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var idResp struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(ack, &idResp); err != nil || idResp.ID == "" {
+		t.Fatalf("submit ack %q: %v", ack, err)
+	}
+
+	var status JobStatus
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, _, b := get(t, ts.URL+"/v1/jobs/"+idResp.ID)
+		if err := json.Unmarshal(b, &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.State == JobDone || status.State == JobFailed || status.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", status.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if status.State != JobDone {
+		t.Fatalf("job finished %s (%s)", status.State, status.Error)
+	}
+
+	// The retained record dropped everything (1-byte cap)...
+	j, ok := srv.jobs.get(idResp.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	j.mu.Lock()
+	retained, dropped := len(j.results), j.resultsDroppd
+	j.mu.Unlock()
+	if retained != 0 || !dropped {
+		t.Fatalf("cap not exercised: %d retained, dropped=%v", retained, dropped)
+	}
+
+	// ...yet the API response recovered both renders from the store.
+	if status.ResultsTruncated {
+		t.Fatalf("results truncated despite store recovery: %v", keysOf(status.Results))
+	}
+	if len(status.Results) != 2 {
+		t.Fatalf("want 2 recovered results, got %d: %v", len(status.Results), keysOf(status.Results))
+	}
+	code, _, unitBytes := get(t, ts.URL+"/v1/units/table2")
+	if code != http.StatusOK {
+		t.Fatalf("unit fetch: %d", code)
+	}
+	if status.Results["table2"] != string(unitBytes) {
+		t.Fatal("recovered unit result differs from /v1/units/table2")
+	}
+	if len(status.Results["scenario:capped"]) == 0 {
+		t.Fatal("recovered scenario result empty")
+	}
+}

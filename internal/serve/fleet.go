@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"repro/internal/artifact/httpstore"
+)
+
+// Fleet mode: N reprod replicas share the key space by rendezvous
+// (highest-random-weight) hashing. Every artefact key has exactly one
+// home replica — the member whose hash with the key scores highest —
+// so per-key request coalescing works fleet-wide: no matter which
+// replica a cold request lands on, it is forwarded to the key's home,
+// where concurrent requests from the whole fleet join one flight.
+//
+// The routing rules, in order:
+//
+//  1. Local warm fast path: a request whose artefact is already
+//     available to this replica (memory tier or shared backend) is
+//     answered locally — routing only ever touches cold requests.
+//  2. Proxy to home: a cold request on a non-home replica is forwarded
+//     to the owner over the same v1 endpoint, carrying a loop-guard
+//     header (fleetHopHeader) so the owner — whatever its own view of
+//     the membership — computes locally instead of forwarding again.
+//     One hop, never two.
+//  3. Fallback to local compute: an unreachable owner degrades the
+//     request to a local computation. Worst case the fleet computes a
+//     key once per replica instead of once — availability over strict
+//     single-compute, and a shared artifactd backend still dedupes
+//     across processes for all but true races.
+//
+// Rendezvous hashing (vs a ring) keeps the membership math trivial and
+// the disruption minimal: when a member leaves, only the keys it owned
+// move (scattering evenly over the survivors); when one joins, only
+// the keys it now wins move — everything else keeps its owner, so the
+// fleet-wide warm set stays warm.
+type fleet struct {
+	self    string
+	members []string // sorted, deduped, self included
+	client  *http.Client
+}
+
+// fleetHopHeader marks a request already forwarded once by a replica:
+// the receiver must answer it locally, never forward again. The value
+// is the forwarding replica's advertised URL (diagnostics only).
+const fleetHopHeader = "X-Reprod-Fleet-Hop"
+
+// fleetOwnerHeader is set on proxied responses so clients (and the CI
+// fleet assertions) can see which replica actually answered.
+const fleetOwnerHeader = "X-Reprod-Fleet-Owner"
+
+// newFleet builds the membership from the advertised self URL and the
+// peer list. An empty self or a membership of one disables fleet mode
+// (every key is local). Member URLs are normalized (trailing slash
+// trimmed) so equal spellings compare equal across replicas.
+func newFleet(self string, peers []string) (*fleet, error) {
+	self = normalizeMember(self)
+	if self == "" {
+		if len(peers) > 0 {
+			return nil, fmt.Errorf("serve: fleet peers configured without a self URL")
+		}
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var members []string
+	for _, p := range append([]string{self}, peers...) {
+		p = normalizeMember(p)
+		if p == "" {
+			continue
+		}
+		if u, err := url.Parse(p); err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("serve: fleet member %q is not an absolute http(s) URL", p)
+		}
+		if !seen[p] {
+			seen[p] = true
+			members = append(members, p)
+		}
+	}
+	sort.Strings(members)
+	if len(members) <= 1 {
+		return nil, nil // a fleet of one routes nothing
+	}
+	// Proxied cold requests can legitimately take as long as the
+	// computation behind them, so the client carries no overall
+	// timeout; the shared transport bounds dialing, and the waiting
+	// client's context cancels an abandoned proxy call. All replicas
+	// ride one pooled transport — per-peer keep-alive connections are
+	// reused across requests instead of redialed.
+	return &fleet{
+		self:    self,
+		members: members,
+		client:  &http.Client{Transport: httpstore.SharedTransport()},
+	}, nil
+}
+
+func normalizeMember(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// size reports the membership size (0 when fleet mode is off).
+func (f *fleet) size() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.members)
+}
+
+// owner returns key's home member: the highest rendezvous score. Ties
+// (astronomically unlikely with 64-bit scores) break toward the
+// lexicographically smaller member, which every replica agrees on.
+func (f *fleet) owner(key string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range f.members {
+		s := rendezvousScore(m, key)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes (member, key) into the weight the member bids
+// for the key: FNV-64a over member\x00key, then a splitmix64 finalizer
+// — FNV alone biases noticeably on short low-entropy inputs (member
+// URLs differing in one character), and a biased score skews ownership
+// shares fleet-wide. Cheap, stateless, identical on every replica.
+func rendezvousScore(member, key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, member)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// route decides what to do with a cold request for keyID: answer
+// locally (proxy == false), or forward to the returned owner. Requests
+// already forwarded once (loop-guard header) are always local.
+func (s *Server) route(r *http.Request, keyID string) (owner string, proxy bool) {
+	if s.fleet == nil {
+		return "", false
+	}
+	if r.Header.Get(fleetHopHeader) != "" {
+		s.peerServed.Add(1)
+		if s.fleet.owner(keyID) != s.fleet.self {
+			// The sender's membership view disagrees with ours (a
+			// rolling restart, a partial -peers list). Compute locally
+			// anyway — the loop guard exists precisely so disagreement
+			// costs one misplaced computation, never a forwarding loop.
+			s.loopGuarded.Add(1)
+		}
+		return "", false
+	}
+	owner = s.fleet.owner(keyID)
+	if owner == s.fleet.self {
+		return "", false
+	}
+	return owner, true
+}
+
+// proxy forwards the request to owner over the same v1 path and writes
+// the owner's response through. Returns false — without having written
+// anything — when the owner is unreachable, in which case the caller
+// computes locally (the fallback leg of the routing contract). body is
+// the canonical request body to resend (nil for GETs).
+func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner, keyID string, body []byte) bool {
+	target := owner + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
+	if err != nil {
+		s.proxyFallback.Add(1)
+		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(fleetHopHeader, s.fleet.self)
+	resp, err := s.fleet.client.Do(req)
+	if err != nil {
+		// Unreachable owner (or the waiting client left — the local
+		// compute path will then see the dead context immediately).
+		s.proxyFallback.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	s.proxied.Add(1)
+	for _, h := range []string{"Content-Type", "X-Reprod-Key", "X-Reprod-Source"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(fleetOwnerHeader, owner)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}

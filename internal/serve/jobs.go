@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/artifact"
 )
 
 // JobState is a job's lifecycle stage.
@@ -57,13 +59,25 @@ type JobStatus struct {
 	Error            string            `json:"error,omitempty"`
 }
 
-// maxJobResultBytes caps the rendered bytes one job retains inline —
-// finished jobs are themselves retained (up to maxFinishedJobs), so
-// unbounded per-job results would reopen the memory hole the store
-// quota closes. Renders past the cap are dropped from Results (the
-// status notes the truncation); every real paper unit and scenario
-// render is a few KB of ASCII, far under it.
-const maxJobResultBytes = 1 << 20
+// validJobState reports whether s names a lifecycle state — the
+// ?state= filter on GET /v1/jobs rejects anything else.
+func validJobState(s JobState) bool {
+	switch s {
+	case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+		return true
+	}
+	return false
+}
+
+// defaultJobResultBytes caps the rendered bytes one job retains inline
+// (Config.MaxJobResultBytes overrides) — finished jobs are themselves
+// retained (up to maxFinishedJobs), so unbounded per-job results would
+// reopen the memory hole the store quota closes. Renders past the cap
+// are dropped from the retained record (the status notes the
+// truncation, and jobStatus recovers them from the store when still
+// available); every real paper unit and scenario render is a few KB of
+// ASCII, far under it.
+const defaultJobResultBytes = 1 << 20
 
 // job is one asynchronous computation with its cancellation handle.
 type job struct {
@@ -80,6 +94,7 @@ type job struct {
 	finished      time.Time
 	timings       []UnitTiming
 	results       map[string]string
+	resultKeys    map[string]artifact.Key
 	resultsDroppd bool
 	errMsg        string
 }
@@ -179,22 +194,54 @@ func (s *jobSet) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// list returns every job's status, newest first.
-func (s *jobSet) list() []JobStatus {
+// JobPage is the GET /v1/jobs response envelope: one page of job
+// summaries, newest first, plus the cursor that resumes the listing
+// after this page (absent on the last page — pass it back as ?cursor=).
+type JobPage struct {
+	Jobs       []JobStatus `json:"jobs"`
+	NextCursor string      `json:"next_cursor,omitempty"`
+}
+
+// page returns one page of job summaries, newest first. state filters
+// to one lifecycle state ("" = all); limit bounds the page; cursor, a
+// job id from a previous page's NextCursor, resumes strictly after it
+// (ids smaller than the cursor, in the newest-first order). Summaries
+// carry identity and lifecycle only — Timings and Results are stripped,
+// fetched per job at GET /v1/jobs/{id}.
+func (s *jobSet) page(state JobState, limit int, cursor string) JobPage {
 	s.mu.Lock()
 	all := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		all = append(all, j)
 	}
 	s.mu.Unlock()
-	out := make([]JobStatus, 0, len(all))
-	for _, j := range all {
-		out = append(out, j.status())
-	}
 	// ids are zero-padded sequence numbers: lexicographic = submission
 	// order, reversed for newest-first.
-	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
-	return out
+	sort.Slice(all, func(i, k int) bool { return all[i].id > all[k].id })
+	page := JobPage{Jobs: []JobStatus{}}
+	for _, j := range all {
+		if cursor != "" && j.id >= cursor {
+			continue
+		}
+		st := j.status()
+		if state != "" && st.State != state {
+			continue
+		}
+		st.Timings = nil
+		st.Results = nil
+		st.ResultsTruncated = false
+		page.Jobs = append(page.Jobs, st)
+		if len(page.Jobs) == limit {
+			// More candidates may remain below this id; hand the client
+			// a cursor even if the remainder filters to nothing — the
+			// next page is then empty and final, which is still correct.
+			if j != all[len(all)-1] {
+				page.NextCursor = st.ID
+			}
+			break
+		}
+	}
+	return page
 }
 
 // cancelQueued cancels every job still waiting for a worker — the

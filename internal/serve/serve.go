@@ -1,9 +1,9 @@
 // Package serve implements reprod, the on-demand experiment-serving
 // daemon: paper units and ad-hoc scenario specs answered over HTTP out
 // of the content-keyed artifact store, computed at most once no matter
-// how many clients ask.
+// how many clients ask — per process, or per fleet.
 //
-// The serving core is three mechanisms layered on the existing
+// The serving core is four mechanisms layered on the existing
 // pipeline:
 //
 //   - Warm fast path: every request canonicalizes to an artifact key
@@ -16,44 +16,32 @@
 //     conc.Pool, and a flight abandoned by every waiter is cancelled —
 //     client disconnects propagate down to the emitters and stop
 //     simulation within a few thousand instructions.
-//   - Async jobs: POST /jobs accepts unit/scenario batches, returns an
-//     id immediately, and GET /jobs/{id} reports state plus per-unit
-//     timing. Jobs fill the same store, so finished work is fetched
-//     warm through the synchronous endpoints.
+//   - Fleet routing: replicas configured with Self/Peers rendezvous-
+//     hash every key to one home replica and forward cold requests
+//     there (see fleet.go), so coalescing holds across the whole
+//     fleet: N replicas × M clients asking for one cold key still run
+//     exactly one computation.
+//   - Async jobs: POST /v1/jobs accepts unit/scenario batches, returns
+//     an id immediately, and GET /v1/jobs/{id} reports state plus
+//     per-unit timing and inline results. Jobs fill the same store, so
+//     finished work is fetched warm through the synchronous endpoints.
 //
-// Endpoints:
-//
-//	GET    /units/{unit}   one paper unit, rendered text (fig6, table2, ...)
-//	POST   /scenarios      ad-hoc scenario spec (JSON body) → rendered text
-//	POST   /jobs           {"units": [...], "scenarios": [...]} → {"id": ...}
-//	GET    /jobs           every job's status, newest first
-//	GET    /jobs/{id}      state, timings, error
-//	DELETE /jobs/{id}      cancel (queued or running)
-//	GET    /stats          counters as JSON
-//	GET    /metrics        the same counters in Prometheus text format
-//	GET    /healthz        liveness probe, "ok"
-//
-// Shutdown (SIGTERM in cmd/reprod) drains: in-flight requests and
-// running jobs complete, queued jobs are cancelled, new submissions
-// are refused 503.
+// The HTTP surface is versioned under /v1 with a uniform JSON error
+// envelope; legacy unversioned paths 308-redirect (see api.go for the
+// wire schema). Shutdown (SIGTERM in cmd/reprod) drains: in-flight
+// requests and running jobs complete, queued jobs are cancelled, new
+// submissions are refused 503.
 package serve
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"net/http"
-	"runtime"
-	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/conc"
-	"repro/internal/datagen"
 	"repro/internal/experiments"
 )
 
@@ -88,16 +76,31 @@ type Config struct {
 	// accumulating distinct ad-hoc scenario renders should always set
 	// it. Applied to Store (or the private store) at construction.
 	MemQuota artifact.MemQuota
+	// Self is this replica's advertised base URL (how peers reach it,
+	// e.g. "http://10.0.0.3:9555"). Empty disables fleet mode.
+	Self string
+	// Peers lists every replica's advertised base URL (Self may but
+	// need not be repeated). With two or more distinct members, every
+	// artefact key is rendezvous-hashed to one home replica and cold
+	// requests are forwarded there — fleet-wide coalescing.
+	Peers []string
+	// MaxJobResultBytes caps the rendered bytes one job retains inline
+	// (0 = 1 MB). Results past the cap are dropped from the retained
+	// record but recovered from the store at GET time when still
+	// resident (see jobStatus).
+	MaxJobResultBytes int
 }
 
 // Server is the reprod serving core, usable behind any http.Server
 // (cmd/reprod) or httptest (the tests). Construct with New.
 type Server struct {
-	cfg     Config
-	store   *artifact.Store
-	pool    *conc.Pool
-	flights *flightGroup
-	jobs    *jobSet
+	cfg       Config
+	store     *artifact.Store
+	pool      *conc.Pool
+	flights   *flightGroup
+	jobs      *jobSet
+	fleet     *fleet
+	resultCap int
 
 	draining atomic.Bool
 
@@ -108,10 +111,18 @@ type Server struct {
 	jobsFailed, jobsCanceled          atomic.Int64
 	tracePasses, profileRuns, renders atomic.Int64
 	stackPasses, replayPasses         atomic.Int64
+	proxied, proxyFallback            atomic.Int64
+	peerServed, loopGuarded           atomic.Int64
 }
 
-// New returns a serving core over cfg.
-func New(cfg Config) *Server {
+// New returns a serving core over cfg. The only error is an invalid
+// fleet configuration (peers without a self URL, non-absolute member
+// URLs).
+func New(cfg Config) (*Server, error) {
+	fl, err := newFleet(cfg.Self, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
 	st := cfg.Store
 	if st == nil {
 		st = artifact.New()
@@ -119,13 +130,19 @@ func New(cfg Config) *Server {
 	if cfg.MemQuota.Enabled() {
 		st.SetMemQuota(cfg.MemQuota)
 	}
-	return &Server{
-		cfg:     cfg,
-		store:   st,
-		pool:    conc.NewPool(cfg.Workers),
-		flights: newFlightGroup(),
-		jobs:    newJobSet(),
+	cap := cfg.MaxJobResultBytes
+	if cap <= 0 {
+		cap = defaultJobResultBytes
 	}
+	return &Server{
+		cfg:       cfg,
+		store:     st,
+		pool:      conc.NewPool(cfg.Workers),
+		flights:   newFlightGroup(),
+		jobs:      newJobSet(),
+		fleet:     fl,
+		resultCap: cap,
+	}, nil
 }
 
 // Store returns the store behind every computation.
@@ -175,21 +192,6 @@ func (s *Server) compute(ctx context.Context, fn func(sess *experiments.Session)
 	return out, err
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/units/", s.handleUnit)
-	mux.HandleFunc("/scenarios", s.handleScenario)
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/jobs/", s.handleJob)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	return mux
-}
-
 // validUnit reports whether name is a selectable paper unit.
 func validUnit(name string) bool {
 	for _, u := range experiments.VisibleUnitNames() {
@@ -198,47 +200,6 @@ func validUnit(name string) bool {
 		}
 	}
 	return false
-}
-
-// respond writes rendered bytes with provenance headers — the id the
-// bytes live under in the store, and how this request obtained them
-// (warm / computed / coalesced), which the coalescing tests and the CI
-// serving job assert on.
-func respond(w http.ResponseWriter, keyID, source string, b []byte) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Reprod-Key", keyID)
-	w.Header().Set("X-Reprod-Source", source)
-	w.Write(b)
-}
-
-// handleUnit answers GET /units/{unit}: the rendered unit, served warm
-// from the store when possible, computed (coalesced) otherwise —
-// byte-identical to what cmd/repro writes for the same unit at the
-// same options.
-func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	unit := strings.ToLower(strings.TrimPrefix(r.URL.Path, "/units/"))
-	if !validUnit(unit) {
-		http.Error(w, fmt.Sprintf("unknown unit %q (known: %s)",
-			unit, strings.Join(experiments.VisibleUnitNames(), " ")), http.StatusNotFound)
-		return
-	}
-	s.unitReqs.Add(1)
-	key := experiments.UnitRenderKey(s.cfg.Opt, unit)
-	if b, ok := artifact.Peek[[]byte](s.store, key, nil); ok {
-		s.warmHits.Add(1)
-		respond(w, key.ID(), "warm", b)
-		return
-	}
-	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
-		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
-			return s.renderUnit(fctx, sess, unit)
-		})
-	})
-	s.finish(w, key.ID(), joined, b, err)
 }
 
 // renderUnit runs the one-unit engine (primers included) and extracts
@@ -266,147 +227,6 @@ func (s *Server) renderUnit(ctx context.Context, sess *experiments.Session, unit
 	return nil, fmt.Errorf("unit %s missing from engine results", unit)
 }
 
-// handleScenario answers POST /scenarios: validate and canonicalize
-// the spec, then serve it exactly like a unit — warm from the store,
-// or computed once under coalescing.
-func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
-	spec, ok := decodeScenario(w, r)
-	if !ok {
-		return
-	}
-	canon, err := spec.Canonical(s.cfg.Opt)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.scenarioReqs.Add(1)
-	key := experiments.ScenarioKey(canon)
-	if b, ok := artifact.Peek[[]byte](s.store, key, nil); ok {
-		s.warmHits.Add(1)
-		respond(w, key.ID(), "warm", b)
-		return
-	}
-	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
-		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
-			return experiments.RunScenario(sess, canon)
-		})
-	})
-	s.finish(w, key.ID(), joined, b, err)
-}
-
-// finish maps a flight outcome onto the response.
-func (s *Server) finish(w http.ResponseWriter, keyID string, joined bool, b []byte, err error) {
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// The client is gone (or every client was): nothing useful
-			// to write, but account for the abandonment.
-			s.abandoned.Add(1)
-			http.Error(w, "request cancelled", statusClientClosedRequest)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	source := "computed"
-	if joined {
-		source = "coalesced"
-		s.coalesced.Add(1)
-	}
-	respond(w, keyID, source, b)
-}
-
-// statusClientClosedRequest is nginx's conventional 499 — the request
-// ended because the requester left, not because either side failed.
-const statusClientClosedRequest = 499
-
-// decodeScenario parses a scenario body, bounding it like any request
-// body.
-func decodeScenario(w http.ResponseWriter, r *http.Request) (Scenario, bool) {
-	var spec Scenario
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err != nil || json.Unmarshal(body, &spec) != nil {
-		http.Error(w, "body is not a JSON scenario spec", http.StatusBadRequest)
-		return Scenario{}, false
-	}
-	return spec, true
-}
-
-// handleJobs answers POST /jobs (submit) and GET /jobs (list).
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.jobs.list())
-	case http.MethodPost:
-		if s.draining.Load() {
-			http.Error(w, "server is draining", http.StatusServiceUnavailable)
-			return
-		}
-		var req JobRequest
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
-		if err != nil || json.Unmarshal(body, &req) != nil {
-			http.Error(w, "body is not a JSON job request", http.StatusBadRequest)
-			return
-		}
-		if len(req.Units) == 0 && len(req.Scenarios) == 0 {
-			http.Error(w, "job selects no units and no scenarios", http.StatusBadRequest)
-			return
-		}
-		for i, u := range req.Units {
-			req.Units[i] = strings.ToLower(u)
-			if !validUnit(req.Units[i]) {
-				http.Error(w, fmt.Sprintf("unknown unit %q", u), http.StatusBadRequest)
-				return
-			}
-		}
-		// Scenarios are validated now (a bad spec fails the submit, not
-		// the poll) but canonicalized again at run time; Canonical is
-		// deterministic, so the two agree.
-		for _, spec := range req.Scenarios {
-			if _, err := spec.Canonical(s.cfg.Opt); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-		}
-		j := s.jobs.add(req)
-		s.jobsSubmitted.Add(1)
-		go func() {
-			defer s.jobs.wg.Done()
-			s.pool.ForEach(1, func(int) { s.runJob(j) })
-		}()
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusAccepted)
-		json.NewEncoder(w).Encode(map[string]string{"id": j.id})
-	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-	}
-}
-
-// handleJob answers GET /jobs/{id} (status) and DELETE /jobs/{id}
-// (cancel).
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
-	j, ok := s.jobs.get(id)
-	if !ok {
-		http.Error(w, "unknown job "+id, http.StatusNotFound)
-		return
-	}
-	switch r.Method {
-	case http.MethodGet:
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(j.status())
-	case http.MethodDelete:
-		j.cancel()
-		w.WriteHeader(http.StatusAccepted)
-	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-	}
-}
-
 // runJob executes one job on the pool worker that picked it up.
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
@@ -426,15 +246,19 @@ func (s *Server) runJob(j *job) {
 	var timings []UnitTiming
 	var firstErr error
 
-	// Rendered results are retained inline (bounded by
-	// maxJobResultBytes) so GET /jobs/{id} can hand them back even
-	// after the store evicts the artefacts — and at all for ad-hoc
-	// scenarios, which have no /units retrieval path.
+	// Rendered results are retained inline (bounded by the job-result
+	// cap) so GET /v1/jobs/{id} can hand them back even after the
+	// store evicts the artefacts — and at all for ad-hoc scenarios,
+	// which have no /v1/units retrieval path. Each result's store key
+	// is recorded alongside, so a render the cap dropped can still be
+	// recovered from the store at GET time.
 	results := map[string]string{}
+	keys := map[string]artifact.Key{}
 	resultBytes := 0
 	truncated := false
-	keep := func(name string, b []byte) {
-		if resultBytes+len(b) > maxJobResultBytes {
+	keep := func(name string, key artifact.Key, b []byte) {
+		keys[name] = key
+		if resultBytes+len(b) > s.resultCap {
 			truncated = true
 			return
 		}
@@ -462,7 +286,7 @@ func (s *Server) runJob(j *job) {
 			if r.Err == nil && !r.Unit.Hidden && r.Artifact != nil {
 				var buf strings.Builder
 				r.Artifact.Render(&buf)
-				keep(r.Unit.Name, []byte(buf.String()))
+				keep(r.Unit.Name, experiments.UnitRenderKey(s.cfg.Opt, r.Unit.Name), []byte(buf.String()))
 			}
 			timings = append(timings, UnitTiming{
 				Unit: r.Unit.Name, Ms: float64(r.Elapsed.Microseconds()) / 1000, Status: status,
@@ -484,7 +308,10 @@ func (s *Server) runJob(j *job) {
 			name = fmt.Sprintf("scenario-%d", i+1)
 		}
 		if err == nil {
-			keep("scenario:"+name, b)
+			// Canonical succeeded at submit time and is deterministic,
+			// so it cannot fail here.
+			canon, _ := spec.Canonical(s.cfg.Opt)
+			keep("scenario:"+name, experiments.ScenarioKey(canon), b)
 		}
 		timings = append(timings, UnitTiming{
 			Unit: "scenario:" + name, Ms: float64(time.Since(start).Microseconds()) / 1000, Status: status,
@@ -495,6 +322,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.timings = timings
 	j.results = results
+	j.resultKeys = keys
 	j.resultsDroppd = truncated
 	j.finished = time.Now()
 	switch {
@@ -511,6 +339,41 @@ func (s *Server) runJob(j *job) {
 		s.jobsDone.Add(1)
 	}
 	j.mu.Unlock()
+}
+
+// jobStatus returns j's status, recovering inline results the cap
+// dropped: any result absent from the retained record whose rendered
+// bytes are still available to the store (memory tier or backend) is
+// re-inlined into this response — transiently, never re-retained, so
+// the per-job memory bound holds. ResultsTruncated stays set only for
+// results that are gone from both the record and the store.
+func (s *Server) jobStatus(j *job) JobStatus {
+	st := j.status()
+	if !st.ResultsTruncated {
+		return st
+	}
+	j.mu.Lock()
+	keys := make(map[string]artifact.Key, len(j.resultKeys))
+	for name, k := range j.resultKeys {
+		keys[name] = k
+	}
+	j.mu.Unlock()
+	missing := false
+	for name, key := range keys {
+		if _, ok := st.Results[name]; ok {
+			continue
+		}
+		if b, ok := artifact.Peek[[]byte](s.store, key, nil); ok {
+			if st.Results == nil {
+				st.Results = map[string]string{}
+			}
+			st.Results[name] = string(b)
+		} else {
+			missing = true
+		}
+	}
+	st.ResultsTruncated = missing
+	return st
 }
 
 // BeginShutdown starts a drain: new jobs are refused, queued jobs are
@@ -547,6 +410,15 @@ type Stats struct {
 	TracePasses, ProfileRuns       int64
 	StackDistPasses, ReplayPasses  int64
 	Renders                        int64
+	// Fleet counters: requests this replica forwarded to a key's home
+	// (Proxied), forwards that failed over to local compute
+	// (ProxyFallback), requests received from a peer (PeerServed), and
+	// peer-forwarded requests this replica would itself have routed
+	// elsewhere — membership disagreement absorbed by the loop guard
+	// (LoopGuarded). FleetSize is 0 when fleet mode is off.
+	Proxied, ProxyFallback  int64
+	PeerServed, LoopGuarded int64
+	FleetSize               int
 }
 
 // Stats returns the current counter snapshot.
@@ -560,99 +432,8 @@ func (s *Server) Stats() Stats {
 		TracePasses: s.tracePasses.Load(), ProfileRuns: s.profileRuns.Load(),
 		StackDistPasses: s.stackPasses.Load(), ReplayPasses: s.replayPasses.Load(),
 		Renders: s.renders.Load(),
-	}
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
-	ss := s.store.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	out := map[string]any{
-		"unit_requests": st.UnitRequests, "scenario_requests": st.ScenarioRequests,
-		"warm_hits": st.WarmHits, "coalesced": st.Coalesced, "computes": st.Computes,
-		"abandoned": st.Abandoned, "in_flight": st.InFlight,
-		"jobs_submitted": st.JobsSubmitted, "jobs_done": st.JobsDone,
-		"jobs_failed": st.JobsFailed, "jobs_canceled": st.JobsCanceled,
-		"trace_passes": st.TracePasses, "profile_runs": st.ProfileRuns,
-		"sweep_stackdist_passes": st.StackDistPasses,
-		"sweep_replay_passes":    st.ReplayPasses,
-		"renders":                st.Renders,
-		"dataset_generations":    datagen.Generations(),
-		"store_fills":            ss.Fills, "store_mem_hits": ss.MemHits,
-		"store_backend_hits": ss.BackendHits, "store_backend_discards": ss.BackendDiscards,
-		"store_prefetched":       ss.Prefetched,
-		"store_evictions":        ss.Evictions,
-		"store_evicted_bytes":    ss.EvictedBytes,
-		"store_resident_bytes":   ss.ResidentBytes,
-		"store_resident_entries": ss.ResidentEntries,
-		"store_mem_hit_ratio":    ss.MemHitRatio(),
-		"goroutines":             int64(runtime.NumGoroutine()),
-	}
-	if len(ss.KindResident) > 0 {
-		out["store_kind_resident_bytes"] = ss.KindResident
-	}
-	if len(ss.KindEvictions) > 0 {
-		out["store_kind_evictions"] = ss.KindEvictions
-	}
-	json.NewEncoder(w).Encode(out)
-}
-
-// handleMetrics exposes the counters in the Prometheus text exposition
-// format, matching artifactd's conventions (one counter family per
-// field, reprod_ prefix).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.Stats()
-	ss := s.store.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counters := []struct {
-		name, help string
-		value      int64
-	}{
-		{"reprod_unit_requests_total", "Paper-unit requests received.", st.UnitRequests},
-		{"reprod_scenario_requests_total", "Scenario requests received.", st.ScenarioRequests},
-		{"reprod_warm_hits_total", "Requests answered straight from the store.", st.WarmHits},
-		{"reprod_coalesced_total", "Requests that joined an in-flight computation.", st.Coalesced},
-		{"reprod_computes_total", "Computations actually executed.", st.Computes},
-		{"reprod_abandoned_total", "Requests whose clients left before the answer.", st.Abandoned},
-		{"reprod_jobs_submitted_total", "Jobs accepted.", st.JobsSubmitted},
-		{"reprod_jobs_done_total", "Jobs finished successfully.", st.JobsDone},
-		{"reprod_jobs_failed_total", "Jobs finished with an error.", st.JobsFailed},
-		{"reprod_jobs_canceled_total", "Jobs cancelled (client or shutdown).", st.JobsCanceled},
-		{"reprod_trace_passes_total", "Sweep trace passes executed.", st.TracePasses},
-		{"reprod_sweep_stackdist_passes_total", "Trace passes run by the stack-distance sweep engine.", st.StackDistPasses},
-		{"reprod_sweep_replay_passes_total", "Trace passes run by the concrete-cache replay engine.", st.ReplayPasses},
-		{"reprod_profile_runs_total", "Profiling runs executed.", st.ProfileRuns},
-		{"reprod_renders_total", "Units rendered.", st.Renders},
-		{"reprod_store_fills_total", "Store computations executed.", ss.Fills},
-		{"reprod_store_backend_hits_total", "Fills satisfied by the persistence backend.", ss.BackendHits},
-		{"reprod_store_prefetched_total", "Entries staged by bulk prefetch.", ss.Prefetched},
-		{"reprod_store_evictions_total", "Memory-tier residents evicted under quota.", ss.Evictions},
-		{"reprod_store_evicted_bytes_total", "Charged bytes evicted by the memory tier.", ss.EvictedBytes},
-	}
-	for _, m := range counters {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
-	}
-	fmt.Fprintf(w, "# HELP reprod_in_flight Computations currently in flight.\n# TYPE reprod_in_flight gauge\nreprod_in_flight %d\n", st.InFlight)
-	fmt.Fprintf(w, "# HELP reprod_store_resident_bytes Charged bytes resident in the store's memory tier.\n# TYPE reprod_store_resident_bytes gauge\nreprod_store_resident_bytes %d\n", ss.ResidentBytes)
-	fmt.Fprintf(w, "# HELP reprod_store_resident_entries Residents (entries + staged prefetches) in the memory tier.\n# TYPE reprod_store_resident_entries gauge\nreprod_store_resident_entries %d\n", ss.ResidentEntries)
-	fmt.Fprintf(w, "# HELP reprod_store_mem_hit_ratio Fraction of store lookups answered by a resident entry.\n# TYPE reprod_store_mem_hit_ratio gauge\nreprod_store_mem_hit_ratio %g\n", ss.MemHitRatio())
-	writeKindFamily(w, "reprod_store_kind_resident_bytes", "Resident memory-tier bytes by artefact kind.", "gauge", ss.KindResident)
-	writeKindFamily(w, "reprod_store_kind_evictions_total", "Memory-tier evictions by artefact kind.", "counter", ss.KindEvictions)
-}
-
-// writeKindFamily emits one labeled Prometheus family with a
-// deterministic (sorted) sample order, skipping empty families.
-func writeKindFamily(w io.Writer, name, help, typ string, byKind map[string]int64) {
-	if len(byKind) == 0 {
-		return
-	}
-	kinds := make([]string, 0, len(byKind))
-	for k := range byKind {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	for _, k := range kinds {
-		fmt.Fprintf(w, "%s{kind=%q} %d\n", name, k, byKind[k])
+		Proxied: s.proxied.Load(), ProxyFallback: s.proxyFallback.Load(),
+		PeerServed: s.peerServed.Load(), LoopGuarded: s.loopGuarded.Load(),
+		FleetSize: s.fleet.size(),
 	}
 }

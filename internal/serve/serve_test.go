@@ -28,7 +28,10 @@ func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Opt == (experiments.Options{}) {
 		cfg.Opt = tinyOpt()
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -63,7 +66,7 @@ func TestCoalescing32ConcurrentColdRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			code, hdr, b := get(t, ts.URL+"/units/fig6")
+			code, hdr, b := get(t, ts.URL+"/v1/units/fig6")
 			if code != http.StatusOK {
 				t.Errorf("request %d: status %d: %s", i, code, b)
 				return
@@ -103,7 +106,7 @@ func TestCoalescing32ConcurrentColdRequests(t *testing.T) {
 	}
 
 	// Warm re-request: zero simulation, zero renders, straight store I/O.
-	code, hdr, b := get(t, ts.URL+"/units/fig6")
+	code, hdr, b := get(t, ts.URL+"/v1/units/fig6")
 	if code != http.StatusOK || hdr.Get("X-Reprod-Source") != "warm" {
 		t.Fatalf("warm request: status %d source %q", code, hdr.Get("X-Reprod-Source"))
 	}
@@ -121,7 +124,7 @@ func TestCoalescing32ConcurrentColdRequests(t *testing.T) {
 // path cmd/repro writes files through) at the same options.
 func TestUnitBytesMatchEngine(t *testing.T) {
 	_, ts := startServer(t, Config{})
-	code, _, served := get(t, ts.URL+"/units/table2")
+	code, _, served := get(t, ts.URL+"/v1/units/table2")
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, served)
 	}
@@ -150,7 +153,7 @@ func TestUnitBytesMatchEngine(t *testing.T) {
 func TestScenarioEndpoint(t *testing.T) {
 	srv, ts := startServer(t, Config{})
 	spec := `{"workloads": ["H-Grep", "S-Sort"], "sizes_kb": [16, 64, 256]}`
-	resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+	resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +165,7 @@ func TestScenarioEndpoint(t *testing.T) {
 
 	// The equivalent spec (reordered, explicit defaults) must hit warm.
 	equiv := `{"workloads": ["S-Sort", "H-Grep"], "sizes_kb": [256, 64, 16], "ways": 8, "views": ["inst"]}`
-	resp, err = http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(equiv))
+	resp, err = http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(equiv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +204,7 @@ func TestScenarioEndpoint(t *testing.T) {
 		`{}`,
 		`not json`,
 	} {
-		resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(bad))
+		resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(bad))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +218,7 @@ func TestScenarioEndpoint(t *testing.T) {
 // TestUnknownUnit404 pins request validation.
 func TestUnknownUnit404(t *testing.T) {
 	_, ts := startServer(t, Config{})
-	code, _, _ := get(t, ts.URL+"/units/fig99")
+	code, _, _ := get(t, ts.URL+"/v1/units/fig99")
 	if code != http.StatusNotFound {
 		t.Fatalf("unknown unit: %d", code)
 	}
@@ -226,7 +229,7 @@ func TestUnknownUnit404(t *testing.T) {
 func TestJobLifecycle(t *testing.T) {
 	srv, ts := startServer(t, Config{Parallelism: 2})
 	body := `{"units": ["table2"], "scenarios": [{"name": "jobspec", "workloads": ["H-Grep"], "sizes_kb": [16, 64]}]}`
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +248,7 @@ func TestJobLifecycle(t *testing.T) {
 	var status JobStatus
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		code, _, b := get(t, ts.URL+"/jobs/"+idResp.ID)
+		code, _, b := get(t, ts.URL+"/v1/jobs/"+idResp.ID)
 		if code != http.StatusOK {
 			t.Fatalf("poll: %d: %s", code, b)
 		}
@@ -283,7 +286,7 @@ func TestJobLifecycle(t *testing.T) {
 	}
 
 	// The job warmed the store: the unit now serves warm.
-	code, hdr, _ := get(t, ts.URL+"/units/table2")
+	code, hdr, _ := get(t, ts.URL+"/v1/units/table2")
 	if code != http.StatusOK || hdr.Get("X-Reprod-Source") != "warm" {
 		t.Fatalf("post-job unit: %d source %q", code, hdr.Get("X-Reprod-Source"))
 	}
@@ -291,13 +294,13 @@ func TestJobLifecycle(t *testing.T) {
 		t.Fatalf("jobs done = %d", st.JobsDone)
 	}
 
-	// Job listing includes it.
-	code, _, b := get(t, ts.URL+"/jobs")
+	// Job listing includes it (as a summary in the page envelope).
+	code, _, b := get(t, ts.URL+"/v1/jobs")
 	if code != http.StatusOK {
 		t.Fatalf("list: %d", code)
 	}
-	var list []JobStatus
-	if err := json.Unmarshal(b, &list); err != nil || len(list) != 1 || list[0].ID != idResp.ID {
+	var page JobPage
+	if err := json.Unmarshal(b, &page); err != nil || len(page.Jobs) != 1 || page.Jobs[0].ID != idResp.ID {
 		t.Fatalf("list %s: %v", b, err)
 	}
 }
@@ -311,7 +314,7 @@ func TestJobValidation(t *testing.T) {
 		`{"scenarios": [{"workloads": ["Z-Nothing"]}]}`,
 		`garbage`,
 	} {
-		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(bad))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -338,7 +341,7 @@ func TestShutdownDrainsRunningAbortsQueued(t *testing.T) {
 	}()
 
 	srv.BeginShutdown()
-	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"units": ["table3"]}`))
 	if err != nil {
 		t.Fatal(err)
@@ -366,7 +369,7 @@ func TestClientDisconnectCancelsAbandonedFlight(t *testing.T) {
 	srv, ts := startServer(t, Config{Parallelism: 1})
 
 	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/units/fig7", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/units/fig7", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +397,7 @@ func TestClientDisconnectCancelsAbandonedFlight(t *testing.T) {
 	}
 
 	// And the key is not poisoned: a fresh request computes fine.
-	code, _, b := get(t, ts.URL+"/units/fig7")
+	code, _, b := get(t, ts.URL+"/v1/units/fig7")
 	if code != http.StatusOK {
 		t.Fatalf("post-abandon request: %d: %s", code, b)
 	}
@@ -474,9 +477,9 @@ func TestFlightGroupAbandonmentCancelsRun(t *testing.T) {
 // TestStatsAndMetricsEndpoints pins the observability surface.
 func TestStatsAndMetricsEndpoints(t *testing.T) {
 	_, ts := startServer(t, Config{})
-	get(t, ts.URL+"/units/table3")
+	get(t, ts.URL+"/v1/units/table3")
 
-	code, _, b := get(t, ts.URL+"/stats")
+	code, _, b := get(t, ts.URL+"/v1/stats")
 	if code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
@@ -525,7 +528,7 @@ func TestEngineCountersAndMultiGeometryServing(t *testing.T) {
 	spec := `{"name": "multigeo", "workloads": ["H-Grep"], "sizes_kb": [16, 64, 256], "ways_set": [1, 2, 8, 16], "views": ["inst", "data"]}`
 	post := func(ts *httptest.Server) []byte {
 		t.Helper()
-		resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+		resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -554,7 +557,7 @@ func TestEngineCountersAndMultiGeometryServing(t *testing.T) {
 		t.Fatal("engines served different scenario bytes")
 	}
 
-	_, _, b := get(t, sdTS.URL+"/stats")
+	_, _, b := get(t, sdTS.URL+"/v1/stats")
 	var stats map[string]any
 	if err := json.Unmarshal(b, &stats); err != nil {
 		t.Fatal(err)
@@ -587,12 +590,12 @@ func TestServedBytesStableAcrossRestart(t *testing.T) {
 		return startServer(t, Config{Store: st})
 	}
 	_, ts1 := open()
-	code, _, cold := get(t, ts1.URL+"/units/table1")
+	code, _, cold := get(t, ts1.URL+"/v1/units/table1")
 	if code != http.StatusOK {
 		t.Fatalf("cold: %d", code)
 	}
 	srv2, ts2 := open()
-	code, hdr, warm := get(t, ts2.URL+"/units/table1")
+	code, hdr, warm := get(t, ts2.URL+"/v1/units/table1")
 	if code != http.StatusOK || hdr.Get("X-Reprod-Source") != "warm" {
 		t.Fatalf("restart: %d source %q", code, hdr.Get("X-Reprod-Source"))
 	}
@@ -611,7 +614,7 @@ func TestServedBytesStableAcrossRestart(t *testing.T) {
 func TestJobInlineResults(t *testing.T) {
 	_, ts := startServer(t, Config{Parallelism: 2})
 	body := `{"units": ["table2"], "scenarios": [{"name": "inline", "workloads": ["H-Grep"], "sizes_kb": [16, 64]}]}`
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -627,7 +630,7 @@ func TestJobInlineResults(t *testing.T) {
 	var status JobStatus
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		_, _, b := get(t, ts.URL+"/jobs/"+idResp.ID)
+		_, _, b := get(t, ts.URL+"/v1/jobs/"+idResp.ID)
 		if err := json.Unmarshal(b, &status); err != nil {
 			t.Fatal(err)
 		}
@@ -651,14 +654,14 @@ func TestJobInlineResults(t *testing.T) {
 
 	// The inline unit render is exactly what the synchronous endpoint
 	// serves for the same store.
-	code, _, unitBytes := get(t, ts.URL+"/units/table2")
+	code, _, unitBytes := get(t, ts.URL+"/v1/units/table2")
 	if code != http.StatusOK {
 		t.Fatalf("unit fetch: %d", code)
 	}
 	if status.Results["table2"] != string(unitBytes) {
 		t.Fatal("inline unit result differs from /units/table2")
 	}
-	resp, err = http.Post(ts.URL+"/scenarios", "application/json",
+	resp, err = http.Post(ts.URL+"/v1/scenarios", "application/json",
 		strings.NewReader(`{"name": "inline", "workloads": ["H-Grep"], "sizes_kb": [16, 64]}`))
 	if err != nil {
 		t.Fatal(err)
@@ -693,12 +696,12 @@ func TestServingUnderMemQuota(t *testing.T) {
 		MemQuota:    artifact.MemQuota{MaxBytes: 4 << 10},
 	})
 
-	code, _, cold := get(t, ts.URL+"/units/table1")
+	code, _, cold := get(t, ts.URL+"/v1/units/table1")
 	if code != http.StatusOK {
 		t.Fatalf("cold unit: %d", code)
 	}
 	spec := `{"workloads": ["H-Grep"], "sizes_kb": [16, 64]}`
-	resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+	resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -709,7 +712,7 @@ func TestServingUnderMemQuota(t *testing.T) {
 	// eviction of everything above.
 	for i := 0; i < 4; i++ {
 		body := fmt.Sprintf(`{"workloads": ["S-Sort"], "sizes_kb": [%d]}`, 16<<i)
-		resp, err := http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -725,14 +728,14 @@ func TestServingUnderMemQuota(t *testing.T) {
 		t.Fatalf("resident %d exceeds the 4KB quota", st.ResidentBytes)
 	}
 
-	code, _, again := get(t, ts.URL+"/units/table1")
+	code, _, again := get(t, ts.URL+"/v1/units/table1")
 	if code != http.StatusOK {
 		t.Fatalf("re-request: %d", code)
 	}
 	if !bytes.Equal(cold, again) {
 		t.Fatal("evicted unit re-served different bytes")
 	}
-	resp, err = http.Post(ts.URL+"/scenarios", "application/json", strings.NewReader(spec))
+	resp, err = http.Post(ts.URL+"/v1/scenarios", "application/json", strings.NewReader(spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -743,7 +746,7 @@ func TestServingUnderMemQuota(t *testing.T) {
 	}
 
 	// The eviction counters surface in both observability endpoints.
-	_, _, sb := get(t, ts.URL+"/stats")
+	_, _, sb := get(t, ts.URL+"/v1/stats")
 	var stats map[string]any
 	if err := json.Unmarshal(sb, &stats); err != nil {
 		t.Fatal(err)

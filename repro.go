@@ -209,15 +209,16 @@ func RunScenario(s *Session, spec Scenario) ([]byte, error) {
 	return experiments.RunScenario(s, spec)
 }
 
-// Server is the reprod serving core: paper units and scenarios over
-// HTTP with per-key request coalescing, a warm store fast path, async
-// jobs and cancellation plumbed down to the simulators. cmd/reprod
-// wraps it in a daemon; embed its Handler() to serve from your own
-// process.
+// Server is the reprod serving core: paper units and scenarios over a
+// versioned HTTP API (/v1) with per-key request coalescing, a warm
+// store fast path, fleet-wide rendezvous routing, async jobs and
+// cancellation plumbed down to the simulators. cmd/reprod wraps it in
+// a daemon; embed its Handler() to serve from your own process.
 type Server = serve.Server
 
 // ServerConfig sizes a Server.
 type ServerConfig = serve.Config
 
-// NewServer returns a serving core over cfg.
-func NewServer(cfg ServerConfig) *Server { return serve.New(cfg) }
+// NewServer returns a serving core over cfg. The only error is an
+// invalid fleet configuration (ServerConfig.Self / Peers).
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
