@@ -25,10 +25,16 @@
 // -store-token or $REPRO_STORE_TOKEN. /stats, /metrics (Prometheus
 // text format) and /healthz stay open for probes and scrapers.
 //
+// -fault-spec is for testing only: it injects latency, errors,
+// connection resets, truncated bodies and up/down windows into the
+// artifact endpoints (probes and stats stay clean), so chaos CI can
+// prove that clients treat a misbehaving store as misses-and-retries,
+// never as wrong results.
+//
 // Usage:
 //
 //	artifactd [-addr :9444] [-dir DIR] [-token SECRET]
-//	          [-gc "4GB,168h"] [-gc-interval 10m]
+//	          [-gc "4GB,168h"] [-gc-interval 10m] [-fault-spec SPEC]
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/artifact/artifactd"
+	"repro/internal/faultinject"
 )
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 		"require this bearer token on artifact requests (default $ARTIFACTD_TOKEN; empty = open server)")
 	gcSpec := flag.String("gc", "", `bound the entry directory, as a size, an age, or both: "4GB", "168h", "4GB,168h" (LRU sweep; empty = never collect)`)
 	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc sweep")
+	faultSpec := flag.String("fault-spec", "", `TESTING ONLY: inject faults into artifact requests, e.g. "seed=7,err=0.3,truncate=0.1" (see internal/faultinject; probe and stats endpoints stay clean)`)
 	flag.Parse()
 
 	srv, err := artifactd.New(*dir)
@@ -82,8 +90,28 @@ func main() {
 		}()
 	}
 
+	handler := srv.Handler()
+	if *faultSpec != "" {
+		spec, err := faultinject.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		// Probes and counters stay clean: chaos CI reads /stats and
+		// /metrics to see how clients rode out the injected faults.
+		clean, faulty := handler, faultinject.New(spec).Handler(handler)
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/healthz", "/stats", "/metrics":
+				clean.ServeHTTP(w, r)
+			default:
+				faulty.ServeHTTP(w, r)
+			}
+		})
+		log.Printf("artifactd: FAULT INJECTION ACTIVE (%s) — testing only, never production", spec)
+	}
+
 	log.Printf("artifactd: serving %s on %s", srv.Dir(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
 }

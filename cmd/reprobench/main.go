@@ -31,7 +31,6 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
-	"time"
 
 	"repro/internal/loadgen"
 )
@@ -42,7 +41,7 @@ func main() {
 	out := flag.String("out", "", "write the JSON report here (\"\" = stdout only)")
 	pids := flag.String("pids", "", "comma-separated PIDs whose summed RSS is sampled (replicas + artifactd)")
 	salt := flag.String("salt", "", "cold-key salt (\"\" = derived from the clock; fix it to reproduce a run's keys)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	timeout := flag.Duration("timeout", 0, "per-request timeout (0 = the suite's machine.yaml request_timeout, or 2m)")
 	flag.Parse()
 	if *goals == "" || *targets == "" {
 		fmt.Fprintln(os.Stderr, "reprobench: -goals and -targets are required")
@@ -54,11 +53,15 @@ func main() {
 		fatal(err)
 	}
 	r := &loadgen.Runner{
-		Client: &http.Client{Timeout: *timeout},
-		Salt:   *salt,
+		Salt: *salt,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "reprobench: "+format+"\n", args...)
 		},
+	}
+	if *timeout > 0 {
+		// An explicit flag overrides the suite's request_timeout; left
+		// at 0, the runner reads it from machine.yaml (2m fallback).
+		r.Client = &http.Client{Timeout: *timeout}
 	}
 	for _, t := range strings.Split(*targets, ",") {
 		if t = strings.TrimSpace(t); t != "" {

@@ -24,6 +24,16 @@
 // rendezvous-hashed to one home replica and cold requests are
 // forwarded there, so per-key coalescing holds fleet-wide. Point every
 // replica at the same -store-url so warm artefacts are shared too.
+// Every peer carries a consecutive-failure circuit breaker
+// (-peer-fail-limit / -peer-cooldown): a dead replica's keys are
+// rerouted over the healthy members until a half-open probe recovers
+// it. GET /readyz splits readiness (draining / store degraded → 503)
+// from /healthz liveness.
+//
+// -fault-spec is for testing only: it injects latency, errors,
+// connection resets, truncated bodies and up/down flapping windows
+// into the serving endpoints (probes and stats stay clean) so chaos CI
+// can exercise the resilience machinery against a real process.
 //
 // SIGTERM / SIGINT drains: in-flight requests and running jobs finish,
 // queued jobs are cancelled, new submissions are refused 503, then the
@@ -35,6 +45,7 @@
 //	       [-engine stackdist|replay]
 //	       [-cache-dir DIR] [-store-url URL] [-store-token T]
 //	       [-self URL] [-peers URL,URL,...]
+//	       [-peer-fail-limit N] [-peer-cooldown D] [-fault-spec SPEC]
 //	       [-gc SPEC] [-gc-interval D] [-mem-quota SPEC] [-drain-timeout D]
 package main
 
@@ -54,6 +65,7 @@ import (
 	"repro/internal/artifact/httpstore"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -72,6 +84,9 @@ func main() {
 	memQuota := flag.String("mem-quota", "", `bound the in-process artifact cache: size, idle age and/or kind=size, comma-separated ("256MB", "256MB,30m,scenario-render=64MB")`)
 	self := flag.String("self", "", `this replica's advertised base URL, e.g. "http://10.0.0.3:9555" (fleet mode)`)
 	peers := flag.String("peers", "", "comma-separated advertised base URLs of every fleet replica (-self may be repeated in the list)")
+	peerFailLimit := flag.Int("peer-fail-limit", 0, "consecutive proxy transport failures that sideline a fleet peer (0 = default 3)")
+	peerCooldown := flag.Duration("peer-cooldown", 0, "how long a sidelined peer's breaker stays open before a half-open probe (0 = default 5s)")
+	faultSpec := flag.String("fault-spec", "", `TESTING ONLY: inject faults into served requests, e.g. "seed=3,up=6s,down=4s" (see internal/faultinject; probe and stats endpoints stay clean)`)
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight work")
 	flag.Parse()
 
@@ -85,7 +100,10 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := serve.Config{Opt: opt, Engine: engine, Parallelism: *parallel, BlockSize: *block, Workers: *workers, Self: *self}
+	cfg := serve.Config{
+		Opt: opt, Engine: engine, Parallelism: *parallel, BlockSize: *block, Workers: *workers,
+		Self: *self, PeerFailLimit: *peerFailLimit, PeerCooldown: *peerCooldown,
+	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			cfg.Peers = append(cfg.Peers, p)
@@ -145,7 +163,27 @@ func main() {
 		}()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *faultSpec != "" {
+		spec, err := faultinject.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		// The probe/stats surface stays clean so CI (and a confused
+		// operator) can always see what the chaos is doing to the
+		// replica: only the serving endpoints misbehave.
+		clean, faulty := handler, faultinject.New(spec).Handler(handler)
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/healthz", "/readyz", "/metrics", "/v1/stats":
+				clean.ServeHTTP(w, r)
+			default:
+				faulty.ServeHTTP(w, r)
+			}
+		})
+		log.Printf("reprod: FAULT INJECTION ACTIVE (%s) — testing only, never production", spec)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)

@@ -1,0 +1,64 @@
+package artifact
+
+// Health is the optional degraded-state report of a backend tier:
+// whether it currently considers its persistence unreachable, plus
+// the resilience counters that explain why. A tier that never
+// degrades (DiskBackend) simply doesn't implement HealthReporter.
+type Health struct {
+	// Degraded means the tier is routing around a down dependency:
+	// reads are instant misses and writes are dropped rather than
+	// buffered, so the store serves memory hits and computes locally.
+	Degraded bool
+	// Retries counts extra attempts beyond each operation's first.
+	Retries int64
+	// Skipped counts operations short-circuited while degraded.
+	Skipped int64
+	// Breaker lifecycle counters (see retry.Breaker).
+	BreakerTrips, BreakerProbes, BreakerRecoveries int64
+}
+
+// merge folds another tier's health into this one: counters add,
+// degradation ORs (one dead tier degrades the whole chain's report —
+// the store still works, but operators should know).
+func (h Health) merge(o Health) Health {
+	h.Degraded = h.Degraded || o.Degraded
+	h.Retries += o.Retries
+	h.Skipped += o.Skipped
+	h.BreakerTrips += o.BreakerTrips
+	h.BreakerProbes += o.BreakerProbes
+	h.BreakerRecoveries += o.BreakerRecoveries
+	return h
+}
+
+// HealthReporter is the optional health side of a Backend.
+type HealthReporter interface {
+	Health() Health
+}
+
+// Health implements HealthReporter over the chain: counters sum,
+// degradation ORs across tiers.
+func (c chain) Health() Health {
+	var h Health
+	for _, t := range c {
+		h = h.merge(backendHealth(t))
+	}
+	return h
+}
+
+func backendHealth(b Backend) Health {
+	if hr, ok := b.(HealthReporter); ok {
+		return hr.Health()
+	}
+	return Health{}
+}
+
+// Health reports the store's backend health (zero when the backend is
+// nil or health-agnostic). Degraded does not impair correctness — a
+// degraded store serves memory-tier hits and recomputes everything
+// else — but operators want it on /readyz.
+func (s *Store) Health() Health {
+	if s.backend == nil {
+		return Health{}
+	}
+	return backendHealth(s.backend)
+}

@@ -20,13 +20,26 @@
 //
 // Every operation is best-effort: an unreachable or failing server
 // degrades the store to compute-everything, it never breaks a run.
+//
+// Resilience: every operation runs under a retry.Policy (transient
+// transport errors, 5xx answers and truncated bodies are retried with
+// capped exponential backoff; 404s and auth/validation rejections are
+// not), and a client-level circuit breaker tracks consecutive
+// transport-level failures — a down backend trips it open, after
+// which operations return instant misses (no dials, no buffering)
+// until a half-open probe finds the server again. The breaker state
+// is the store's degraded signal (Health), surfaced by reprod as
+// store_degraded/readyz.
 package httpstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -35,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/retry"
 )
 
 // TokenEnv is the environment variable New reads the default bearer
@@ -53,16 +67,37 @@ type Client struct {
 	base string
 	// HTTP is the underlying client; replaceable before first use
 	// (tests inject httptest clients, deployments tune timeouts).
+	// There is deliberately no whole-request timeout: connection
+	// establishment is bounded per phase by the shared transport
+	// (DialTimeout, ResponseHeaderTimeout), so a long bulk fetch
+	// streaming real bytes never races a wall clock.
 	HTTP *http.Client
 	// Token, when non-empty, is sent as "Authorization: Bearer" on
 	// every request — required by artifactd servers started with
 	// -token. New initializes it from $REPRO_STORE_TOKEN; set it
 	// before first use to override.
 	Token string
+	// Retry bounds per-operation retries; replaceable before first
+	// use. The zero policy means retry.DefaultPolicy.
+	Retry retry.Policy
+	// Breaker is the client-level circuit breaker fed by
+	// transport-level failures. Replaceable before first use (tests
+	// shorten the cooldown); nil disables breaking.
+	Breaker *retry.Breaker
 
 	gets, hits, puts, errs atomic.Int64
 	bulkGets, bulkEntries  atomic.Int64
+	retries, skipped       atomic.Int64
 }
+
+// Per-phase connection timeouts on the shared transport. They replace
+// the old 60s whole-request cap: an unreachable server fails at dial
+// or first-byte time, while an entry that genuinely streams for
+// minutes is never cut off mid-body.
+const (
+	DialTimeout           = 5 * time.Second
+	ResponseHeaderTimeout = 30 * time.Second
+)
 
 // New returns a backend talking to the artifactd server at baseURL
 // (e.g. "http://cachehost:9444"), authenticating with
@@ -76,9 +111,10 @@ func New(baseURL string) (*Client, error) {
 		return nil, fmt.Errorf("httpstore: unsupported store URL %q (want http:// or https://)", baseURL)
 	}
 	return &Client{
-		base:  strings.TrimRight(baseURL, "/"),
-		HTTP:  &http.Client{Timeout: 60 * time.Second, Transport: SharedTransport()},
-		Token: os.Getenv(TokenEnv),
+		base:    strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Transport: SharedTransport()},
+		Token:   os.Getenv(TokenEnv),
+		Breaker: &retry.Breaker{},
 	}, nil
 }
 
@@ -97,6 +133,8 @@ var sharedTransport = func() *http.Transport {
 	t = t.Clone()
 	t.MaxIdleConns = 256
 	t.MaxIdleConnsPerHost = 64
+	t.DialContext = (&net.Dialer{Timeout: DialTimeout, KeepAlive: 30 * time.Second}).DialContext
+	t.ResponseHeaderTimeout = ResponseHeaderTimeout
 	return t
 }()
 
@@ -109,17 +147,135 @@ func SharedTransport() *http.Transport { return sharedTransport }
 // URL returns the artefact endpoint for id.
 func (c *Client) URL(id string) string { return c.base + "/artifact/" + id }
 
+// Error classification for the retry policy: transport errors and
+// mangled bodies may heal (retry), 5xx answers are the server's own
+// transient failures (retry), everything the server said on purpose —
+// 404 miss, 401/403 auth, 400 validation — is permanent.
+var (
+	errNotFound = errors.New("httpstore: not found")
+	errNoBulk   = errors.New("httpstore: server has no closure endpoint")
+)
+
+// transportError marks failures where no HTTP response arrived at
+// all — the only kind that feeds the circuit breaker.
+type transportError struct{ err error }
+
+func (e transportError) Error() string { return e.err.Error() }
+func (e transportError) Unwrap() error { return e.err }
+
+// statusError is a non-2xx answer that isn't one of the expected
+// protocol outcomes.
+type statusError struct{ code int }
+
+func (e statusError) Error() string { return fmt.Sprintf("httpstore: server answered %d", e.code) }
+
+// errVersionSkew marks a 400 on a gzip PUT: a server predating gzip
+// transport gob-decodes the compressed body, fails, and rejects — the
+// retried attempt re-publishes raw, keeping mixed-version deployments
+// working (against a current server a valid entry never 400s).
+var errVersionSkew = errors.New("httpstore: gzip rejected, retrying raw")
+
+func retryableErr(err error) bool {
+	var s statusError
+	if errors.As(err, &s) {
+		return s.code/100 == 5 || s.code == http.StatusTooManyRequests
+	}
+	if errors.Is(err, errNotFound) || errors.Is(err, errNoBulk) {
+		return false
+	}
+	return true
+}
+
+// policy returns the effective retry policy with the classifier
+// attached.
+func (c *Client) policy() retry.Policy {
+	p := c.Retry
+	if p.MaxAttempts == 0 && p.BaseDelay == 0 {
+		p = retry.DefaultPolicy()
+	}
+	if p.Retryable == nil {
+		p.Retryable = retryableErr
+	}
+	return p
+}
+
+// allow consults the breaker before an operation touches the network;
+// a denied operation is an instant miss.
+func (c *Client) allow() bool {
+	if c.Breaker == nil {
+		return true
+	}
+	if c.Breaker.Allow() {
+		return true
+	}
+	c.skipped.Add(1)
+	return false
+}
+
+// observe feeds the operation's final outcome to the breaker: only
+// transport-level failures (no HTTP response at all) count against
+// the server; any answer — a hit, a 404 miss, even a rejection —
+// proves it reachable.
+func (c *Client) observe(err error) {
+	if c.Breaker == nil {
+		return
+	}
+	var te transportError
+	if err != nil && errors.As(err, &te) {
+		c.Breaker.Failure()
+		return
+	}
+	c.Breaker.Success()
+}
+
+// do runs op under the retry policy, counting retried attempts.
+func (c *Client) do(op func() error) error {
+	err := c.policy().Do(context.Background(), func(n int) error {
+		if n > 0 {
+			c.retries.Add(1)
+		}
+		return op()
+	})
+	c.observe(err)
+	return err
+}
+
 // Get fetches id's encoded entry, advertising gzip transport (the
 // server compresses gob entries several-fold on the wire; the raw
-// entry is restored here before the store verifies it). Any failure —
-// network, non-200, oversized or corrupt body — is a miss; the caller
-// recomputes.
+// entry is restored here before the store verifies it). Transient
+// failures are retried; any final failure — network, non-200,
+// oversized or corrupt body — is a miss and the caller recomputes.
 func (c *Client) Get(id string) ([]byte, bool) {
 	c.gets.Add(1)
-	req, err := http.NewRequest(http.MethodGet, c.URL(id), nil)
-	if err != nil {
+	if !c.allow() {
+		return nil, false
+	}
+	var out []byte
+	err := c.do(func() error {
+		b, err := c.getOnce(id)
+		if err != nil {
+			return err
+		}
+		out = b
+		return nil
+	})
+	switch {
+	case err == nil:
+		c.hits.Add(1)
+		return out, true
+	case errors.Is(err, errNotFound):
+		return nil, false
+	default:
 		c.errs.Add(1)
 		return nil, false
+	}
+}
+
+// getOnce performs one GET attempt.
+func (c *Client) getOnce(id string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.URL(id), nil)
+	if err != nil {
+		return nil, retry.Permanent(err)
 	}
 	// Set explicitly (disabling the transport's hidden auto-gzip) so
 	// the encoding is part of the wire protocol and testable.
@@ -127,56 +283,66 @@ func (c *Client) Get(id string) ([]byte, bool) {
 	c.auth(req)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		c.errs.Add(1)
-		return nil, false
+		return nil, transportError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		if resp.StatusCode != http.StatusNotFound {
-			c.errs.Add(1)
-		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
-		return nil, false
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, errNotFound
+		}
+		return nil, statusError{resp.StatusCode}
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
-	if err != nil || len(b) > maxEntryBytes {
-		c.errs.Add(1)
-		return nil, false
+	if err != nil {
+		return nil, fmt.Errorf("httpstore: read body: %w", err)
+	}
+	if len(b) > maxEntryBytes {
+		return nil, retry.Permanent(fmt.Errorf("httpstore: entry exceeds %d bytes", maxEntryBytes))
 	}
 	if resp.Header.Get("Content-Encoding") == "gzip" {
 		if b, err = artifact.GunzipBytes(b); err != nil {
-			c.errs.Add(1)
-			return nil, false
+			return nil, fmt.Errorf("httpstore: gunzip: %w", err)
 		}
 	}
-	c.hits.Add(1)
-	return b, true
+	return b, nil
 }
 
-// Put publishes id's encoded entry gzip-compressed, best-effort. A
-// 400 answer to the compressed attempt triggers one raw retry: a
-// server predating gzip transport gob-decodes the compressed body,
-// fails, and rejects 400 — the retry keeps mixed-version deployments
-// publishing (against a current server a valid entry never 400s, so
-// the retry only fires on that version skew).
+// Put publishes id's encoded entry gzip-compressed, best-effort, with
+// transient failures retried. The historical version-skew raw retry
+// is folded into the policy: a 400 on the gzip attempt switches the
+// next attempt to a raw body (see errVersionSkew).
 func (c *Client) Put(id string, data []byte) {
-	status := c.put(id, artifact.GzipBytes(data), "gzip")
-	if status == http.StatusBadRequest {
-		status = c.put(id, data, "")
+	if !c.allow() {
+		return
 	}
-	if status/100 != 2 {
+	body, encoding := artifact.GzipBytes(data), "gzip"
+	err := c.do(func() error {
+		status, err := c.put(id, body, encoding)
+		if err != nil {
+			return transportError{err}
+		}
+		if status/100 == 2 {
+			return nil
+		}
+		if status == http.StatusBadRequest && encoding == "gzip" {
+			body, encoding = data, ""
+			return errVersionSkew
+		}
+		return statusError{code: status}
+	})
+	if err != nil {
 		c.errs.Add(1)
 		return
 	}
 	c.puts.Add(1)
 }
 
-// put performs one PUT attempt and returns the HTTP status (0 on a
-// transport error).
-func (c *Client) put(id string, body []byte, encoding string) int {
+// put performs one PUT attempt and returns the HTTP status.
+func (c *Client) put(id string, body []byte, encoding string) (int, error) {
 	req, err := http.NewRequest(http.MethodPut, c.URL(id), bytes.NewReader(body))
 	if err != nil {
-		return 0
+		return 0, retry.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	if encoding != "" {
@@ -185,11 +351,11 @@ func (c *Client) put(id string, body []byte, encoding string) int {
 	c.auth(req)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return 0
+		return 0, err
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
-	return resp.StatusCode
+	return resp.StatusCode, nil
 }
 
 // FetchAll implements artifact.BulkFetcher: one POST /closure round
@@ -204,56 +370,78 @@ func (c *Client) FetchAll(ids []string) map[string][]byte {
 		return nil
 	}
 	c.bulkGets.Add(1)
+	if !c.allow() {
+		return nil
+	}
+	var out map[string][]byte
+	err := c.do(func() error {
+		m, err := c.fetchAllOnce(ids)
+		if err != nil {
+			return err
+		}
+		out = m
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, errNoBulk) {
+			c.errs.Add(1)
+		}
+		return nil
+	}
+	c.bulkEntries.Add(int64(len(out)))
+	return out
+}
+
+// fetchAllOnce performs one closure round trip.
+func (c *Client) fetchAllOnce(ids []string) (map[string][]byte, error) {
 	body, err := json.Marshal(struct {
 		IDs []string `json:"ids"`
 	}{IDs: ids})
 	if err != nil {
-		c.errs.Add(1)
-		return nil
+		return nil, retry.Permanent(err)
 	}
 	req, err := http.NewRequest(http.MethodPost, c.base+"/closure", bytes.NewReader(body))
 	if err != nil {
-		c.errs.Add(1)
-		return nil
+		return nil, retry.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept-Encoding", "gzip")
 	c.auth(req)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		c.errs.Add(1)
-		return nil
+		return nil, transportError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusMethodNotAllowed {
-			c.errs.Add(1)
-		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
-		return nil
+		// Older artifactd versions have no closure endpoint; the store
+		// falls back to per-key reads.
+		if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+			return nil, errNoBulk
+		}
+		return nil, statusError{resp.StatusCode}
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, artifact.MaxWireClosureBytes+1))
-	if err != nil || len(b) > artifact.MaxWireClosureBytes {
-		c.errs.Add(1)
-		return nil
+	if err != nil {
+		return nil, fmt.Errorf("httpstore: read closure: %w", err)
+	}
+	if len(b) > artifact.MaxWireClosureBytes {
+		return nil, retry.Permanent(fmt.Errorf("httpstore: closure exceeds %d bytes", artifact.MaxWireClosureBytes))
 	}
 	if resp.Header.Get("Content-Encoding") == "gzip" {
 		if b, err = artifact.GunzipBytesMax(b, artifact.MaxWireClosureBytes); err != nil {
-			c.errs.Add(1)
-			return nil
+			return nil, fmt.Errorf("httpstore: gunzip closure: %w", err)
 		}
 	}
 	entries, err := artifact.DecodeClosure(b)
 	if err != nil {
-		c.errs.Add(1)
-		return nil
+		return nil, fmt.Errorf("httpstore: decode closure: %w", err)
 	}
 	out := make(map[string][]byte, len(entries))
 	for _, e := range entries {
 		out[e.ID] = e.Data
 	}
-	c.bulkEntries.Add(int64(len(out)))
-	return out
+	return out, nil
 }
 
 // auth attaches the bearer token when one is configured.
@@ -275,6 +463,10 @@ type Stats struct {
 	// BulkGets counts closure round trips issued; BulkEntries totals
 	// the entries they returned (each replacing one per-key Get).
 	BulkGets, BulkEntries int64
+	// Retries counts extra attempts beyond each operation's first;
+	// Skipped counts operations short-circuited to a miss because the
+	// breaker was open.
+	Retries, Skipped int64
 }
 
 // Stats returns the current counter snapshot.
@@ -282,7 +474,30 @@ func (c *Client) Stats() Stats {
 	return Stats{
 		Gets: c.gets.Load(), Hits: c.hits.Load(), Puts: c.puts.Load(), Errors: c.errs.Load(),
 		BulkGets: c.bulkGets.Load(), BulkEntries: c.bulkEntries.Load(),
+		Retries: c.retries.Load(), Skipped: c.skipped.Load(),
 	}
+}
+
+// Degraded reports whether the breaker currently considers the
+// backend unreachable.
+func (c *Client) Degraded() bool {
+	return c.Breaker != nil && c.Breaker.State() != retry.Closed
+}
+
+// Health implements artifact.HealthReporter: the breaker state plus
+// the resilience counters, aggregated by Store.Health across chained
+// tiers and surfaced by reprod as store_degraded / reprod_retries.
+func (c *Client) Health() artifact.Health {
+	h := artifact.Health{
+		Degraded: c.Degraded(),
+		Retries:  c.retries.Load(),
+		Skipped:  c.skipped.Load(),
+	}
+	if c.Breaker != nil {
+		bc := c.Breaker.Counters()
+		h.BreakerTrips, h.BreakerProbes, h.BreakerRecoveries = bc.Trips, bc.Probes, bc.Recoveries
+	}
+	return h
 }
 
 // OpenStore builds the store behind the CLIs' -cache-dir/-store-url

@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"repro/internal/artifact"
+)
+
+// Backend wraps an artifact.Backend with the injector's faults. Since
+// backend operations are best-effort by contract, injected errors and
+// down windows surface as misses (Get) and dropped writes (Put) —
+// exactly how a Store experiences a dead tier. Truncation corrupts
+// the returned entry bytes, which the store's identity verification
+// must discard; this is the wrapper that proves corruption costs a
+// recompute, never a wrong result.
+func (in *Injector) Backend(next artifact.Backend) artifact.Backend {
+	return &backend{in: in, next: next}
+}
+
+type backend struct {
+	in   *Injector
+	next artifact.Backend
+}
+
+func (b *backend) Get(id string) ([]byte, bool) {
+	in := b.in
+	if in.downNow() {
+		in.downRejects.Add(1)
+		return nil, false
+	}
+	if in.spec.Latency > 0 && in.draw(in.spec.LatencyProb) {
+		in.latencies.Add(1)
+		in.sleep(in.spec.Latency)
+	}
+	if in.draw(in.spec.ErrProb) {
+		in.errors.Add(1)
+		return nil, false
+	}
+	data, ok := b.next.Get(id)
+	if ok && len(data) > 1 && in.draw(in.spec.TruncProb) {
+		in.truncations.Add(1)
+		return data[:len(data)/2], true
+	}
+	return data, ok
+}
+
+func (b *backend) Put(id string, data []byte) {
+	in := b.in
+	if in.downNow() {
+		in.downRejects.Add(1)
+		return
+	}
+	if in.spec.Latency > 0 && in.draw(in.spec.LatencyProb) {
+		in.latencies.Add(1)
+		in.sleep(in.spec.Latency)
+	}
+	if in.draw(in.spec.ErrProb) {
+		in.errors.Add(1)
+		return
+	}
+	b.next.Put(id, data)
+}
+
+// Health forwards the wrapped tier's health report, if any.
+func (b *backend) Health() artifact.Health {
+	if hr, ok := b.next.(artifact.HealthReporter); ok {
+		return hr.Health()
+	}
+	return artifact.Health{}
+}
+
+// FetchAll forwards bulk fetches when the wrapped tier supports them,
+// applying the same fault draws per returned entry.
+func (b *backend) FetchAll(ids []string) map[string][]byte {
+	bf, ok := b.next.(artifact.BulkFetcher)
+	if !ok {
+		return nil
+	}
+	in := b.in
+	if in.downNow() {
+		in.downRejects.Add(1)
+		return nil
+	}
+	if in.draw(in.spec.ErrProb) {
+		in.errors.Add(1)
+		return nil
+	}
+	got := bf.FetchAll(ids)
+	for id, data := range got {
+		if len(data) > 1 && in.draw(in.spec.TruncProb) {
+			in.truncations.Add(1)
+			got[id] = data[:len(data)/2]
+		}
+	}
+	return got
+}

@@ -1,0 +1,321 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+func TestParseSpec(t *testing.T) {
+	good := []struct {
+		raw  string
+		want Spec
+	}{
+		{"", Spec{Seed: 1}},
+		{"seed=7,err=0.3", Spec{Seed: 7, ErrProb: 0.3}},
+		{"latency=25ms", Spec{Seed: 1, Latency: 25 * time.Millisecond, LatencyProb: 1}},
+		{"latency=25ms,latency_p=0.5", Spec{Seed: 1, Latency: 25 * time.Millisecond, LatencyProb: 0.5}},
+		{"truncate=0.1", Spec{Seed: 1, TruncProb: 0.1}},
+		{"up=6s,down=4s", Spec{Seed: 1, Up: 6 * time.Second, Down: 4 * time.Second}},
+		{"down=4s", Spec{Seed: 1, Down: 4 * time.Second}},
+		{" seed=2 , err=1 ", Spec{Seed: 2, ErrProb: 1}},
+	}
+	for _, tc := range good {
+		got, err := ParseSpec(tc.raw)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.raw, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseSpec(%q)=%+v, want %+v", tc.raw, got, tc.want)
+		}
+	}
+	bad := []string{"bogus", "err=2", "err=-0.1", "latency=xyz", "up=6s", "frob=1", "seed=abc"}
+	for _, raw := range bad {
+		if _, err := ParseSpec(raw); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", raw)
+		}
+	}
+}
+
+func TestSpecEnabledAndString(t *testing.T) {
+	if (Spec{Seed: 9}).Enabled() {
+		t.Fatal("seed-only spec reports enabled")
+	}
+	s := Spec{Seed: 7, ErrProb: 0.3, Down: 4 * time.Second, Up: 6 * time.Second}
+	if !s.Enabled() {
+		t.Fatal("faulty spec reports disabled")
+	}
+	back, err := ParseSpec(s.String())
+	if err != nil || back != s {
+		t.Fatalf("round trip %q → %+v (%v), want %+v", s.String(), back, err, s)
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	a, b := New(Spec{Seed: 42}), New(Spec{Seed: 42})
+	for i := 0; i < 100; i++ {
+		if a.float64() != b.float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(Spec{Seed: 43})
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.float64() == c.float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds nearly identical (%d/100 equal draws)", same)
+	}
+}
+
+func TestFlappingSchedule(t *testing.T) {
+	in := New(Spec{Seed: 1, Up: 6 * time.Second, Down: 4 * time.Second})
+	base := in.start
+	at := func(d time.Duration) bool {
+		in.now = func() time.Time { return base.Add(d) }
+		return in.downNow()
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		down bool
+	}{
+		{0, false}, {5 * time.Second, false}, {6 * time.Second, true},
+		{9 * time.Second, true}, {10 * time.Second, false}, {16 * time.Second, true},
+	} {
+		if got := at(tc.at); got != tc.down {
+			t.Fatalf("downNow at %v = %v, want %v (up-first schedule)", tc.at, got, tc.down)
+		}
+	}
+	forever := New(Spec{Seed: 1, Down: time.Second})
+	forever.now = func() time.Time { return forever.start.Add(time.Hour) }
+	if !forever.downNow() {
+		t.Fatal("down-only spec recovered")
+	}
+	if New(Spec{Seed: 1}).downNow() {
+		t.Fatal("spec without windows reports down")
+	}
+}
+
+func TestTransportInjectsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("real payload bytes here"))
+	}))
+	defer srv.Close()
+
+	in := New(Spec{Seed: 3, ErrProb: 1})
+	client := &http.Client{Transport: in.Transport(nil)}
+	resets, fauxResponses := 0, 0
+	for i := 0; i < 40; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("non-Fault transport error: %v", err)
+			}
+			resets++
+			continue
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get(Header) != "1" {
+			t.Fatalf("unexpected response %d %v", resp.StatusCode, resp.Header)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		fauxResponses++
+	}
+	if resets == 0 || fauxResponses == 0 {
+		t.Fatalf("want both flavors, got %d resets / %d 503s", resets, fauxResponses)
+	}
+	st := in.Stats()
+	if st.Errors != 40 || st.Resets != int64(resets) {
+		t.Fatalf("stats %+v inconsistent with %d resets", st, resets)
+	}
+}
+
+func TestTransportDownWindow(t *testing.T) {
+	in := New(Spec{Seed: 1, Down: time.Second})
+	client := &http.Client{Transport: in.Transport(nil)}
+	if _, err := client.Get("http://127.0.0.1:9/never-dialed"); err == nil {
+		t.Fatal("down window let a request through")
+	}
+	if in.Stats().DownRejects != 1 {
+		t.Fatalf("downRejects=%d, want 1", in.Stats().DownRejects)
+	}
+}
+
+func TestTransportTruncatesBody(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(payload))
+	}))
+	defer srv.Close()
+
+	in := New(Spec{Seed: 5, TruncProb: 1})
+	client := &http.Client{Transport: in.Transport(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("truncated body read cleanly (%d bytes)", len(b))
+	}
+	if len(b) >= len(payload) {
+		t.Fatalf("body not truncated: %d bytes", len(b))
+	}
+	if in.Stats().Truncations != 1 {
+		t.Fatalf("truncations=%d, want 1", in.Stats().Truncations)
+	}
+}
+
+func TestHandlerAbortsAndErrors(t *testing.T) {
+	in := New(Spec{Seed: 11, ErrProb: 1})
+	srv := httptest.NewServer(in.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("should not arrive"))
+	})))
+	defer srv.Close()
+
+	transportErrs, injected := 0, 0
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			transportErrs++
+			continue
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get(Header) != "1" {
+			t.Fatalf("unexpected response %d", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		injected++
+	}
+	if transportErrs == 0 || injected == 0 {
+		t.Fatalf("want both aborted and 503 responses, got %d/%d", transportErrs, injected)
+	}
+}
+
+func TestHandlerDownWindowAborts(t *testing.T) {
+	serve := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("up"))
+	})
+	// Down-only schedule: every request is severed. A separate injector
+	// per schedule — the aborted handler goroutine may still be
+	// unwinding when the next phase starts, so mutating one injector's
+	// schedule in place would race with it.
+	down := httptest.NewServer(New(Spec{Seed: 1, Down: time.Second}).Handler(serve))
+	defer down.Close()
+	if _, err := http.Get(down.URL); err == nil {
+		t.Fatal("down window served a response")
+	}
+	// Up-first schedule inside its window: requests pass through clean.
+	up := httptest.NewServer(New(Spec{Seed: 1, Up: time.Hour, Down: time.Second}).Handler(serve))
+	defer up.Close()
+	resp, err := http.Get(up.URL)
+	if err != nil {
+		t.Fatalf("up window failed: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "up" {
+		t.Fatalf("body %q, want up", b)
+	}
+}
+
+func TestHandlerTruncation(t *testing.T) {
+	payload := strings.Repeat("y", 8192)
+	in := New(Spec{Seed: 2, TruncProb: 1})
+	srv := httptest.NewServer(in.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(payload))
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err) // headers + first half arrive before the abort
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil && len(b) >= len(payload) {
+		t.Fatalf("response not truncated: %d bytes, err=%v", len(b), err)
+	}
+}
+
+// memBackend is a trivial in-memory artifact.Backend.
+type memBackend struct{ m map[string][]byte }
+
+func (b *memBackend) Get(id string) ([]byte, bool) { d, ok := b.m[id]; return d, ok }
+func (b *memBackend) Put(id string, data []byte)   { b.m[id] = data }
+
+func TestBackendWrapperFaults(t *testing.T) {
+	inner := &memBackend{m: map[string][]byte{}}
+	in := New(Spec{Seed: 4, ErrProb: 1})
+	fb := in.Backend(inner)
+	fb.Put("a", []byte("data"))
+	if len(inner.m) != 0 {
+		t.Fatal("faulty Put reached the inner backend")
+	}
+	inner.m["a"] = []byte("data")
+	if _, ok := fb.Get("a"); ok {
+		t.Fatal("faulty Get returned a hit")
+	}
+	if in.Stats().Errors != 2 {
+		t.Fatalf("errors=%d, want 2", in.Stats().Errors)
+	}
+
+	// Truncation corrupts entries; a Store must discard them.
+	in2 := New(Spec{Seed: 4, TruncProb: 1})
+	fb2 := in2.Backend(inner)
+	got, ok := fb2.Get("a")
+	if !ok || len(got) >= len(inner.m["a"]) {
+		t.Fatalf("truncating Get: ok=%v len=%d", ok, len(got))
+	}
+}
+
+func TestBackendWrapperCorruptionNeverPoisonsStore(t *testing.T) {
+	// A store reading through a 100%-truncating backend must treat
+	// every entry as a miss and recompute — never return wrong bytes.
+	inner := &memBackend{m: map[string][]byte{}}
+	key := artifact.KeyOf("test-kind", map[string]any{"n": 1})
+	if _, err := artifact.Get(artifact.NewWithBackend(inner), key, func() (string, error) {
+		return "payload", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.m) != 1 {
+		t.Fatalf("seed store left %d entries, want 1", len(inner.m))
+	}
+
+	in := New(Spec{Seed: 8, TruncProb: 1})
+	store := artifact.NewWithBackend(in.Backend(inner))
+	computes := 0
+	got, err := artifact.Get(store, key, func() (string, error) {
+		computes++
+		return "payload", nil
+	})
+	if err != nil || got != "payload" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes=%d, want 1 (corrupt entry must cost a recompute)", computes)
+	}
+}
+
+func TestBackendWrapperPassesThroughWhenClean(t *testing.T) {
+	inner := &memBackend{m: map[string][]byte{}}
+	in := New(Spec{Seed: 4}) // no faults
+	fb := in.Backend(inner)
+	fb.Put("a", []byte("data"))
+	if got, ok := fb.Get("a"); !ok || string(got) != "data" {
+		t.Fatalf("clean wrapper mangled data: %q %v", got, ok)
+	}
+	if out := fb.(artifact.BulkFetcher).FetchAll([]string{"a"}); out != nil {
+		t.Fatal("bulk over non-bulk inner backend should return nil")
+	}
+}

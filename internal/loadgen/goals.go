@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // Mix names the load shape of one case.
@@ -61,6 +62,23 @@ type Machine struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 	Limits      Limits `json:"limits,omitempty"`
+	// RequestTimeout bounds each individual request when the runner is
+	// not given its own client (a Go duration string, e.g. "3m"). Chaos
+	// suites, whose requests ride out injected latency and retries, set
+	// this explicitly; empty = the runner's 2-minute default.
+	RequestTimeout string `json:"request_timeout,omitempty"`
+}
+
+// requestTimeout parses the configured bound (0 = unset).
+func (m Machine) requestTimeout() (time.Duration, error) {
+	if m.RequestTimeout == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(m.RequestTimeout)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("request_timeout %q is not a positive duration", m.RequestTimeout)
+	}
+	return d, nil
 }
 
 // Ramp shapes one case's concurrency schedule: steps at Start,
@@ -135,6 +153,9 @@ func LoadSuite(dir string) (*Suite, error) {
 	}
 	if s.Machine.Name == "" {
 		return nil, fmt.Errorf("loadgen: %s/machine.yaml names no machine class", dir)
+	}
+	if _, err := s.Machine.requestTimeout(); err != nil {
+		return nil, fmt.Errorf("loadgen: %s/machine.yaml: %w", dir, err)
 	}
 	caseDirs, err := filepath.Glob(filepath.Join(dir, "cases", "*", "experiment.yaml"))
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // writeSuite materializes a goal directory for tests.
@@ -90,6 +91,36 @@ ramp:
 	}
 	if _, err := LoadSuite(writeSuite(t, testMachine, nil)); err == nil {
 		t.Error("empty suite loaded without error")
+	}
+}
+
+// TestMachineRequestTimeout pins the per-suite request bound: parsed
+// from machine.yaml, validated at load time, zero when unset.
+func TestMachineRequestTimeout(t *testing.T) {
+	okCase := map[string]string{"c": `
+mix: warm_flood
+scenario:
+  workloads: [H-Grep]
+ramp:
+  start: 1
+  end: 1
+  step: 1
+  requests_per_step: 1
+`}
+	s, err := LoadSuite(writeSuite(t, "name: chaos-class\nrequest_timeout: \"3m\"\n", okCase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := s.Machine.requestTimeout(); err != nil || d != 3*time.Minute {
+		t.Fatalf("request_timeout %v %v, want 3m", d, err)
+	}
+	if d, err := (Machine{}).requestTimeout(); err != nil || d != 0 {
+		t.Fatalf("unset request_timeout %v %v, want 0", d, err)
+	}
+	for _, bad := range []string{"3 parsecs", "-1s", "0s"} {
+		if _, err := LoadSuite(writeSuite(t, "name: x\nrequest_timeout: \""+bad+"\"\n", okCase)); err == nil {
+			t.Errorf("request_timeout %q accepted", bad)
+		}
 	}
 }
 

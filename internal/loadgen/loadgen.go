@@ -79,7 +79,13 @@ func (r *Runner) Run(ctx context.Context, suite *Suite) (*Report, error) {
 	}
 	client := r.Client
 	if client == nil {
-		client = &http.Client{Timeout: 2 * time.Minute}
+		timeout := 2 * time.Minute
+		if d, err := suite.Machine.requestTimeout(); err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		} else if d > 0 {
+			timeout = d
+		}
+		client = &http.Client{Timeout: timeout}
 	}
 	salt := r.Salt
 	if salt == "" {

@@ -1,0 +1,328 @@
+// Package retry holds the two small resilience primitives shared by
+// the store client and the fleet proxy: a bounded retry policy with
+// capped exponential backoff and jitter, and a consecutive-failure
+// circuit breaker with a half-open recovery probe.
+//
+// Both are deliberately deterministic under test: Policy takes an
+// injectable sleep and jitter source, Breaker an injectable clock.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy bounds how an idempotent operation is retried. The zero
+// value means "one attempt, no backoff"; DefaultPolicy is the tuning
+// the store client and fleet proxy share.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values < 1 behave as 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 = uncapped).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized: the
+	// actual sleep is delay*(1-Jitter) + delay*Jitter*rand. 0 = none.
+	Jitter float64
+	// Retryable classifies errors; a nil classifier retries every
+	// error. Errors wrapped by Permanent stop the loop regardless.
+	Retryable func(error) bool
+	// Sleep replaces the context-aware backoff sleep (tests). nil =
+	// real time.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand replaces the jitter source (tests). nil = math/rand.
+	Rand func() float64
+}
+
+// DefaultPolicy is the shared tuning: three attempts, 50ms base
+// backoff doubling to a 1s cap, half of each delay jittered.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+}
+
+// permanentError marks an error as not retryable regardless of the
+// policy's classifier.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops immediately and returns it (minus
+// the marker). A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return permanentError{err}
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget, hits a
+// non-retryable error, or ctx is done. op receives the zero-based
+// attempt number. The returned error is the last attempt's error
+// (unwrapped from any Permanent marker), or ctx's error if the
+// context died between attempts.
+func (p Policy) Do(ctx context.Context, op func(attempt int) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for n := 0; n < attempts; n++ {
+		if n > 0 {
+			if serr := p.sleep(ctx, p.Delay(n-1)); serr != nil {
+				return serr
+			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = op(n)
+		if err == nil {
+			return nil
+		}
+		var perm permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// Delay reports the backoff after the given zero-based failed attempt:
+// BaseDelay << attempt, capped at MaxDelay, with the jitter fraction
+// randomized.
+func (p Policy) Delay(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt && d < maxDuration/2; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		r := p.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		d = time.Duration(float64(d) * (1 - j + j*r()))
+	}
+	return d
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// State is a breaker's position in the closed → open → half-open
+// cycle.
+type State int32
+
+// Breaker states.
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerCounters is a monotonic snapshot of a breaker's lifecycle
+// events, for /stats surfaces.
+type BreakerCounters struct {
+	Trips      int64 // closed→open transitions
+	Probes     int64 // half-open attempts granted
+	Recoveries int64 // half-open→closed transitions
+}
+
+// Breaker is a consecutive-failure circuit breaker. FailLimit
+// consecutive Failure calls trip it open; Allow then denies all
+// callers until Cooldown has elapsed, after which exactly one caller
+// is let through as a half-open probe. That probe's Success closes
+// the breaker, its Failure re-opens it for another cooldown.
+//
+// The zero value uses DefaultFailLimit/DefaultCooldown. All methods
+// are safe for concurrent use.
+type Breaker struct {
+	// FailLimit is the consecutive-failure count that trips the
+	// breaker (<1 = DefaultFailLimit).
+	FailLimit int
+	// Cooldown is how long the breaker stays open before granting a
+	// half-open probe (<=0 = DefaultCooldown).
+	Cooldown time.Duration
+	// Now replaces the clock (tests). nil = time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	fails    int
+	openedAt time.Time
+	probing  bool
+	counters BreakerCounters
+}
+
+// Default breaker tuning shared by the store client and fleet peers.
+const (
+	DefaultFailLimit = 3
+	DefaultCooldown  = 5 * time.Second
+)
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) failLimit() int {
+	if b.FailLimit < 1 {
+		return DefaultFailLimit
+	}
+	return b.FailLimit
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return DefaultCooldown
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether the caller may attempt the guarded operation.
+// Closed: always. Open: false until Cooldown elapses, then the first
+// caller transitions the breaker to half-open and becomes the probe.
+// Half-open: false while the probe is in flight. A caller granted
+// true MUST report the outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		b.counters.Probes++
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.counters.Probes++
+		return true
+	}
+}
+
+// Viable reports, without consuming a probe slot, whether the member
+// behind this breaker should receive routed traffic: only a closed
+// breaker is viable. Half-open peers get exactly their probe (granted
+// by Allow on the owning path), not rerouted load.
+func (b *Breaker) Viable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == Closed
+}
+
+// Success records a successful guarded operation: it resets the
+// consecutive-failure count and closes a half-open breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Closed
+		b.counters.Recoveries++
+	}
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed guarded operation: it trips a closed
+// breaker at FailLimit consecutive failures and re-opens a half-open
+// one immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.now()
+		b.counters.Trips++
+		b.probing = false
+	case Closed:
+		b.fails++
+		if b.fails >= b.failLimit() {
+			b.state = Open
+			b.openedAt = b.now()
+			b.counters.Trips++
+		}
+	}
+}
+
+// State reports the breaker's current position. An open breaker whose
+// cooldown has elapsed still reports Open until a caller claims the
+// probe via Allow.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counters snapshots the lifecycle counters.
+func (b *Breaker) Counters() BreakerCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counters
+}

@@ -1,0 +1,280 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noSleep makes Do instantaneous while recording requested delays.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		if delays != nil {
+			*delays = append(*delays, d)
+		}
+		return nil
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Sleep: noSleep(nil)}
+	calls := 0
+	err := p.Do(context.Background(), func(n int) error {
+		if n != calls {
+			t.Fatalf("attempt number %d, want %d", n, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on attempt 3", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Sleep: noSleep(nil)}
+	calls := 0
+	boom := errors.New("boom")
+	if err := p.Do(context.Background(), func(int) error { calls++; return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+}
+
+func TestZeroPolicyIsSingleAttempt(t *testing.T) {
+	var p Policy
+	calls := 0
+	p.Do(context.Background(), func(int) error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+}
+
+func TestClassifierStopsRetries(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(nil), Retryable: func(err error) bool {
+		return err.Error() == "transient"
+	}}
+	calls := 0
+	fatal := errors.New("fatal")
+	err := p.Do(context.Background(), func(n int) error {
+		calls++
+		if n == 0 {
+			return errors.New("transient")
+		}
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 2 {
+		t.Fatalf("err=%v calls=%d, want fatal after 2 calls", err, calls)
+	}
+}
+
+func TestPermanentOverridesClassifier(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(nil), Retryable: func(error) bool { return true }}
+	calls := 0
+	inner := errors.New("denied")
+	err := p.Do(context.Background(), func(int) error { calls++; return Permanent(inner) })
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatalf("err=%v, want inner error", err)
+	}
+	if _, ok := err.(permanentError); ok {
+		t.Fatalf("Do leaked the permanent marker: %T", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestPermanentWrappedStillStops(t *testing.T) {
+	p := Policy{MaxAttempts: 5, Sleep: noSleep(nil)}
+	calls := 0
+	err := p.Do(context.Background(), func(int) error {
+		calls++
+		return fmt.Errorf("op: %w", Permanent(errors.New("bad request")))
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if err == nil || err.Error() != "bad request" {
+		t.Fatalf("err=%v, want unwrapped bad request", err)
+	}
+}
+
+func TestDoContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	err := p.Do(ctx, func(int) error { calls++; cancel(); return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+}
+
+func TestDelayBackoffAndCap(t *testing.T) {
+	p := Policy{BaseDelay: 50 * time.Millisecond, MaxDelay: 300 * time.Millisecond}
+	want := []time.Duration{50, 100, 200, 300, 300}
+	for i, w := range want {
+		if d := p.Delay(i); d != w*time.Millisecond {
+			t.Fatalf("Delay(%d)=%v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	for _, r := range []float64{0, 0.5, 0.999} {
+		p := Policy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return r }}
+		d := p.Delay(0)
+		lo, hi := 50*time.Millisecond, 100*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v] for rand=%v", d, lo, hi, r)
+		}
+	}
+}
+
+func TestDelaysRecorded(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Sleep: noSleep(&delays)}
+	p.Do(context.Background(), func(int) error { return errors.New("x") })
+	if len(delays) != 2 || delays[0] != 10*time.Millisecond || delays[1] != 20*time.Millisecond {
+		t.Fatalf("delays=%v, want [10ms 20ms]", delays)
+	}
+}
+
+func TestBreakerTripAndBlock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{FailLimit: 3, Cooldown: 5 * time.Second, Now: func() time.Time { return now }}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state=%v after 2 failures, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state=%v after 3 failures, want open", b.State())
+	}
+	if c := b.Counters(); c.Trips != 1 {
+		t.Fatalf("trips=%d, want 1", c.Trips)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed before cooldown")
+	}
+	now = now.Add(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker allowed mid-cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovery(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{FailLimit: 1, Cooldown: 5 * time.Second, Now: func() time.Time { return now }}
+	b.Failure()
+	now = now.Add(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe denied")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller allowed while probe in flight")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state=%v after probe success, want closed", b.State())
+	}
+	c := b.Counters()
+	if c.Probes != 1 || c.Recoveries != 1 {
+		t.Fatalf("counters=%+v, want 1 probe, 1 recovery", c)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker denied")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{FailLimit: 1, Cooldown: time.Second, Now: func() time.Time { return now }}
+	b.Failure()
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state=%v after probe failure, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed immediately")
+	}
+	// A fresh cooldown grants a fresh probe.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe denied after fresh cooldown")
+	}
+	b.Success()
+	if c := b.Counters(); c.Trips != 2 || c.Probes != 2 || c.Recoveries != 1 {
+		t.Fatalf("counters=%+v, want trips=2 probes=2 recoveries=1", c)
+	}
+}
+
+func TestBreakerViable(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{FailLimit: 1, Cooldown: time.Second, Now: func() time.Time { return now }}
+	if !b.Viable() {
+		t.Fatal("closed breaker not viable")
+	}
+	b.Failure()
+	if b.Viable() {
+		t.Fatal("open breaker viable")
+	}
+	now = now.Add(2 * time.Second)
+	if b.Viable() {
+		t.Fatal("cooldown elapsed must not make a breaker viable without a probe")
+	}
+	if !b.Allow() {
+		t.Fatal("probe denied")
+	}
+	if b.Viable() {
+		t.Fatal("half-open breaker viable")
+	}
+	b.Success()
+	if !b.Viable() {
+		t.Fatal("recovered breaker not viable")
+	}
+}
+
+func TestBreakerSuccessResetsFailStreak(t *testing.T) {
+	b := &Breaker{FailLimit: 2}
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want closed (streak reset by success)", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state=%v, want open", b.State())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if Closed.String() != "closed" || Open.String() != "open" || HalfOpen.String() != "half-open" {
+		t.Fatal("state strings wrong")
+	}
+}

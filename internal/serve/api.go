@@ -84,6 +84,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	// Liveness and readiness are deliberately split: /healthz says the
+	// process is up (restarting it won't help), /readyz says it wants
+	// traffic. A draining or degraded replica is alive but not ready —
+	// load balancers should drain it, not kill it. Degraded replicas
+	// still answer correctly (memory hits + local compute), so /readyz
+	// is advisory, not a correctness gate.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := s.Healthy()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		io.WriteString(w, reason+"\n")
+	})
 	for _, p := range []string{"/units/", "/scenarios", "/jobs", "/jobs/", "/stats"} {
 		mux.HandleFunc(p, redirectV1)
 	}
@@ -156,8 +169,14 @@ func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
 		respond(w, key.ID(), "warm", b)
 		return
 	}
-	if owner, fwd := s.route(r, key.ID()); fwd && s.proxy(w, r, owner, key.ID(), nil) {
-		return
+	if owner, fwd := s.route(r, key.ID()); fwd {
+		if s.proxy(w, r, owner, key.ID(), nil) {
+			return
+		}
+		if b, ok := s.rePeek(key); ok {
+			respond(w, key.ID(), "warm", b)
+			return
+		}
 	}
 	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
 		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
@@ -165,6 +184,18 @@ func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	s.finish(w, key.ID(), joined, b, err)
+}
+
+// rePeek re-checks the warm path after a failed proxy: the proxy spent
+// its retry budget in backoff, long enough for a concurrent requester
+// (or the rerouted wave in front of us) to have finished the key
+// locally — serve those bytes instead of opening a fresh flight.
+func (s *Server) rePeek(key artifact.Key) ([]byte, bool) {
+	b, ok := artifact.Peek[[]byte](s.store, key, nil)
+	if ok {
+		s.warmHits.Add(1)
+	}
+	return b, ok
 }
 
 // handleScenario answers POST /v1/scenarios: validate and canonicalize
@@ -191,11 +222,19 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		respond(w, key.ID(), "warm", b)
 		return
 	}
-	if owner, fwd := s.route(r, key.ID()); fwd {
-		// Forward the canonical form: the owner re-canonicalizes
-		// (idempotent) and lands on the same key.
-		if body, merr := json.Marshal(canon); merr == nil && s.proxy(w, r, owner, key.ID(), body) {
-			return
+	// Marshal the canonical form before routing: route() may consume a
+	// tripped owner's single half-open probe slot, which must not be
+	// wasted on a request that then fails to serialize. The owner
+	// re-canonicalizes (idempotent) and lands on the same key.
+	if body, merr := json.Marshal(canon); merr == nil {
+		if owner, fwd := s.route(r, key.ID()); fwd {
+			if s.proxy(w, r, owner, key.ID(), body) {
+				return
+			}
+			if b, ok := s.rePeek(key); ok {
+				respond(w, key.ID(), "warm", b)
+				return
+			}
 		}
 	}
 	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
@@ -337,6 +376,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"fleet_proxy_fallback":   st.ProxyFallback,
 		"fleet_peer_served":      st.PeerServed,
 		"fleet_loop_guarded":     st.LoopGuarded,
+		"fleet_rerouted":         st.Rerouted,
+		"fleet_proxy_retries":    st.ProxyRetries,
+		"fleet_peer_unhealthy":   st.PeerUnhealthy,
+		"breaker_trips":          st.BreakerTrips,
+		"breaker_probes":         st.BreakerProbes,
+		"breaker_recoveries":     st.BreakerRecoveries,
+		"store_degraded":         boolGauge(st.StoreDegraded),
+		"store_retries":          st.StoreRetries,
+		"store_skipped":          st.StoreSkipped,
 		"dataset_generations":    datagen.Generations(),
 		"store_fills":            ss.Fills, "store_mem_hits": ss.MemHits,
 		"store_backend_hits": ss.BackendHits, "store_backend_discards": ss.BackendDiscards,
@@ -354,7 +402,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if len(ss.KindEvictions) > 0 {
 		out["store_kind_evictions"] = ss.KindEvictions
 	}
+	if len(st.PeerStates) > 0 {
+		out["peer_states"] = st.PeerStates
+	}
 	json.NewEncoder(w).Encode(out)
+}
+
+// boolGauge maps a condition onto the 0/1 convention shared by the
+// JSON stats and the Prometheus gauge.
+func boolGauge(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // handleMetrics exposes the counters in the Prometheus text exposition
@@ -378,6 +438,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"reprod_fleet_proxy_fallback_total", "Forwards failed over to local compute (owner unreachable).", st.ProxyFallback},
 		{"reprod_fleet_peer_served_total", "Requests received from a fleet peer.", st.PeerServed},
 		{"reprod_fleet_loop_guarded_total", "Peer-forwarded requests this replica would have routed elsewhere.", st.LoopGuarded},
+		{"reprod_fleet_rerouted_total", "Requests routed around a tripped peer breaker.", st.Rerouted},
+		{"reprod_breaker_trips_total", "Peer breakers tripped open (fail limit reached).", st.BreakerTrips},
+		{"reprod_breaker_probes_total", "Half-open probes sent to tripped peers.", st.BreakerProbes},
+		{"reprod_breaker_recoveries_total", "Peer breakers closed again by a successful probe.", st.BreakerRecoveries},
 		{"reprod_jobs_submitted_total", "Jobs accepted.", st.JobsSubmitted},
 		{"reprod_jobs_done_total", "Jobs finished successfully.", st.JobsDone},
 		{"reprod_jobs_failed_total", "Jobs finished with an error.", st.JobsFailed},
@@ -396,7 +460,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, m := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
 	}
+	// reprod_retries_total is labeled by component: the store's HTTP
+	// backend and the fleet proxy retry independently.
+	fmt.Fprintf(w, "# HELP reprod_retries_total Extra attempts beyond each operation's first.\n# TYPE reprod_retries_total counter\n")
+	fmt.Fprintf(w, "reprod_retries_total{component=\"store\"} %d\n", st.StoreRetries)
+	fmt.Fprintf(w, "reprod_retries_total{component=\"proxy\"} %d\n", st.ProxyRetries)
 	fmt.Fprintf(w, "# HELP reprod_in_flight Computations currently in flight.\n# TYPE reprod_in_flight gauge\nreprod_in_flight %d\n", st.InFlight)
+	fmt.Fprintf(w, "# HELP reprod_peer_unhealthy Fleet peers currently sidelined (breaker not closed).\n# TYPE reprod_peer_unhealthy gauge\nreprod_peer_unhealthy %d\n", st.PeerUnhealthy)
+	fmt.Fprintf(w, "# HELP reprod_store_degraded Whether the persistence backend is degraded (1 = serving memory hits and computing locally).\n# TYPE reprod_store_degraded gauge\nreprod_store_degraded %d\n", boolGauge(st.StoreDegraded))
+	if len(st.PeerStates) > 0 {
+		peers := make([]string, 0, len(st.PeerStates))
+		for p := range st.PeerStates {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		fmt.Fprintf(w, "# HELP reprod_breaker_state Peer breaker state (0 closed, 1 half-open, 2 open).\n# TYPE reprod_breaker_state gauge\n")
+		for _, p := range peers {
+			var v int
+			switch st.PeerStates[p] {
+			case "half-open":
+				v = 1
+			case "open":
+				v = 2
+			}
+			fmt.Fprintf(w, "reprod_breaker_state{peer=%q} %d\n", p, v)
+		}
+	}
 	fmt.Fprintf(w, "# HELP reprod_fleet_size Fleet membership size (0 = fleet mode off).\n# TYPE reprod_fleet_size gauge\nreprod_fleet_size %d\n", st.FleetSize)
 	fmt.Fprintf(w, "# HELP reprod_store_resident_bytes Charged bytes resident in the store's memory tier.\n# TYPE reprod_store_resident_bytes gauge\nreprod_store_resident_bytes %d\n", ss.ResidentBytes)
 	fmt.Fprintf(w, "# HELP reprod_store_resident_entries Residents (entries + staged prefetches) in the memory tier.\n# TYPE reprod_store_resident_entries gauge\nreprod_store_resident_entries %d\n", ss.ResidentEntries)

@@ -9,8 +9,10 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/artifact/httpstore"
+	"repro/internal/retry"
 )
 
 // Fleet mode: N reprod replicas share the key space by rendezvous
@@ -36,6 +38,18 @@ import (
 //     single-compute, and a shared artifactd backend still dedupes
 //     across processes for all but true races.
 //
+// Peer health: every peer carries a consecutive-failure circuit
+// breaker (retry.Breaker). Proxy attempts that end in a transport
+// error — retried once with backoff first — count against the owner;
+// at the fail limit the breaker trips and subsequent requests for
+// that peer's keys are rerouted by re-running rendezvous over the
+// healthy members (usually landing local), so a dead owner costs one
+// trip, not a dial timeout per request. After the cooldown exactly
+// one request is let through as a half-open probe; its success closes
+// the breaker. Health is local knowledge — replicas may briefly
+// disagree, which costs duplicate computes, never loops (the hop
+// guard still bounds forwarding at one).
+//
 // Rendezvous hashing (vs a ring) keeps the membership math trivial and
 // the disruption minimal: when a member leaves, only the keys it owned
 // move (scattering evenly over the survivors); when one joins, only
@@ -45,6 +59,8 @@ type fleet struct {
 	self    string
 	members []string // sorted, deduped, self included
 	client  *http.Client
+	health  map[string]*retry.Breaker // per peer (self excluded)
+	retry   retry.Policy              // per proxy attempt
 }
 
 // fleetHopHeader marks a request already forwarded once by a replica:
@@ -60,7 +76,8 @@ const fleetOwnerHeader = "X-Reprod-Fleet-Owner"
 // peer list. An empty self or a membership of one disables fleet mode
 // (every key is local). Member URLs are normalized (trailing slash
 // trimmed) so equal spellings compare equal across replicas.
-func newFleet(self string, peers []string) (*fleet, error) {
+// failLimit/cooldown tune the per-peer breakers (0 = retry defaults).
+func newFleet(self string, peers []string, failLimit int, cooldown time.Duration) (*fleet, error) {
 	self = normalizeMember(self)
 	if self == "" {
 		if len(peers) > 0 {
@@ -93,11 +110,75 @@ func newFleet(self string, peers []string) (*fleet, error) {
 	// client's context cancels an abandoned proxy call. All replicas
 	// ride one pooled transport — per-peer keep-alive connections are
 	// reused across requests instead of redialed.
+	health := make(map[string]*retry.Breaker, len(members)-1)
+	for _, m := range members {
+		if m != self {
+			health[m] = &retry.Breaker{FailLimit: failLimit, Cooldown: cooldown}
+		}
+	}
 	return &fleet{
 		self:    self,
 		members: members,
 		client:  &http.Client{Transport: httpstore.SharedTransport()},
+		health:  health,
+		// One quick in-request retry smooths transient resets (a peer
+		// restarting, a flap edge); persistent failure is the breaker's
+		// job, so the budget stays small.
+		retry: retry.Policy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Jitter: 0.5},
 	}, nil
+}
+
+// breaker returns member's health breaker (nil for self or unknown
+// members).
+func (f *fleet) breaker(member string) *retry.Breaker {
+	if f == nil {
+		return nil
+	}
+	return f.health[member]
+}
+
+// healthyOwner re-runs rendezvous over self plus the peers whose
+// breakers are closed, excluding the sidelined owner — every replica
+// with the same health view agrees on the result, so rerouted keys
+// still coalesce fleet-wide in the common all-see-it-down case.
+func (f *fleet) healthyOwner(key, exclude string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range f.members {
+		if m == exclude {
+			continue
+		}
+		if m != f.self && !f.health[m].Viable() {
+			continue
+		}
+		s := rendezvousScore(m, key)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// healthSnapshot aggregates the per-peer breakers for /stats: state
+// by peer, how many peers are currently sidelined (not closed), and
+// the summed lifecycle counters.
+func (f *fleet) healthSnapshot() (states map[string]string, unhealthy int64, c retry.BreakerCounters) {
+	if f == nil {
+		return nil, 0, c
+	}
+	states = make(map[string]string, len(f.health))
+	for m, b := range f.health {
+		st := b.State()
+		states[m] = st.String()
+		if st != retry.Closed {
+			unhealthy++
+		}
+		bc := b.Counters()
+		c.Trips += bc.Trips
+		c.Probes += bc.Probes
+		c.Recoveries += bc.Recoveries
+	}
+	return states, unhealthy, c
 }
 
 func normalizeMember(u string) string {
@@ -148,7 +229,10 @@ func rendezvousScore(member, key string) uint64 {
 
 // route decides what to do with a cold request for keyID: answer
 // locally (proxy == false), or forward to the returned owner. Requests
-// already forwarded once (loop-guard header) are always local.
+// already forwarded once (loop-guard header) are always local. An
+// owner whose breaker is open is routed around: rendezvous re-runs
+// over the healthy members, so its keys land on one agreed-upon
+// stand-in (often self) instead of paying a dial timeout each.
 func (s *Server) route(r *http.Request, keyID string) (owner string, proxy bool) {
 	if s.fleet == nil {
 		return "", false
@@ -168,38 +252,70 @@ func (s *Server) route(r *http.Request, keyID string) (owner string, proxy bool)
 	if owner == s.fleet.self {
 		return "", false
 	}
-	return owner, true
+	// Allow grants closed-breaker traffic freely and exactly one
+	// half-open probe per cooldown; proxy() reports the outcome back.
+	if s.fleet.breaker(owner).Allow() {
+		return owner, true
+	}
+	s.rerouted.Add(1)
+	alt := s.fleet.healthyOwner(keyID, owner)
+	if alt == "" || alt == s.fleet.self {
+		return "", false
+	}
+	if s.fleet.breaker(alt).Allow() {
+		return alt, true
+	}
+	return "", false
 }
 
 // proxy forwards the request to owner over the same v1 path and writes
-// the owner's response through. Returns false — without having written
-// anything — when the owner is unreachable, in which case the caller
-// computes locally (the fallback leg of the routing contract). body is
-// the canonical request body to resend (nil for GETs).
+// the owner's response through — byte-identical body and status, so an
+// owner's error envelope (compute_failed, draining, ...) reaches the
+// client exactly as the owner wrote it. Returns false — without having
+// written anything — when the owner is unreachable after the in-request
+// retry, in which case the caller computes locally (the fallback leg of
+// the routing contract) and the owner's breaker records the failure.
+// Only transport-level errors count against the peer: any received
+// HTTP response, even a 5xx, proves it alive. body is the canonical
+// request body to resend (nil for GETs).
 func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner, keyID string, body []byte) bool {
 	target := owner + r.URL.Path
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
+	br := s.fleet.breaker(owner)
+	var resp *http.Response
+	err := s.fleet.retry.Do(r.Context(), func(n int) error {
+		if n > 0 {
+			s.proxyRetries.Add(1)
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, rerr := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
+		if rerr != nil {
+			return retry.Permanent(rerr)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set(fleetHopHeader, s.fleet.self)
+		resp, rerr = s.fleet.client.Do(req)
+		return rerr
+	})
 	if err != nil {
+		// Unreachable owner — or the waiting client left, in which
+		// case the local compute path sees the dead context immediately
+		// and the peer is not to blame.
+		if br != nil && r.Context().Err() == nil {
+			br.Failure()
+		}
 		s.proxyFallback.Add(1)
 		return false
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	req.Header.Set(fleetHopHeader, s.fleet.self)
-	resp, err := s.fleet.client.Do(req)
-	if err != nil {
-		// Unreachable owner (or the waiting client left — the local
-		// compute path will then see the dead context immediately).
-		s.proxyFallback.Add(1)
-		return false
+	if br != nil {
+		br.Success()
 	}
 	defer resp.Body.Close()
 	s.proxied.Add(1)

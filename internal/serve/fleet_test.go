@@ -17,7 +17,7 @@ import (
 // mustFleet builds a fleet or fails the test.
 func mustFleet(t *testing.T, self string, peers []string) *fleet {
 	t.Helper()
-	f, err := newFleet(self, peers)
+	f, err := newFleet(self, peers, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,18 +89,18 @@ func TestRendezvousStability(t *testing.T) {
 
 // TestFleetConfigValidation pins newFleet's error and disable rules.
 func TestFleetConfigValidation(t *testing.T) {
-	if _, err := newFleet("", []string{"http://b:1"}); err == nil {
+	if _, err := newFleet("", []string{"http://b:1"}, 0, 0); err == nil {
 		t.Fatal("peers without a self URL accepted")
 	}
-	if _, err := newFleet("http://a:1", []string{"b:1"}); err == nil {
+	if _, err := newFleet("http://a:1", []string{"b:1"}, 0, 0); err == nil {
 		t.Fatal("relative member URL accepted")
 	}
-	if f, err := newFleet("", nil); err != nil || f != nil {
+	if f, err := newFleet("", nil, 0, 0); err != nil || f != nil {
 		t.Fatalf("no fleet config: %v %v", f, err)
 	}
 	// Self-only membership (including repeated spellings) disables
 	// fleet mode rather than proxying to itself.
-	if f, err := newFleet("http://a:1", []string{"http://a:1/", " http://a:1 "}); err != nil || f != nil {
+	if f, err := newFleet("http://a:1", []string{"http://a:1/", " http://a:1 "}, 0, 0); err != nil || f != nil {
 		t.Fatalf("fleet of one: %v %v", f, err)
 	}
 	f := mustFleet(t, "http://a:1/", []string{"http://b:1"})

@@ -84,6 +84,15 @@ type Config struct {
 	// artefact key is rendezvous-hashed to one home replica and cold
 	// requests are forwarded there — fleet-wide coalescing.
 	Peers []string
+	// PeerFailLimit is the consecutive transport failures that trip a
+	// peer's circuit breaker (0 = retry.DefaultFailLimit). While open,
+	// that peer's keys are rerouted over the healthy members instead of
+	// paying a dial timeout per request.
+	PeerFailLimit int
+	// PeerCooldown is how long a tripped peer breaker stays open before
+	// one request is let through as a half-open probe
+	// (0 = retry.DefaultCooldown).
+	PeerCooldown time.Duration
 	// MaxJobResultBytes caps the rendered bytes one job retains inline
 	// (0 = 1 MB). Results past the cap are dropped from the retained
 	// record but recovered from the store at GET time when still
@@ -113,13 +122,14 @@ type Server struct {
 	stackPasses, replayPasses         atomic.Int64
 	proxied, proxyFallback            atomic.Int64
 	peerServed, loopGuarded           atomic.Int64
+	rerouted, proxyRetries            atomic.Int64
 }
 
 // New returns a serving core over cfg. The only error is an invalid
 // fleet configuration (peers without a self URL, non-absolute member
 // URLs).
 func New(cfg Config) (*Server, error) {
-	fl, err := newFleet(cfg.Self, cfg.Peers)
+	fl, err := newFleet(cfg.Self, cfg.Peers, cfg.PeerFailLimit, cfg.PeerCooldown)
 	if err != nil {
 		return nil, err
 	}
@@ -171,9 +181,13 @@ func (s *Server) absorb(sess *experiments.Session) {
 	s.renders.Add(sess.Renders())
 }
 
-// compute runs fn on the bounded worker pool under the flight context,
-// counting the execution. Queued work re-checks the context so an
-// abandoned flight never occupies a worker.
+// compute runs fn on the bounded worker pool under the flight context.
+// Queued work re-checks the context so an abandoned flight never
+// occupies a worker. The computes counter counts sessions that
+// actually rendered something: a flight whose artefact turns out to be
+// warm by the time it executes (a proxy-fallback straggler racing a
+// rerouted wave, say) only copies bytes out of the store — counting it
+// would make the coalescing gates lie under fault-injected timing.
 func (s *Server) compute(ctx context.Context, fn func(sess *experiments.Session) ([]byte, error)) ([]byte, error) {
 	var out []byte
 	err := ctx.Err()
@@ -184,9 +198,11 @@ func (s *Server) compute(ctx context.Context, fn func(sess *experiments.Session)
 		if err = ctx.Err(); err != nil {
 			return // cancelled while queued for a worker
 		}
-		s.computes.Add(1)
 		sess := s.session(ctx)
 		out, err = fn(sess)
+		if sess.Renders() > 0 {
+			s.computes.Add(1)
+		}
 		s.absorb(sess)
 	})
 	return out, err
@@ -419,10 +435,38 @@ type Stats struct {
 	Proxied, ProxyFallback  int64
 	PeerServed, LoopGuarded int64
 	FleetSize               int
+	// Peer-health counters: requests routed around a tripped owner
+	// (Rerouted), extra proxy attempts beyond each forward's first
+	// (ProxyRetries), peers currently sidelined — breaker not closed
+	// (PeerUnhealthy) — plus the summed breaker lifecycle counters and
+	// every peer's current breaker state keyed by its advertised URL.
+	Rerouted, ProxyRetries                         int64
+	PeerUnhealthy                                  int64
+	BreakerTrips, BreakerProbes, BreakerRecoveries int64
+	PeerStates                                     map[string]string
+	// Store health: whether the persistence backend is degraded (this
+	// replica serves memory hits and computes locally, buffering
+	// nothing) and the backend's retry/skip counters.
+	StoreDegraded              bool
+	StoreRetries, StoreSkipped int64
+}
+
+// Healthy reports readiness: not draining and the store backend not
+// degraded. Liveness is /healthz; this feeds /readyz.
+func (s *Server) Healthy() (ready bool, reason string) {
+	if s.draining.Load() {
+		return false, "draining"
+	}
+	if s.store.Health().Degraded {
+		return false, "degraded"
+	}
+	return true, "ready"
 }
 
 // Stats returns the current counter snapshot.
 func (s *Server) Stats() Stats {
+	states, unhealthy, bc := s.fleet.healthSnapshot()
+	sh := s.store.Health()
 	return Stats{
 		UnitRequests: s.unitReqs.Load(), ScenarioRequests: s.scenarioReqs.Load(),
 		WarmHits: s.warmHits.Load(), Coalesced: s.coalesced.Load(), Computes: s.computes.Load(),
@@ -435,5 +479,11 @@ func (s *Server) Stats() Stats {
 		Proxied: s.proxied.Load(), ProxyFallback: s.proxyFallback.Load(),
 		PeerServed: s.peerServed.Load(), LoopGuarded: s.loopGuarded.Load(),
 		FleetSize: s.fleet.size(),
+		Rerouted:  s.rerouted.Load(), ProxyRetries: s.proxyRetries.Load(),
+		PeerUnhealthy: unhealthy,
+		BreakerTrips:  bc.Trips, BreakerProbes: bc.Probes, BreakerRecoveries: bc.Recoveries,
+		PeerStates:    states,
+		StoreDegraded: sh.Degraded,
+		StoreRetries:  sh.Retries, StoreSkipped: sh.Skipped,
 	}
 }
