@@ -35,14 +35,16 @@
 //
 //	artifactd [-addr :9444] [-dir DIR] [-token SECRET]
 //	          [-gc "4GB,168h"] [-gc-interval 10m] [-fault-spec SPEC]
+//	          [-log-level debug|info|warn|error]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/artifact"
@@ -58,7 +60,13 @@ func main() {
 	gcSpec := flag.String("gc", "", `bound the entry directory, as a size, an age, or both: "4GB", "168h", "4GB,168h" (LRU sweep; empty = never collect)`)
 	gcInterval := flag.Duration("gc-interval", 10*time.Minute, "how often to run the -gc sweep")
 	faultSpec := flag.String("fault-spec", "", `TESTING ONLY: inject faults into artifact requests, e.g. "seed=7,err=0.3,truncate=0.1" (see internal/faultinject; probe and stats endpoints stay clean)`)
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, err := newLogger("artifactd", *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv, err := artifactd.New(*dir)
 	if err != nil {
@@ -66,7 +74,7 @@ func main() {
 	}
 	if *token != "" {
 		srv.SetToken(*token)
-		log.Printf("artifactd: bearer-token auth enabled")
+		logger.Info("bearer-token auth enabled")
 	}
 
 	if *gcSpec != "" {
@@ -77,10 +85,10 @@ func main() {
 		sweep := func() {
 			res, err := artifact.GC(srv.Dir(), policy.MaxBytes, policy.MaxAge)
 			if err != nil {
-				log.Printf("artifactd: gc: %v", err)
+				logger.Error("gc sweep failed", "dir", srv.Dir(), "error", err)
 				return
 			}
-			log.Printf("artifactd: gc: %s", res)
+			logger.Info("gc sweep", "dir", srv.Dir(), "result", res.String())
 		}
 		sweep()
 		go func() {
@@ -107,13 +115,34 @@ func main() {
 				faulty.ServeHTTP(w, r)
 			}
 		})
-		log.Printf("artifactd: FAULT INJECTION ACTIVE (%s) — testing only, never production", spec)
+		logger.Warn(fmt.Sprintf("FAULT INJECTION ACTIVE (%s) — testing only, never production", spec))
 	}
 
-	log.Printf("artifactd: serving %s on %s", srv.Dir(), *addr)
+	logger.Info("serving artifacts", "dir", srv.Dir(), "addr", *addr)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
+}
+
+// newLogger builds the process logger: structured key=value lines on
+// stderr, every record tagged with the daemon name, bounded below by
+// the -log-level flag.
+func newLogger(component, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q is not debug, info, warn or error", level)
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	return slog.New(h).With("component", component), nil
 }
 
 func fatal(err error) {

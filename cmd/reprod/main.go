@@ -47,13 +47,14 @@
 //	       [-self URL] [-peers URL,URL,...]
 //	       [-peer-fail-limit N] [-peer-cooldown D] [-fault-spec SPEC]
 //	       [-gc SPEC] [-gc-interval D] [-mem-quota SPEC] [-drain-timeout D]
+//	       [-event-buffer N] [-log-level debug|info|warn|error]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -88,7 +89,14 @@ func main() {
 	peerCooldown := flag.Duration("peer-cooldown", 0, "how long a sidelined peer's breaker stays open before a half-open probe (0 = default 5s)")
 	faultSpec := flag.String("fault-spec", "", `TESTING ONLY: inject faults into served requests, e.g. "seed=3,up=6s,down=4s" (see internal/faultinject; probe and stats endpoints stay clean)`)
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight work")
+	eventBuffer := flag.Int("event-buffer", 0, "per-SSE-subscriber event ring size (0 = default 256); a subscriber that falls further behind sheds its oldest events")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, err := newLogger("reprod", *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	opt := experiments.Default()
 	if *quick {
@@ -103,10 +111,16 @@ func main() {
 	cfg := serve.Config{
 		Opt: opt, Engine: engine, Parallelism: *parallel, BlockSize: *block, Workers: *workers,
 		Self: *self, PeerFailLimit: *peerFailLimit, PeerCooldown: *peerCooldown,
+		EventBuffer: *eventBuffer,
 	}
 	for _, p := range strings.Split(*peers, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			cfg.Peers = append(cfg.Peers, p)
+		}
+	}
+	if cfg.Self != "" {
+		for _, p := range cfg.Peers {
+			logger.Debug("fleet member configured", "self", cfg.Self, "peer", p)
 		}
 	}
 	if *memQuota != "" {
@@ -150,10 +164,10 @@ func main() {
 		sweep := func() {
 			res, err := artifact.GC(*cacheDir, policy.MaxBytes, policy.MaxAge)
 			if err != nil {
-				log.Printf("reprod: gc: %v", err)
+				logger.Error("gc sweep failed", "dir", *cacheDir, "error", err)
 				return
 			}
-			log.Printf("reprod: gc: %s", res)
+			logger.Info("gc sweep", "dir", *cacheDir, "result", res.String())
 		}
 		sweep()
 		go func() {
@@ -181,7 +195,7 @@ func main() {
 				faulty.ServeHTTP(w, r)
 			}
 		})
-		log.Printf("reprod: FAULT INJECTION ACTIVE (%s) — testing only, never production", spec)
+		logger.Warn(fmt.Sprintf("FAULT INJECTION ACTIVE (%s) — testing only, never production", spec))
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -190,25 +204,46 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		sig := <-stop
-		log.Printf("reprod: %s: draining (in-flight work finishes, queued jobs abort)", sig)
+		logger.Info("draining (in-flight work finishes, queued jobs abort)", "signal", sig.String())
 		srv.BeginShutdown()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("reprod: http shutdown: %v", err)
+			logger.Error("http shutdown", "error", err)
 		}
 		if err := srv.Drain(ctx); err != nil {
-			log.Printf("reprod: job drain: %v", err)
+			logger.Error("job drain", "error", err)
 		}
 		close(done)
 	}()
 
-	log.Printf("reprod: serving experiments on %s (quick=%v)", *addr, *quick)
+	logger.Info("serving experiments", "addr", *addr, "quick", *quick)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 	<-done
-	log.Printf("reprod: drained, exiting")
+	logger.Info("drained, exiting")
+}
+
+// newLogger builds the process logger: structured key=value lines on
+// stderr, every record tagged with the daemon name, bounded below by
+// the -log-level flag.
+func newLogger(component, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q is not debug, info, warn or error", level)
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})
+	return slog.New(h).With("component", component), nil
 }
 
 func fatal(err error) {

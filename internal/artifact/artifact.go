@@ -121,6 +121,34 @@ type Store struct {
 	backendHits     atomic.Int64
 	backendDiscards atomic.Int64
 	prefetches      atomic.Int64
+
+	// events receives store lifecycle events (SetEvents). Written once
+	// before the store sees traffic, read without locking afterwards.
+	events EventSink
+	// wasDegraded tracks the last observed backend degradation so
+	// Health() can publish the degraded/recovered transition exactly
+	// once per edge.
+	wasDegraded atomic.Bool
+}
+
+// EventSink receives store lifecycle events: fill (a computation ran,
+// with ok/error), hit (tier mem or backend), eviction, and
+// degraded/recovered backend transitions. Declared here rather than
+// importing the event bus so this package stays dependency-free; a
+// *eventbus.Publisher satisfies it directly. Active gates payload
+// construction — an idle sink costs one interface call per site.
+type EventSink interface {
+	Active() bool
+	Event(typ string, data map[string]any)
+}
+
+// SetEvents attaches the event sink. Call once, right after
+// construction, before the store sees traffic.
+func (s *Store) SetEvents(sink EventSink) { s.events = sink }
+
+// eventsActive reports whether event payloads are worth building.
+func (s *Store) eventsActive() bool {
+	return s.events != nil && s.events.Active()
 }
 
 // entry is one key's singleflight slot. The once guards the fill;
@@ -420,6 +448,9 @@ func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, comput
 		}
 	}
 	s.mu.Unlock()
+	if ok && s.eventsActive() {
+		s.events.Event("hit", map[string]any{"id": key.ID(), "kind": key.Kind, "tier": "mem"})
+	}
 	owner := false
 	e.once.Do(func() {
 		owner = true
@@ -474,6 +505,9 @@ func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, comput
 		if disk && s.backend != nil {
 			if v, size, ok := loadBackend(s, key, check); ok {
 				s.backendHits.Add(1)
+				if s.eventsActive() {
+					s.events.Event("hit", map[string]any{"id": key.ID(), "kind": key.Kind, "tier": "backend"})
+				}
 				e.val = v
 				e.size = size
 				return
@@ -482,9 +516,15 @@ func fillAttempt[T any](s *Store, key Key, disk bool, check func(T) bool, comput
 		v, err := compute()
 		if err != nil {
 			e.err = err
+			if s.eventsActive() {
+				s.events.Event("fill", map[string]any{"id": key.ID(), "kind": key.Kind, "ok": false, "error": err.Error()})
+			}
 			return
 		}
 		s.fills.Add(1)
+		if s.eventsActive() {
+			s.events.Event("fill", map[string]any{"id": key.ID(), "kind": key.Kind, "ok": true})
+		}
 		e.val = v
 		enc := encodeValue(v)
 		if enc != nil {
@@ -527,6 +567,9 @@ func Peek[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 			return zero, false
 		}
 		v, ok := e.val.(T)
+		if ok && s.eventsActive() {
+			s.events.Event("hit", map[string]any{"id": key.ID(), "kind": key.Kind, "tier": "mem"})
+		}
 		return v, ok
 	}
 	if s.backend == nil {
@@ -537,6 +580,9 @@ func Peek[T any](s *Store, key Key, check func(T) bool) (T, bool) {
 		return zero, false
 	}
 	s.backendHits.Add(1)
+	if s.eventsActive() {
+		s.events.Event("hit", map[string]any{"id": key.ID(), "kind": key.Kind, "tier": "backend"})
+	}
 	ne := &entry{val: v, size: size}
 	ne.once.Do(func() {}) // consume: a later Get must not re-fill over val
 	ne.done.Store(true)

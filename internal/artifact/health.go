@@ -56,9 +56,22 @@ func backendHealth(b Backend) Health {
 // nil or health-agnostic). Degraded does not impair correctness — a
 // degraded store serves memory-tier hits and recomputes everything
 // else — but operators want it on /readyz.
+//
+// Health is also where degradation edges become events: backend health
+// is pull-based, so the transition is detected at observation time (a
+// /readyz poll or stats scrape) and published exactly once per edge as
+// degraded / recovered.
 func (s *Store) Health() Health {
 	if s.backend == nil {
 		return Health{}
 	}
-	return backendHealth(s.backend)
+	h := backendHealth(s.backend)
+	if s.events != nil && s.wasDegraded.Swap(h.Degraded) != h.Degraded {
+		typ := "recovered"
+		if h.Degraded {
+			typ = "degraded"
+		}
+		s.events.Event(typ, map[string]any{"retries": h.Retries, "skipped": h.Skipped})
+	}
+	return h
 }

@@ -285,6 +285,11 @@ func (s *Store) evictNodeLocked(n *memNode) {
 		s.kindEvicts = map[string]int64{}
 	}
 	s.kindEvicts[n.kind]++
+	// Publishing under s.mu is safe: the bus takes only its own locks
+	// and nothing in it calls back into the store.
+	if s.eventsActive() {
+		s.events.Event("eviction", map[string]any{"kind": n.kind, "bytes": n.size})
+	}
 }
 
 // evictLocked restores every installed bound: age expiry first, then

@@ -1,0 +1,318 @@
+// Package eventbus is the serving stack's in-process publish/subscribe
+// bus: a bounded, non-blocking fan-out from the hot layers (engine,
+// flights, store, fleet) to any number of live observers (SSE streams,
+// tests, the per-job backlog).
+//
+// The contract is built around one rule: a publisher never blocks and
+// never allocates for nobody. Every subscriber owns a fixed-size ring
+// buffer; a subscriber that falls behind loses its *oldest* buffered
+// events (counted per subscriber and bus-wide), never slows the
+// publisher, and never affects other subscribers. Publishing with no
+// subscriber attached is a single atomic load — instrumentation sites
+// additionally gate on Active() so they skip building the event payload
+// entirely, which keeps the engine's no-observer cost at zero.
+//
+// Ordering is deterministic per topic: events on one topic carry a
+// strictly increasing sequence number assigned under the bus lock, and
+// every subscriber observes its surviving events in that order (drops
+// create gaps, never reordering). Cross-topic order is not defined.
+package eventbus
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one bus message. Data is owned by the bus after publish —
+// callers must not mutate the map they passed in.
+type Event struct {
+	// Seq is the per-topic sequence number, 1-based and strictly
+	// increasing. Gaps in a subscriber's view mean dropped events.
+	Seq   uint64         `json:"seq"`
+	Topic string         `json:"topic"`
+	Type  string         `json:"type"`
+	Time  time.Time      `json:"time"`
+	Data  map[string]any `json:"data,omitempty"`
+}
+
+// DefaultBuffer is the per-subscriber ring capacity when Subscribe is
+// given a non-positive size.
+const DefaultBuffer = 256
+
+// Bus is the process-wide event fan-out. The zero value is not usable;
+// construct with New. A nil *Bus is a valid no-op publisher.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[*Subscriber]struct{}
+	seq  map[string]uint64 // per-topic sequence counters
+
+	active    atomic.Int64 // live subscriber count — the publish fast-path gate
+	published atomic.Int64
+	dropped   atomic.Int64
+}
+
+// New returns an empty bus.
+func New() *Bus {
+	return &Bus{subs: map[*Subscriber]struct{}{}, seq: map[string]uint64{}}
+}
+
+// Active reports whether any subscriber is attached. Instrumentation
+// sites check it before building an event payload, so an idle bus costs
+// one atomic load per site. nil-safe.
+func (b *Bus) Active() bool {
+	return b != nil && b.active.Load() > 0
+}
+
+// Publish delivers one event to every matching subscriber. It never
+// blocks: a full subscriber ring sheds its oldest event instead. With
+// no subscriber attached the call is a no-op (the topic sequence does
+// not advance — use Emit when the event must exist regardless, e.g. for
+// a replayable backlog). nil-safe.
+func (b *Bus) Publish(topic, typ string, data map[string]any) {
+	if !b.Active() {
+		return
+	}
+	b.emit(topic, typ, data)
+}
+
+// Emit is Publish that always materializes the event: the topic
+// sequence advances and the built event is returned even when nobody is
+// subscribed. The per-job lifecycle backlog uses it so replayed and
+// live events share one numbering.
+func (b *Bus) Emit(topic, typ string, data map[string]any) Event {
+	return b.emit(topic, typ, data)
+}
+
+func (b *Bus) emit(topic, typ string, data map[string]any) Event {
+	b.mu.Lock()
+	b.seq[topic]++
+	ev := Event{Seq: b.seq[topic], Topic: topic, Type: typ, Time: time.Now().UTC(), Data: data}
+	for s := range b.subs {
+		if s.matches(topic) {
+			s.push(ev)
+		}
+	}
+	b.mu.Unlock()
+	b.published.Add(1)
+	return ev
+}
+
+// Subscribe attaches a subscriber with a ring of the given capacity
+// (non-positive = DefaultBuffer). topics filters delivery: exact topic
+// names, or prefix patterns ending in "*" ("job/*" matches every job
+// stream); no topics = the full firehose. Close the subscriber to
+// detach.
+func (b *Bus) Subscribe(buf int, topics ...string) *Subscriber {
+	if buf <= 0 {
+		buf = DefaultBuffer
+	}
+	var filter []string
+	for _, t := range topics {
+		if t != "" {
+			filter = append(filter, t)
+		}
+	}
+	s := &Subscriber{
+		bus:    b,
+		topics: filter,
+		ring:   make([]Event, buf),
+		wake:   make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	b.active.Add(1)
+	return s
+}
+
+// Stats is a snapshot of the bus counters.
+type Stats struct {
+	// Published counts events materialized on the bus (Publish with at
+	// least one subscriber, plus every Emit).
+	Published int64
+	// Dropped counts events shed from subscriber rings (drop-oldest).
+	Dropped int64
+	// Subscribers is the live subscriber count.
+	Subscribers int64
+}
+
+// Stats returns the current counters. nil-safe.
+func (b *Bus) Stats() Stats {
+	if b == nil {
+		return Stats{}
+	}
+	return Stats{
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+		Subscribers: b.active.Load(),
+	}
+}
+
+// Topic binds a topic name into a Publisher — the one-field handle the
+// instrumented packages hold. nil-safe (a nil bus yields a nil,
+// no-op publisher).
+func (b *Bus) Topic(topic string) *Publisher {
+	if b == nil {
+		return nil
+	}
+	return &Publisher{bus: b, topic: topic}
+}
+
+// Publisher is a bus pre-bound to one topic. Its method set satisfies
+// the EventSink interfaces the instrumented packages (experiments,
+// artifact) declare, without those packages importing this one. A nil
+// *Publisher is a valid no-op.
+type Publisher struct {
+	bus   *Bus
+	topic string
+}
+
+// Active reports whether publishing now could reach anyone — the
+// zero-cost gate call sites use to skip building the payload map.
+func (p *Publisher) Active() bool {
+	return p != nil && p.bus.Active()
+}
+
+// Event publishes typ with data on the bound topic. No-op without
+// subscribers.
+func (p *Publisher) Event(typ string, data map[string]any) {
+	if p == nil {
+		return
+	}
+	p.bus.Publish(p.topic, typ, data)
+}
+
+// Subscriber is one attached consumer: a fixed ring of pending events,
+// drained with Next (non-blocking) or Recv (blocking), woken through
+// Wait. All methods are safe for concurrent use, though a subscriber
+// normally has one reader.
+type Subscriber struct {
+	bus    *Bus
+	topics []string // nil = all; entries ending in "*" match prefixes
+
+	mu      sync.Mutex
+	ring    []Event
+	head, n int
+	dropped uint64
+	closed  bool
+	wake    chan struct{} // 1-buffered; closed on Close
+}
+
+// matches reports whether the subscriber wants topic. Called under the
+// bus lock; topics is immutable after Subscribe so no subscriber lock
+// is needed.
+func (s *Subscriber) matches(topic string) bool {
+	if len(s.topics) == 0 {
+		return true
+	}
+	for _, t := range s.topics {
+		if t == topic {
+			return true
+		}
+		if n := len(t); n > 0 && t[n-1] == '*' && len(topic) >= n-1 && topic[:n-1] == t[:n-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// push appends ev, shedding the oldest buffered event when the ring is
+// full. Called under the bus lock (bus.mu → sub.mu, the one lock order
+// everywhere).
+func (s *Subscriber) push(ev Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		s.dropped++
+		s.bus.dropped.Add(1)
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = ev
+	s.n++
+	// The wake send stays under the mutex so it can never race the
+	// close(wake) in Close (which also holds it).
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// Next pops the oldest pending event. ok is false when nothing is
+// pending — check Closed to distinguish "empty for now" from "detached".
+func (s *Subscriber) Next() (Event, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Event{}, false
+	}
+	ev := s.ring[s.head]
+	s.ring[s.head] = Event{} // release payload references
+	s.head = (s.head + 1) % len(s.ring)
+	s.n--
+	return ev, true
+}
+
+// Wait returns a channel that is readable when new events may be
+// pending (level-triggered wakeup) and permanently readable once the
+// subscriber is closed. Drain Next after each wakeup.
+func (s *Subscriber) Wait() <-chan struct{} { return s.wake }
+
+// Recv blocks for the next event, honoring ctx. ok is false when the
+// subscriber closed or ctx expired with nothing pending.
+func (s *Subscriber) Recv(ctx context.Context) (Event, bool) {
+	for {
+		if ev, ok := s.Next(); ok {
+			return ev, true
+		}
+		if s.Closed() {
+			return Event{}, false
+		}
+		select {
+		case <-s.wake:
+		case <-ctx.Done():
+			// One final drain: an event may have landed between the
+			// failed Next and ctx expiring.
+			return s.Next()
+		}
+	}
+}
+
+// Dropped reports how many events this subscriber has shed.
+func (s *Subscriber) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Closed reports whether the subscriber has been detached.
+func (s *Subscriber) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close detaches the subscriber: no further events are delivered, Wait
+// becomes permanently readable, and pending events remain drainable via
+// Next. Safe to call more than once, and safe concurrently with
+// Publish.
+func (s *Subscriber) Close() {
+	s.bus.mu.Lock()
+	if _, live := s.bus.subs[s]; live {
+		delete(s.bus.subs, s)
+		s.bus.active.Add(-1)
+	}
+	s.bus.mu.Unlock()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.wake)
+	}
+	s.mu.Unlock()
+}

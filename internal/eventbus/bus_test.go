@@ -1,0 +1,284 @@
+package eventbus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPerTopicOrdering pins the ordering contract: one topic's events
+// carry strictly increasing sequence numbers and arrive in that order;
+// an unrelated topic numbers independently.
+func TestPerTopicOrdering(t *testing.T) {
+	b := New()
+	sub := b.Subscribe(64, "a")
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish("a", "tick", map[string]any{"i": i})
+		b.Publish("b", "noise", nil)
+	}
+	for i := 0; i < 10; i++ {
+		ev, ok := sub.Next()
+		if !ok {
+			t.Fatalf("event %d missing", i)
+		}
+		if ev.Topic != "a" || ev.Seq != uint64(i+1) || ev.Data["i"] != i {
+			t.Fatalf("event %d: got topic=%s seq=%d data=%v", i, ev.Topic, ev.Seq, ev.Data)
+		}
+	}
+	if _, ok := sub.Next(); ok {
+		t.Fatal("filtered topic leaked through")
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events with room to spare", d)
+	}
+}
+
+// TestSlowSubscriberDropsOldest is the backpressure contract: a full
+// ring sheds its oldest events, the publisher never blocks, the drop
+// counters account for every shed event, and the survivors are the
+// newest ones in order.
+func TestSlowSubscriberDropsOldest(t *testing.T) {
+	b := New()
+	sub := b.Subscribe(4, "t")
+	defer sub.Close()
+	fast := b.Subscribe(64, "t")
+	defer fast.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish("t", "e", map[string]any{"i": i})
+	}
+	// The slow ring (cap 4) keeps exactly the last 4, in order.
+	for want := 6; want < 10; want++ {
+		ev, ok := sub.Next()
+		if !ok || ev.Data["i"] != want {
+			t.Fatalf("want survivor %d, got %v (ok=%v)", want, ev.Data, ok)
+		}
+	}
+	if _, ok := sub.Next(); ok {
+		t.Fatal("ring held more than its capacity")
+	}
+	if d := sub.Dropped(); d != 6 {
+		t.Fatalf("slow subscriber dropped %d, want 6", d)
+	}
+	// The fast subscriber is untouched by its neighbor's backpressure.
+	if d := fast.Dropped(); d != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", d)
+	}
+	for i := 0; i < 10; i++ {
+		if ev, ok := fast.Next(); !ok || ev.Data["i"] != i {
+			t.Fatalf("fast subscriber event %d: got %v (ok=%v)", i, ev.Data, ok)
+		}
+	}
+	st := b.Stats()
+	if st.Published != 10 || st.Dropped != 6 || st.Subscribers != 2 {
+		t.Fatalf("stats = %+v, want published=10 dropped=6 subscribers=2", st)
+	}
+}
+
+// TestPublishWithoutSubscribersIsNoop pins the idle fast path: no
+// subscriber means Publish materializes nothing and counts nothing.
+func TestPublishWithoutSubscribersIsNoop(t *testing.T) {
+	b := New()
+	if b.Active() {
+		t.Fatal("empty bus claims to be active")
+	}
+	b.Publish("t", "e", nil)
+	if st := b.Stats(); st.Published != 0 {
+		t.Fatalf("idle publish was counted: %+v", st)
+	}
+	// Emit always materializes — the per-job backlog depends on it.
+	ev := b.Emit("t", "e", nil)
+	if ev.Seq != 1 {
+		t.Fatalf("Emit seq = %d, want 1", ev.Seq)
+	}
+	if st := b.Stats(); st.Published != 1 {
+		t.Fatalf("Emit not counted: %+v", st)
+	}
+	var nilBus *Bus
+	nilBus.Publish("t", "e", nil) // must not panic
+	if nilBus.Active() {
+		t.Fatal("nil bus active")
+	}
+	var nilPub *Publisher
+	nilPub.Event("e", nil) // must not panic
+	if nilPub.Active() {
+		t.Fatal("nil publisher active")
+	}
+}
+
+// TestTopicPrefixFilter covers the "job/*" wildcard used by firehose
+// consumers watching every job stream.
+func TestTopicPrefixFilter(t *testing.T) {
+	b := New()
+	sub := b.Subscribe(16, "job/*")
+	defer sub.Close()
+	b.Publish("job/job-00000001", "started", nil)
+	b.Publish("jobless", "noise", nil)
+	b.Publish("job/job-00000002", "done", nil)
+	ev1, ok1 := sub.Next()
+	ev2, ok2 := sub.Next()
+	if !ok1 || !ok2 || ev1.Topic != "job/job-00000001" || ev2.Topic != "job/job-00000002" {
+		t.Fatalf("prefix filter delivered %v / %v", ev1, ev2)
+	}
+	if _, ok := sub.Next(); ok {
+		t.Fatal("non-matching topic leaked through the prefix filter")
+	}
+}
+
+// TestCloseWakesWaiter: a blocked Recv returns promptly when the
+// subscriber closes, and pending events stay drainable after Close.
+func TestCloseWakesWaiter(t *testing.T) {
+	b := New()
+	sub := b.Subscribe(8, "t")
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Recv(context.Background())
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv returned an event from a closed, empty subscriber")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not wake on Close")
+	}
+	// Pending events survive Close.
+	sub2 := b.Subscribe(8, "t")
+	b.Publish("t", "e", nil)
+	sub2.Close()
+	if _, ok := sub2.Next(); !ok {
+		t.Fatal("pending event lost on Close")
+	}
+	b.Publish("t", "late", nil) // must not panic or deliver
+	if _, ok := sub2.Next(); ok {
+		t.Fatal("closed subscriber received a new event")
+	}
+}
+
+// TestRecvContext: Recv honors context cancellation.
+func TestRecvContext(t *testing.T) {
+	b := New()
+	sub := b.Subscribe(8, "t")
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, ok := sub.Recv(ctx); ok {
+		t.Fatal("Recv invented an event")
+	}
+}
+
+// TestUnsubscribeDuringPublishHammer races Close against concurrent
+// publishers: no panic (the wake-channel close is serialized with the
+// wake send), no deadlock, and the books still balance. Run with
+// -race in CI.
+func TestUnsubscribeDuringPublishHammer(t *testing.T) {
+	b := New()
+	const publishers = 4
+	const rounds = 200
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Publish(fmt.Sprintf("t%d", p%2), "e", map[string]any{"i": i})
+			}
+		}(p)
+	}
+	for r := 0; r < rounds; r++ {
+		subs := make([]*Subscriber, 8)
+		for i := range subs {
+			subs[i] = b.Subscribe(4, fmt.Sprintf("t%d", i%2))
+		}
+		var cw sync.WaitGroup
+		for _, s := range subs {
+			cw.Add(1)
+			go func(s *Subscriber) {
+				defer cw.Done()
+				s.Next()
+				s.Close()
+				s.Close() // double-close is fine
+			}(s)
+		}
+		cw.Wait()
+	}
+	close(stop)
+	wg.Wait()
+	if n := b.Stats().Subscribers; n != 0 {
+		t.Fatalf("%d subscribers leaked", n)
+	}
+}
+
+// TestConcurrentOrderingPerTopic: under concurrent publishers on one
+// topic, every subscriber still observes strictly increasing sequence
+// numbers (gaps allowed — drops — inversions never).
+func TestConcurrentOrderingPerTopic(t *testing.T) {
+	b := New()
+	subs := make([]*Subscriber, 4)
+	for i := range subs {
+		subs[i] = b.Subscribe(1024, "t")
+		defer subs[i].Close()
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish("t", "e", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	for si, s := range subs {
+		var last uint64
+		n := 0
+		for {
+			ev, ok := s.Next()
+			if !ok {
+				break
+			}
+			if ev.Seq <= last {
+				t.Fatalf("subscriber %d: seq %d after %d", si, ev.Seq, last)
+			}
+			last = ev.Seq
+			n++
+		}
+		if n != 800 {
+			t.Fatalf("subscriber %d saw %d/800 events with a big ring", si, n)
+		}
+	}
+}
+
+// BenchmarkPublishNoSubscribers is the zero-cost claim for the
+// instrumented hot paths: publishing into an idle bus must be a
+// single atomic load, no allocation.
+func BenchmarkPublishNoSubscribers(bm *testing.B) {
+	b := New()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		b.Publish("t", "e", nil)
+	}
+}
+
+// BenchmarkPublishOneSubscriber prices the attached path.
+func BenchmarkPublishOneSubscriber(bm *testing.B) {
+	b := New()
+	sub := b.Subscribe(256, "t")
+	defer sub.Close()
+	bm.ReportAllocs()
+	for i := 0; i < bm.N; i++ {
+		b.Publish("t", "e", nil)
+	}
+}

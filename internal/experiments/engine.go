@@ -47,6 +47,17 @@ type UnitResult struct {
 	Elapsed  time.Duration
 }
 
+// EventSink receives engine lifecycle events (unit_scheduled,
+// unit_start, unit_finish). It is declared here rather than importing
+// the event bus so the experiments package stays dependency-free; a
+// *eventbus.Publisher satisfies it directly. Active is the cheap gate:
+// the engine skips building event payloads entirely when it reports
+// false, keeping the no-observer run cost at zero.
+type EventSink interface {
+	Active() bool
+	Event(typ string, data map[string]any)
+}
+
 // Engine runs every table and figure of the paper as a
 // dependency-aware concurrent batch over one shared Session. Units
 // whose dependencies are satisfied execute in parallel on a bounded
@@ -61,6 +72,12 @@ type Engine struct {
 	// Select restricts the run to these visible unit names (nil = all);
 	// dependencies are pulled in transitively.
 	Select []string
+	// Events, when non-nil and active, receives unit lifecycle events:
+	// unit_scheduled (once per selected unit, in definition order, when
+	// the run is planned), unit_start, and unit_finish (with wall-time
+	// ms, status ok/primer/error, and source provenance — computed,
+	// warm, primer, or custom). Publishing never blocks the run.
+	Events EventSink
 	// Shard/ShardCount split the selected visible units round-robin
 	// (by definition order) across ShardCount cooperating engine runs;
 	// shard Shard executes only its assigned units plus their
@@ -274,6 +291,16 @@ func (e *Engine) run(ctx context.Context, par int) ([]UnitResult, error) {
 	e.prefetch(units, sc)
 	selected, indeg, dependents := sc.selected, sc.indeg, sc.dependents
 
+	if e.eventsActive() {
+		for i := range units {
+			if selected[i] {
+				e.Events.Event("unit_scheduled", map[string]any{
+					"unit": units[i].Name, "primer": units[i].Hidden,
+				})
+			}
+		}
+	}
+
 	n := len(selected)
 	ready := make(chan int, n)
 	completions := make(chan int, n)
@@ -289,9 +316,29 @@ func (e *Engine) run(ctx context.Context, par int) ([]UnitResult, error) {
 	for w := 0; w < par; w++ {
 		go func() {
 			for i := range ready {
+				if e.eventsActive() {
+					e.Events.Event("unit_start", map[string]any{"unit": units[i].Name})
+				}
 				start := time.Now()
-				art, err := e.runUnit(ctx, units[i])
-				res[i] = UnitResult{Unit: units[i], Artifact: art, Err: err, Elapsed: time.Since(start)}
+				art, src, err := e.runUnit(ctx, units[i])
+				elapsed := time.Since(start)
+				res[i] = UnitResult{Unit: units[i], Artifact: art, Err: err, Elapsed: elapsed}
+				if e.eventsActive() {
+					status := "ok"
+					if err != nil {
+						status = "error"
+					} else if units[i].Hidden {
+						status = "primer"
+					}
+					data := map[string]any{
+						"unit": units[i].Name, "ms": float64(elapsed.Microseconds()) / 1000,
+						"status": status, "source": src,
+					}
+					if err != nil {
+						data["error"] = err.Error()
+					}
+					e.Events.Event("unit_finish", data)
+				}
 				completions <- i
 			}
 		}()
@@ -367,6 +414,12 @@ func UnitRenderKey(opt Options, unit string) artifact.Key {
 	return artifact.KeyOf("render", renderKey{Unit: unit, Opt: opt, Format: "text"})
 }
 
+// eventsActive reports whether event payloads are worth building: a
+// sink is attached and it has someone listening.
+func (e *Engine) eventsActive() bool {
+	return e.Events != nil && e.Events.Active()
+}
+
 // runUnit executes one unit. Visible units of the default experiment
 // set are render-memoized: the unit's rendered bytes are themselves a
 // store artefact, so a warm-started run (same options, persisted
@@ -375,19 +428,29 @@ func UnitRenderKey(opt Options, unit string) artifact.Key {
 // unit sets (e.Units != nil) run unmemoized: their names don't
 // identify content the way the fixed paper set's do.
 //
+// src is the unit's render provenance for the event stream: "primer"
+// (hidden warm-up), "custom" (unmemoized custom set), "computed" (the
+// render pass ran here) or "warm" (bytes served from the store).
+//
 // Cancellation surfaces here: a unit whose context is already done is
 // skipped outright, and a session-cancellation unwind out of a running
 // unit body is converted back into its error result.
-func (e *Engine) runUnit(ctx context.Context, u Unit) (art Artifact, err error) {
+func (e *Engine) runUnit(ctx context.Context, u Unit) (art Artifact, src string, err error) {
 	if cerr := ctx.Err(); cerr != nil {
-		return nil, cerr
+		return nil, "", cerr
 	}
 	defer RecoverCanceled(&err)
 	s := e.Session
 	if u.Hidden || e.Units != nil {
-		return u.Run(s)
+		src = "custom"
+		if u.Hidden {
+			src = "primer"
+		}
+		art, err = u.Run(s)
+		return art, src, err
 	}
 	key := UnitRenderKey(s.Opt, u.Name)
+	rendered := false
 	b, err := artifact.Get(s.ArtifactStore(), key, func() ([]byte, error) {
 		art, err := u.Run(s)
 		if err != nil || art == nil {
@@ -396,12 +459,17 @@ func (e *Engine) runUnit(ctx context.Context, u Unit) (art Artifact, err error) 
 		var buf bytes.Buffer
 		art.Render(&buf)
 		s.renders.Add(1)
+		rendered = true
 		return buf.Bytes(), nil
 	})
-	if err != nil || b == nil {
-		return nil, err
+	src = "warm"
+	if rendered {
+		src = "computed"
 	}
-	return RenderFunc(func(w io.Writer) { w.Write(b) }), nil
+	if err != nil || b == nil {
+		return nil, src, err
+	}
+	return RenderFunc(func(w io.Writer) { w.Write(b) }), src, nil
 }
 
 // TimingTable summarizes an engine run: one row per unit with its wall

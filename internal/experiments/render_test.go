@@ -111,7 +111,7 @@ func TestRenderErrorPropagates(t *testing.T) {
 	e := &Engine{Session: s}
 	boom := fmt.Errorf("boom")
 	u := Unit{Name: "synthetic-failure", Run: func(*Session) (Artifact, error) { return nil, boom }}
-	if _, err := e.runUnit(context.Background(), u); err != boom {
+	if _, _, err := e.runUnit(context.Background(), u); err != boom {
 		t.Fatalf("runUnit error = %v, want %v", err, boom)
 	}
 	if s.Renders() != 0 {

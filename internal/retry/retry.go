@@ -200,6 +200,12 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Now replaces the clock (tests). nil = time.Now.
 	Now func() time.Time
+	// OnChange, when set, is called after every state transition with
+	// the old and new state. It runs outside the breaker's lock, on the
+	// goroutine that caused the transition, so it must not block for
+	// long. Set it before the breaker sees traffic; it is read without
+	// synchronization afterwards.
+	OnChange func(from, to State)
 
 	mu       sync.Mutex
 	state    State
@@ -243,26 +249,29 @@ func (b *Breaker) cooldown() time.Duration {
 // true MUST report the outcome via Success or Failure.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	ok, probe := false, false
 	switch b.state {
 	case Closed:
-		return true
+		ok = true
 	case Open:
-		if b.now().Sub(b.openedAt) < b.cooldown() {
-			return false
+		if b.now().Sub(b.openedAt) >= b.cooldown() {
+			b.state = HalfOpen
+			b.probing = true
+			b.counters.Probes++
+			ok, probe = true, true
 		}
-		b.state = HalfOpen
-		b.probing = true
-		b.counters.Probes++
-		return true
 	default: // HalfOpen
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			b.counters.Probes++
+			ok = true
 		}
-		b.probing = true
-		b.counters.Probes++
-		return true
 	}
+	b.mu.Unlock()
+	if probe {
+		b.notify(Open, HalfOpen)
+	}
+	return ok
 }
 
 // Viable reports, without consuming a probe slot, whether the member
@@ -279,14 +288,18 @@ func (b *Breaker) Viable() bool {
 // consecutive-failure count and closes a half-open breaker.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case HalfOpen:
+	recovered := false
+	if b.state == HalfOpen {
 		b.state = Closed
 		b.counters.Recoveries++
+		recovered = true
 	}
 	b.fails = 0
 	b.probing = false
+	b.mu.Unlock()
+	if recovered {
+		b.notify(HalfOpen, Closed)
+	}
 }
 
 // Failure records a failed guarded operation: it trips a closed
@@ -294,20 +307,34 @@ func (b *Breaker) Success() {
 // one immediately.
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	tripped := false
 	switch b.state {
 	case HalfOpen:
 		b.state = Open
 		b.openedAt = b.now()
 		b.counters.Trips++
 		b.probing = false
+		tripped = true
 	case Closed:
 		b.fails++
 		if b.fails >= b.failLimit() {
 			b.state = Open
 			b.openedAt = b.now()
 			b.counters.Trips++
+			tripped = true
 		}
+	}
+	b.mu.Unlock()
+	if tripped {
+		b.notify(from, Open)
+	}
+}
+
+// notify invokes OnChange outside the lock.
+func (b *Breaker) notify(from, to State) {
+	if b.OnChange != nil {
+		b.OnChange(from, to)
 	}
 }
 

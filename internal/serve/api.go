@@ -28,6 +28,8 @@ import (
 //	GET    /v1/jobs           paginated summaries: ?state= ?limit= ?cursor=
 //	GET    /v1/jobs/{id}      state, timings, inline results, error
 //	DELETE /v1/jobs/{id}      cancel (queued or running)
+//	GET    /v1/jobs/{id}/events  SSE: backlog replay + live lifecycle events
+//	GET    /v1/events         SSE firehose, ?topics= filter (engine, flight, store, fleet, job/*)
 //	GET    /v1/stats          counters as JSON
 //	GET    /metrics           Prometheus text format (unversioned: infra)
 //	GET    /healthz           liveness probe, "ok" (unversioned: infra)
@@ -79,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scenarios", s.handleScenario)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -179,8 +182,8 @@ func (s *Server) handleUnit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
-		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
-			return s.renderUnit(fctx, sess, unit)
+		return s.compute(fctx, key.ID(), func(sess *experiments.Session) ([]byte, error) {
+			return s.renderUnit(fctx, sess, unit, s.engineEvents)
 		})
 	})
 	s.finish(w, key.ID(), joined, b, err)
@@ -238,7 +241,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	b, joined, err := s.flights.do(r.Context(), key.ID(), func(fctx context.Context) ([]byte, error) {
-		return s.compute(fctx, func(sess *experiments.Session) ([]byte, error) {
+		return s.compute(fctx, key.ID(), func(sess *experiments.Session) ([]byte, error) {
 			return experiments.RunScenario(sess, canon)
 		})
 	})
@@ -324,6 +327,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		j := s.jobs.add(req)
 		s.jobsSubmitted.Add(1)
+		s.emitJob(j, "queued", map[string]any{"units": len(req.Units), "scenarios": len(req.Scenarios)})
 		go func() {
 			defer s.jobs.wg.Done()
 			s.pool.ForEach(1, func(int) { s.runJob(j) })
@@ -336,19 +340,27 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJob answers GET /v1/jobs/{id} (status) and DELETE /v1/jobs/{id}
-// (cancel).
+// handleJob answers GET /v1/jobs/{id} (status), DELETE /v1/jobs/{id}
+// (cancel), and GET /v1/jobs/{id}/events (SSE lifecycle stream).
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	events := false
+	if rest, ok := strings.CutSuffix(id, "/events"); ok {
+		id, events = rest, true
+	}
 	j, ok := s.jobs.get(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown_job", "unknown job "+id, "")
 		return
 	}
+	if events {
+		s.handleJobEvents(w, r, j)
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.jobStatus(j))
+		json.NewEncoder(w).Encode(s.jobStatus(r.Context(), j))
 	case http.MethodDelete:
 		j.cancel()
 		w.WriteHeader(http.StatusAccepted)
@@ -385,6 +397,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"store_degraded":         boolGauge(st.StoreDegraded),
 		"store_retries":          st.StoreRetries,
 		"store_skipped":          st.StoreSkipped,
+		"events_published":       st.EventsPublished,
+		"events_dropped":         st.EventsDropped,
+		"subscribers":            st.EventSubscribers,
 		"dataset_generations":    datagen.Generations(),
 		"store_fills":            ss.Fills, "store_mem_hits": ss.MemHits,
 		"store_backend_hits": ss.BackendHits, "store_backend_discards": ss.BackendDiscards,
@@ -456,6 +471,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"reprod_store_prefetched_total", "Entries staged by bulk prefetch.", ss.Prefetched},
 		{"reprod_store_evictions_total", "Memory-tier residents evicted under quota.", ss.Evictions},
 		{"reprod_store_evicted_bytes_total", "Charged bytes evicted by the memory tier.", ss.EvictedBytes},
+		{"reprod_events_published_total", "Events materialized on the event bus.", st.EventsPublished},
+		{"reprod_events_dropped_total", "Events shed from slow subscribers' rings.", st.EventsDropped},
 	}
 	for _, m := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
@@ -466,6 +483,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "reprod_retries_total{component=\"store\"} %d\n", st.StoreRetries)
 	fmt.Fprintf(w, "reprod_retries_total{component=\"proxy\"} %d\n", st.ProxyRetries)
 	fmt.Fprintf(w, "# HELP reprod_in_flight Computations currently in flight.\n# TYPE reprod_in_flight gauge\nreprod_in_flight %d\n", st.InFlight)
+	fmt.Fprintf(w, "# HELP reprod_event_subscribers Event-bus subscribers currently attached.\n# TYPE reprod_event_subscribers gauge\nreprod_event_subscribers %d\n", st.EventSubscribers)
 	fmt.Fprintf(w, "# HELP reprod_peer_unhealthy Fleet peers currently sidelined (breaker not closed).\n# TYPE reprod_peer_unhealthy gauge\nreprod_peer_unhealthy %d\n", st.PeerUnhealthy)
 	fmt.Fprintf(w, "# HELP reprod_store_degraded Whether the persistence backend is degraded (1 = serving memory hits and computing locally).\n# TYPE reprod_store_degraded gauge\nreprod_store_degraded %d\n", boolGauge(st.StoreDegraded))
 	if len(st.PeerStates) > 0 {

@@ -259,6 +259,9 @@ func (s *Server) route(r *http.Request, keyID string) (owner string, proxy bool)
 	}
 	s.rerouted.Add(1)
 	alt := s.fleet.healthyOwner(keyID, owner)
+	if s.fleetEvents.Active() {
+		s.fleetEvents.Event("reroute", map[string]any{"key": keyID, "owner": owner, "alt": alt})
+	}
 	if alt == "" || alt == s.fleet.self {
 		return "", false
 	}
@@ -312,6 +315,9 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner, keyID stri
 			br.Failure()
 		}
 		s.proxyFallback.Add(1)
+		if s.fleetEvents.Active() {
+			s.fleetEvents.Event("proxy_fallback", map[string]any{"key": keyID, "owner": owner, "error": err.Error()})
+		}
 		return false
 	}
 	if br != nil {
@@ -319,6 +325,9 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request, owner, keyID stri
 	}
 	defer resp.Body.Close()
 	s.proxied.Add(1)
+	if s.fleetEvents.Active() {
+		s.fleetEvents.Event("proxy", map[string]any{"key": keyID, "owner": owner, "status": resp.StatusCode})
+	}
 	for _, h := range []string{"Content-Type", "X-Reprod-Key", "X-Reprod-Source"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)

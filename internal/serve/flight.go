@@ -3,6 +3,9 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
+
+	"repro/internal/eventbus"
 )
 
 // flightGroup coalesces concurrent requests for the same artefact key
@@ -18,21 +21,28 @@ import (
 // any single requester, so one impatient client can't kill the answer
 // nine others are waiting for), and an abandoned computation is
 // actually aborted rather than left burning CPU for nobody.
+//
+// Every lifecycle edge is published on the flight topic (flight_start,
+// coalesce_join, coalesce_leave, flight_cancel, flight_finish) — after
+// the group lock is released, never blocking, and only when a
+// subscriber is attached.
 type flightGroup struct {
 	mu      sync.Mutex
 	flights map[string]*flight
+	events  *eventbus.Publisher
 }
 
 type flight struct {
-	refs   int
-	cancel context.CancelFunc
-	done   chan struct{}
-	val    []byte
-	err    error
+	refs    int
+	cancel  context.CancelFunc
+	done    chan struct{}
+	started time.Time
+	val     []byte
+	err     error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{flights: map[string]*flight{}}
+func newFlightGroup(events *eventbus.Publisher) *flightGroup {
+	return &flightGroup{flights: map[string]*flight{}, events: events}
 }
 
 // do returns run's result for key, starting the computation when this
@@ -42,11 +52,13 @@ func newFlightGroup() *flightGroup {
 func (g *flightGroup) do(ctx context.Context, key string, run func(context.Context) ([]byte, error)) (val []byte, joined bool, err error) {
 	g.mu.Lock()
 	f, ok := g.flights[key]
+	var refs int
 	if ok {
 		f.refs++
+		refs = f.refs
 	} else {
 		fctx, cancel := context.WithCancel(context.Background())
-		f = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
+		f = &flight{refs: 1, cancel: cancel, done: make(chan struct{}), started: time.Now()}
 		g.flights[key] = f
 		go func() {
 			f.val, f.err = run(fctx)
@@ -55,11 +67,23 @@ func (g *flightGroup) do(ctx context.Context, key string, run func(context.Conte
 				delete(g.flights, key)
 			}
 			g.mu.Unlock()
+			if g.events.Active() {
+				g.events.Event("flight_finish", map[string]any{
+					"key": key, "ms": float64(time.Since(f.started).Microseconds()) / 1000, "ok": f.err == nil,
+				})
+			}
 			cancel() // release the context either way
 			close(f.done)
 		}()
 	}
 	g.mu.Unlock()
+	if g.events.Active() {
+		if ok {
+			g.events.Event("coalesce_join", map[string]any{"key": key, "refs": refs})
+		} else {
+			g.events.Event("flight_start", map[string]any{"key": key})
+		}
+	}
 
 	select {
 	case <-f.done:
@@ -67,13 +91,20 @@ func (g *flightGroup) do(ctx context.Context, key string, run func(context.Conte
 	case <-ctx.Done():
 		g.mu.Lock()
 		f.refs--
-		abandoned := f.refs == 0
+		refs := f.refs
+		abandoned := refs == 0
 		if abandoned && g.flights[key] == f {
 			// Unhook immediately so a fresh request doesn't join a
 			// flight that is already unwinding.
 			delete(g.flights, key)
 		}
 		g.mu.Unlock()
+		if g.events.Active() {
+			g.events.Event("coalesce_leave", map[string]any{"key": key, "refs": refs})
+			if abandoned {
+				g.events.Event("flight_cancel", map[string]any{"key": key})
+			}
+		}
 		if abandoned {
 			f.cancel()
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/eventbus"
 )
 
 // JobState is a job's lifecycle stage.
@@ -97,6 +98,39 @@ type job struct {
 	resultKeys    map[string]artifact.Key
 	resultsDroppd bool
 	errMsg        string
+
+	// The bounded lifecycle-event backlog GET /v1/jobs/{id}/events
+	// replays before going live. evMu also serializes bus emission for
+	// this job's topic, so backlog order always matches sequence order
+	// (it nests outside the bus lock; nothing on the bus calls back
+	// into a job).
+	evMu          sync.Mutex
+	events        []eventbus.Event
+	eventsDropped int64
+}
+
+// eventSnapshot copies the backlog for replay: the retained events
+// plus how many older ones the backlog cap already shed.
+func (j *job) eventSnapshot() ([]eventbus.Event, int64) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	return append([]eventbus.Event(nil), j.events...), j.eventsDropped
+}
+
+// scenarioSpec finds the submitted scenario behind a job result name
+// (the part after "scenario:"): a spec's own name, or the positional
+// scenario-N fallback unnamed specs are recorded under.
+func (j *job) scenarioSpec(name string) (Scenario, bool) {
+	for i, spec := range j.req.Scenarios {
+		n := spec.Name
+		if n == "" {
+			n = fmt.Sprintf("scenario-%d", i+1)
+		}
+		if n == name {
+			return spec, true
+		}
+	}
+	return Scenario{}, false
 }
 
 func (j *job) status() JobStatus {

@@ -42,7 +42,9 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/conc"
+	"repro/internal/eventbus"
 	"repro/internal/experiments"
+	"repro/internal/retry"
 )
 
 // Scenario re-exports the declarative request spec.
@@ -98,6 +100,11 @@ type Config struct {
 	// record but recovered from the store at GET time when still
 	// resident (see jobStatus).
 	MaxJobResultBytes int
+	// EventBuffer sizes each SSE subscriber's event ring
+	// (0 = eventbus.DefaultBuffer). A subscriber that falls behind
+	// sheds its oldest buffered events — the stream carries a `lag`
+	// event when that happens — and never slows a publisher.
+	EventBuffer int
 }
 
 // Server is the reprod serving core, usable behind any http.Server
@@ -110,6 +117,14 @@ type Server struct {
 	jobs      *jobSet
 	fleet     *fleet
 	resultCap int
+
+	// bus is the live observability fan-out (GET /v1/events). The topic
+	// publishers are pre-bound handles the hot paths gate on — an idle
+	// bus costs one atomic load per instrumentation site.
+	bus          *eventbus.Bus
+	engineEvents *eventbus.Publisher
+	flightEvents *eventbus.Publisher
+	fleetEvents  *eventbus.Publisher
 
 	draining atomic.Bool
 
@@ -144,16 +159,61 @@ func New(cfg Config) (*Server, error) {
 	if cap <= 0 {
 		cap = defaultJobResultBytes
 	}
-	return &Server{
-		cfg:       cfg,
-		store:     st,
-		pool:      conc.NewPool(cfg.Workers),
-		flights:   newFlightGroup(),
-		jobs:      newJobSet(),
-		fleet:     fl,
-		resultCap: cap,
-	}, nil
+	bus := eventbus.New()
+	srv := &Server{
+		cfg:          cfg,
+		store:        st,
+		pool:         conc.NewPool(cfg.Workers),
+		jobs:         newJobSet(),
+		fleet:        fl,
+		resultCap:    cap,
+		bus:          bus,
+		engineEvents: bus.Topic("engine"),
+		flightEvents: bus.Topic("flight"),
+		fleetEvents:  bus.Topic("fleet"),
+	}
+	srv.flights = newFlightGroup(srv.flightEvents)
+	// The store publishes fill/hit/eviction/degraded transitions onto
+	// this server's bus. A store shared between servers reports to the
+	// last one constructed.
+	st.SetEvents(bus.Topic("store"))
+	if fl != nil {
+		for peer, br := range fl.health {
+			br.OnChange = srv.breakerEvent(peer)
+		}
+	}
+	return srv, nil
 }
+
+// breakerEvent builds the per-peer breaker transition hook: every
+// state change lands on the fleet topic as breaker_trip (→ open),
+// breaker_probe (→ half-open) or breaker_recover (→ closed).
+func (s *Server) breakerEvent(peer string) func(from, to retry.State) {
+	return func(from, to retry.State) {
+		if !s.fleetEvents.Active() {
+			return
+		}
+		typ := "breaker_trip"
+		switch to {
+		case retry.HalfOpen:
+			typ = "breaker_probe"
+		case retry.Closed:
+			typ = "breaker_recover"
+		}
+		s.fleetEvents.Event(typ, map[string]any{"peer": peer, "from": from.String(), "to": to.String()})
+	}
+}
+
+// eventBuf is the per-subscriber ring capacity for SSE streams.
+func (s *Server) eventBuf() int {
+	if s.cfg.EventBuffer > 0 {
+		return s.cfg.EventBuffer
+	}
+	return eventbus.DefaultBuffer
+}
+
+// Bus returns the server's event bus (tests subscribe directly).
+func (s *Server) Bus() *eventbus.Bus { return s.bus }
 
 // Store returns the store behind every computation.
 func (s *Server) Store() *artifact.Store { return s.store }
@@ -188,7 +248,7 @@ func (s *Server) absorb(sess *experiments.Session) {
 // warm by the time it executes (a proxy-fallback straggler racing a
 // rerouted wave, say) only copies bytes out of the store — counting it
 // would make the coalescing gates lie under fault-injected timing.
-func (s *Server) compute(ctx context.Context, fn func(sess *experiments.Session) ([]byte, error)) ([]byte, error) {
+func (s *Server) compute(ctx context.Context, keyID string, fn func(sess *experiments.Session) ([]byte, error)) ([]byte, error) {
 	var out []byte
 	err := ctx.Err()
 	if err != nil {
@@ -198,12 +258,21 @@ func (s *Server) compute(ctx context.Context, fn func(sess *experiments.Session)
 		if err = ctx.Err(); err != nil {
 			return // cancelled while queued for a worker
 		}
+		if s.flightEvents.Active() {
+			s.flightEvents.Event("compute_start", map[string]any{"key": keyID})
+		}
+		start := time.Now()
 		sess := s.session(ctx)
 		out, err = fn(sess)
 		if sess.Renders() > 0 {
 			s.computes.Add(1)
 		}
 		s.absorb(sess)
+		if s.flightEvents.Active() {
+			s.flightEvents.Event("compute_finish", map[string]any{
+				"key": keyID, "ms": float64(time.Since(start).Microseconds()) / 1000, "ok": err == nil,
+			})
+		}
 	})
 	return out, err
 }
@@ -220,8 +289,8 @@ func validUnit(name string) bool {
 
 // renderUnit runs the one-unit engine (primers included) and extracts
 // the unit's rendered bytes.
-func (s *Server) renderUnit(ctx context.Context, sess *experiments.Session, unit string) ([]byte, error) {
-	e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: []string{unit}}
+func (s *Server) renderUnit(ctx context.Context, sess *experiments.Session, unit string, events experiments.EventSink) ([]byte, error) {
+	e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: []string{unit}, Events: events}
 	results, err := e.RunContext(ctx)
 	if err != nil {
 		return nil, err
@@ -251,11 +320,13 @@ func (s *Server) runJob(j *job) {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		s.jobsCanceled.Add(1)
+		s.emitJob(j, "canceled", map[string]any{"error": "canceled while queued"})
 		return
 	}
 	j.state = JobRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	s.emitJob(j, "started", nil)
 
 	sess := s.session(j.ctx)
 	s.computes.Add(1)
@@ -283,7 +354,7 @@ func (s *Server) runJob(j *job) {
 	}
 
 	if len(j.req.Units) > 0 {
-		e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: j.req.Units}
+		e := &experiments.Engine{Session: sess, Parallelism: s.cfg.Parallelism, Select: j.req.Units, Events: jobSink{s, j}}
 		runResults, err := e.RunContext(j.ctx)
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -310,6 +381,11 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	for i, spec := range j.req.Scenarios {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("scenario-%d", i+1)
+		}
+		s.emitJob(j, "scenario_start", map[string]any{"scenario": name})
 		start := time.Now()
 		b, err := experiments.RunScenario(sess, spec)
 		status := "ok"
@@ -319,10 +395,9 @@ func (s *Server) runJob(j *job) {
 				firstErr = err
 			}
 		}
-		name := spec.Name
-		if name == "" {
-			name = fmt.Sprintf("scenario-%d", i+1)
-		}
+		s.emitJob(j, "scenario_finish", map[string]any{
+			"scenario": name, "ms": float64(time.Since(start).Microseconds()) / 1000, "status": status,
+		})
 		if err == nil {
 			// Canonical succeeded at submit time and is deterministic,
 			// so it cannot fail here.
@@ -341,29 +416,42 @@ func (s *Server) runJob(j *job) {
 	j.resultKeys = keys
 	j.resultsDroppd = truncated
 	j.finished = time.Now()
+	terminal := "done"
+	var data map[string]any
 	switch {
 	case j.ctx.Err() != nil:
 		j.state = JobCanceled
 		j.errMsg = j.ctx.Err().Error()
 		s.jobsCanceled.Add(1)
+		terminal, data = "canceled", map[string]any{"error": j.errMsg}
 	case firstErr != nil:
 		j.state = JobFailed
 		j.errMsg = firstErr.Error()
 		s.jobsFailed.Add(1)
+		terminal, data = "failed", map[string]any{"error": j.errMsg}
 	default:
 		j.state = JobDone
 		s.jobsDone.Add(1)
 	}
 	j.mu.Unlock()
+	s.emitJob(j, terminal, data)
 }
 
 // jobStatus returns j's status, recovering inline results the cap
 // dropped: any result absent from the retained record whose rendered
 // bytes are still available to the store (memory tier or backend) is
 // re-inlined into this response — transiently, never re-retained, so
-// the per-job memory bound holds. ResultsTruncated stays set only for
-// results that are gone from both the record and the store.
-func (s *Server) jobStatus(j *job) JobStatus {
+// the per-job memory bound holds.
+//
+// A result gone from the store too (evicted from a memory-only store)
+// is recomputed for a successfully finished job: every job render is a
+// deterministic function of its recorded spec, so the recomputation —
+// run through the flight group under the caller's context, coalesced
+// with any concurrent request for the same key — reproduces the bytes
+// exactly and refills the store for the next poll. ResultsTruncated
+// stays set only for results this response could not recover (a failed
+// or canceled job's missing renders, or a recompute cut short by ctx).
+func (s *Server) jobStatus(ctx context.Context, j *job) JobStatus {
 	st := j.status()
 	if !st.ResultsTruncated {
 		return st
@@ -379,7 +467,11 @@ func (s *Server) jobStatus(j *job) JobStatus {
 		if _, ok := st.Results[name]; ok {
 			continue
 		}
-		if b, ok := artifact.Peek[[]byte](s.store, key, nil); ok {
+		b, ok := artifact.Peek[[]byte](s.store, key, nil)
+		if !ok && st.State == JobDone {
+			b, ok = s.recomputeResult(ctx, j, name, key)
+		}
+		if ok {
 			if st.Results == nil {
 				st.Results = map[string]string{}
 			}
@@ -390,6 +482,39 @@ func (s *Server) jobStatus(j *job) JobStatus {
 	}
 	st.ResultsTruncated = missing
 	return st
+}
+
+// recomputeResult re-renders one dropped job result from its recorded
+// spec: a paper unit by name, or a scenario looked up in the job's
+// submitted specs. Runs through the flight group so concurrent polls
+// (and synchronous requests for the same key) share one computation.
+func (s *Server) recomputeResult(ctx context.Context, j *job, name string, key artifact.Key) ([]byte, bool) {
+	run := func(fctx context.Context) ([]byte, error) { return nil, fmt.Errorf("unresolvable result %q", name) }
+	if scen, ok := strings.CutPrefix(name, "scenario:"); ok {
+		spec, found := j.scenarioSpec(scen)
+		if !found {
+			return nil, false
+		}
+		canon, err := spec.Canonical(s.cfg.Opt)
+		if err != nil {
+			return nil, false
+		}
+		run = func(fctx context.Context) ([]byte, error) {
+			return s.compute(fctx, key.ID(), func(sess *experiments.Session) ([]byte, error) {
+				return experiments.RunScenario(sess, canon)
+			})
+		}
+	} else if validUnit(name) {
+		run = func(fctx context.Context) ([]byte, error) {
+			return s.compute(fctx, key.ID(), func(sess *experiments.Session) ([]byte, error) {
+				return s.renderUnit(fctx, sess, name, s.engineEvents)
+			})
+		}
+	} else {
+		return nil, false
+	}
+	b, _, err := s.flights.do(ctx, key.ID(), run)
+	return b, err == nil && b != nil
 }
 
 // BeginShutdown starts a drain: new jobs are refused, queued jobs are
@@ -449,6 +574,10 @@ type Stats struct {
 	// nothing) and the backend's retry/skip counters.
 	StoreDegraded              bool
 	StoreRetries, StoreSkipped int64
+	// Event-bus counters: events materialized on the bus, events shed
+	// from slow subscribers' rings, and currently attached subscribers.
+	EventsPublished, EventsDropped int64
+	EventSubscribers               int64
 }
 
 // Healthy reports readiness: not draining and the store backend not
@@ -467,6 +596,7 @@ func (s *Server) Healthy() (ready bool, reason string) {
 func (s *Server) Stats() Stats {
 	states, unhealthy, bc := s.fleet.healthSnapshot()
 	sh := s.store.Health()
+	bs := s.bus.Stats()
 	return Stats{
 		UnitRequests: s.unitReqs.Load(), ScenarioRequests: s.scenarioReqs.Load(),
 		WarmHits: s.warmHits.Load(), Coalesced: s.coalesced.Load(), Computes: s.computes.Load(),
@@ -485,5 +615,7 @@ func (s *Server) Stats() Stats {
 		PeerStates:    states,
 		StoreDegraded: sh.Degraded,
 		StoreRetries:  sh.Retries, StoreSkipped: sh.Skipped,
+		EventsPublished: bs.Published, EventsDropped: bs.Dropped,
+		EventSubscribers: bs.Subscribers,
 	}
 }

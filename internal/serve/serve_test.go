@@ -407,7 +407,7 @@ func TestClientDisconnectCancelsAbandonedFlight(t *testing.T) {
 // concurrent do() calls for one key run fn once; a second round after
 // completion runs it again (no stale flights).
 func TestFlightGroupSharesOneRun(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup(nil)
 	var runs int32
 	var mu sync.Mutex
 	run := func(ctx context.Context) ([]byte, error) {
@@ -443,7 +443,7 @@ func TestFlightGroupSharesOneRun(t *testing.T) {
 // TestFlightGroupAbandonmentCancelsRun unit-tests refcounted
 // cancellation: when all waiters leave, fn's context dies.
 func TestFlightGroupAbandonmentCancelsRun(t *testing.T) {
-	g := newFlightGroup()
+	g := newFlightGroup(nil)
 	started := make(chan struct{})
 	cancelled := make(chan struct{})
 	run := func(ctx context.Context) ([]byte, error) {
